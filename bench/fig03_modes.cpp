@@ -1,0 +1,33 @@
+// Figure 3: the operating modes of a Blue Gene/P node — processes and
+// threads per node in SMP/1, SMP/4, Dual and Virtual Node Mode, plus the
+// rank placement our runtime derives from each mode.
+#include "bench/util.hpp"
+#include "sys/partition.hpp"
+
+using namespace bgp;
+
+int main() {
+  bench::banner("Figure 3", "Modes of operation of a Blue Gene/P node",
+                "SMP/1: 1 proc x 1 thread; SMP/4: 1 x 4; DUAL: 2 x 2; "
+                "VNM: 4 x 1");
+
+  bench::Table t({"mode", "processes/node", "threads/process", "cores used",
+                  "ranks on 32 nodes"});
+  for (sys::OpMode m : {sys::OpMode::kSmp1, sys::OpMode::kSmp4,
+                        sys::OpMode::kDual, sys::OpMode::kVnm}) {
+    const unsigned ppn = sys::processes_per_node(m);
+    const unsigned tpp = sys::threads_per_process(m);
+    t.row({std::string(sys::to_string(m)), strfmt("%u", ppn),
+           strfmt("%u", tpp), strfmt("%u", ppn * tpp),
+           strfmt("%u", 32 * ppn)});
+  }
+  t.print();
+
+  std::printf("\nplacement check (VNM, 2 nodes):\n");
+  sys::Partition part(2, sys::OpMode::kVnm);
+  for (unsigned r = 0; r < part.num_ranks(); ++r) {
+    const auto pl = part.placement(r);
+    std::printf("  rank %u -> node %u core %u\n", r, pl.node, pl.core);
+  }
+  return 0;
+}

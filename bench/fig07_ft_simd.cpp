@@ -1,0 +1,8 @@
+// Figure 7: SIMD instructions incorporated into FT by the different XL
+// compiler option sets, plus the quadword load/stores the SIMDizer adds.
+#include "bench/simd_sweep.hpp"
+
+int main(int argc, char** argv) {
+  return bgp::bench::run_simd_sweep("Figure 7", bgp::nas::Benchmark::kFT,
+                                    argc, argv);
+}

@@ -1,0 +1,8 @@
+// Figure 8: SIMD instructions incorporated into MG by the different XL
+// compiler option sets, plus the quadword load/stores the SIMDizer adds.
+#include "bench/simd_sweep.hpp"
+
+int main(int argc, char** argv) {
+  return bgp::bench::run_simd_sweep("Figure 8", bgp::nas::Benchmark::kMG,
+                                    argc, argv);
+}

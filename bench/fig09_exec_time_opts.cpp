@@ -1,0 +1,15 @@
+// Figure 9: variation in execution time with the compiler option sets for
+// FT, EP, CG and IS (the paper's first group). Cycle counts come from the
+// CYCLE_COUNT counter exactly as in the paper; the reduction column is
+// relative to the "-O -qstrict" baseline.
+#include "bench/exec_time_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using bgp::nas::Benchmark;
+  return bgp::bench::run_exec_time_sweep(
+      "Figure 9",
+      {Benchmark::kFT, Benchmark::kEP, Benchmark::kCG, Benchmark::kIS},
+      /*best_reduction_bench=*/"FT/EP reach up to ~60% reduction at "
+      "-O5 -qarch440d; CG and IS benefit less",
+      argc, argv);
+}

@@ -1,0 +1,12 @@
+// Figure 10: variation in execution time with the compiler option sets for
+// MG, LU, SP and BT (the paper's second group).
+#include "bench/exec_time_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using bgp::nas::Benchmark;
+  return bgp::bench::run_exec_time_sweep(
+      "Figure 10",
+      {Benchmark::kMG, Benchmark::kLU, Benchmark::kSP, Benchmark::kBT},
+      "MG gains strongly from SIMDization; LU/SP/BT benefit more modestly",
+      argc, argv);
+}

@@ -1,0 +1,88 @@
+// Microbenchmarks (google-benchmark) of the cache simulator's hot paths:
+// L1 hits, full-hierarchy misses, prefetcher-covered streams and the DDR
+// queueing model. These are the per-access costs that bound end-to-end
+// simulation speed.
+#include <benchmark/benchmark.h>
+
+#include "mem/hierarchy.hpp"
+
+namespace {
+
+using namespace bgp;
+using namespace bgp::mem;
+
+void BM_L1Hit(benchmark::State& state) {
+  MemoryHierarchy h{HierarchyParams{}};
+  h.read(0, 0x1000, 32, 0);
+  cycles_t acc = 0;
+  for (auto _ : state) {
+    acc += h.read(0, 0x1000, 32, 0).latency;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_L1Hit);
+
+void BM_ColdMissChain(benchmark::State& state) {
+  HierarchyParams p;
+  p.prefetch.enabled = false;
+  MemoryHierarchy h{p};
+  addr_t a = 0;
+  cycles_t acc = 0;
+  for (auto _ : state) {
+    acc += h.read(0, a, 32, 0).latency;
+    a += 4096;  // new L1/L2/L3 line every time
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ColdMissChain);
+
+void BM_StreamWithPrefetch(benchmark::State& state) {
+  MemoryHierarchy h{HierarchyParams{}};
+  addr_t a = 0;
+  cycles_t now = 0;
+  for (auto _ : state) {
+    now += h.read(0, a, 32, now).latency;
+    a += 32;
+  }
+  benchmark::DoNotOptimize(now);
+}
+BENCHMARK(BM_StreamWithPrefetch);
+
+void BM_StoreWriteThrough(benchmark::State& state) {
+  MemoryHierarchy h{HierarchyParams{}};
+  addr_t a = 0;
+  cycles_t acc = 0;
+  for (auto _ : state) {
+    acc += h.write(0, a, 32, 0).latency;
+    a = (a + 32) % (64 * KiB);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_StoreWriteThrough);
+
+void BM_DdrContention(benchmark::State& state) {
+  DdrParams p;
+  DdrSystem ddr(p);
+  addr_t a = 0;
+  cycles_t acc = 0;
+  for (auto _ : state) {
+    acc += ddr.access(a, AccessType::kRead, 0, 0).latency;
+    a += 128;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_DdrContention);
+
+void BM_SnoopWrite(benchmark::State& state) {
+  SnoopFilter f;
+  f.record_fill(1, 7);
+  addr_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.on_write(0, line++ % 1024));
+  }
+}
+BENCHMARK(BM_SnoopWrite);
+
+}  // namespace
+
+BENCHMARK_MAIN();

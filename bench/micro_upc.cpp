@@ -1,0 +1,79 @@
+// Microbenchmarks (google-benchmark) of the UPC-unit model's hot paths:
+// event signaling, counter reads, MMIO access and the interface library's
+// set bookkeeping. These bound the *simulator's* overhead, complementing
+// tab_overhead which reports the *modelled* 196-cycle hardware cost.
+#include <benchmark/benchmark.h>
+
+#include "core/node_monitor.hpp"
+#include "upc/upc_unit.hpp"
+
+namespace {
+
+using namespace bgp;
+
+void BM_UpcSignal(benchmark::State& state) {
+  upc::UpcUnit u;
+  u.start();
+  const auto ev = isa::ev::fpu_op(0, isa::FpOp::kSimdFma);
+  for (auto _ : state) {
+    u.signal(ev, 3);
+  }
+  benchmark::DoNotOptimize(u.read(isa::event_counter(ev)));
+}
+BENCHMARK(BM_UpcSignal);
+
+void BM_UpcSignalWrongMode(benchmark::State& state) {
+  upc::UpcUnit u;
+  u.start();
+  const auto ev = isa::ev::l3(isa::L3Event::kReadMiss);  // mode 1, unit in 0
+  for (auto _ : state) {
+    u.signal(ev, 1);
+  }
+}
+BENCHMARK(BM_UpcSignalWrongMode);
+
+void BM_UpcMmioRead(benchmark::State& state) {
+  upc::UpcUnit u;
+  u.write(17, 42);
+  u64 acc = 0;
+  for (auto _ : state) {
+    acc += u.mmio_read64(u.mmio_base() + 8 * 17);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_UpcMmioRead);
+
+void BM_UpcSnapshot(benchmark::State& state) {
+  upc::UpcUnit u;
+  for (auto _ : state) {
+    auto snap = u.snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+}
+BENCHMARK(BM_UpcSnapshot);
+
+void BM_MonitorStartStop(benchmark::State& state) {
+  sys::Node node(0);
+  pc::Options opts;
+  pc::NodeMonitor mon(node, opts);
+  mon.initialize();
+  for (auto _ : state) {
+    mon.start(0, 0);
+    mon.stop(0, 1);
+  }
+}
+BENCHMARK(BM_MonitorStartStop);
+
+void BM_DumpSerialize(benchmark::State& state) {
+  pc::NodeDump dump;
+  dump.sets.resize(4);
+  for (auto _ : state) {
+    auto bytes = pc::NodeMonitor::serialize(dump);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_DumpSerialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Profile a NAS benchmark end to end the way the paper does it (Fig 5):
+// link the interface library into MPI so the application needs no code
+// changes, run it, dump per-node binary files, post-process them into the
+// metrics .csv records.
+//
+//   build/examples/nas_profile [BENCH] [nodes] [vnm|smp1|dual] [S|W|A]
+//   e.g. build/examples/nas_profile FT 8 vnm W
+#include <cstdio>
+#include <filesystem>
+
+#include "common/strfmt.hpp"
+#include "nas/runner.hpp"
+#include "postproc/loader.hpp"
+#include "postproc/sanity.hpp"
+
+using namespace bgp;
+
+int main(int argc, char** argv) {
+  const nas::Benchmark bench =
+      argc > 1 ? nas::parse_benchmark(argv[1]) : nas::Benchmark::kCG;
+  const unsigned nodes = argc > 2 ? std::atoi(argv[2]) : 4;
+  const sys::OpMode mode =
+      argc > 3 ? sys::parse_mode(argv[3]) : sys::OpMode::kVnm;
+  const nas::ProblemClass cls =
+      argc > 4 ? nas::parse_class(argv[4]) : nas::ProblemClass::kW;
+
+  const auto dump_dir = std::filesystem::path("bgpc_dumps");
+  std::filesystem::create_directories(dump_dir);
+
+  // Build the machine and instrument "MPI" with the interface library.
+  rt::MachineConfig mc;
+  mc.num_nodes = nodes;
+  mc.mode = mode;
+  rt::Machine machine(mc);
+  pc::Options opts;
+  opts.app_name = std::string(nas::name(bench));
+  opts.dump_dir = dump_dir;
+  pc::Session session(machine, opts);
+  session.link_with_mpi();
+
+  auto kernel = nas::make_kernel(bench, cls);
+  std::printf("running %s class %s on %u nodes (%s, %u ranks)...\n",
+              std::string(nas::name(bench)).c_str(),
+              std::string(nas::name(cls)).c_str(), nodes,
+              std::string(sys::to_string(mode)).c_str(),
+              machine.num_ranks());
+  machine.run([&](rt::RankCtx& ctx) {
+    ctx.mpi_init();
+    kernel->run(ctx);
+    ctx.mpi_finalize();
+  });
+  std::printf("verification: %s (%s)\n",
+              kernel->result().verified ? "PASSED" : "FAILED",
+              kernel->result().detail.c_str());
+
+  // Post-process the dump files exactly like the paper's tools.
+  const auto dumps = post::load_dumps(dump_dir, opts.app_name);
+  std::printf("loaded %zu per-node dump files from %s\n", dumps.size(),
+              dump_dir.string().c_str());
+  const auto sanity = post::check(dumps);
+  if (!sanity.ok()) {
+    for (const auto& p : sanity.problems) std::printf("sanity: %s\n", p.c_str());
+    return 1;
+  }
+
+  const post::Aggregate agg(dumps, 0);
+  const auto rec = post::make_record(opts.app_name, agg);
+
+  CsvWriter metrics;
+  post::write_metrics_csv(metrics, {rec});
+  metrics.write_file(dump_dir / "metrics.csv");
+  CsvWriter stats;
+  post::write_counter_stats_csv(stats, agg);
+  stats.write_file(dump_dir / "counter_stats.csv");
+
+  std::printf("\nmetrics record:\n%s", metrics.text().c_str());
+  std::printf("\nMFLOPS/node=%.1f  exec=%.2f Mcycles (%.2f ms at 850 MHz)\n",
+              rec.mflops_per_node, rec.exec_cycles / 1e6,
+              1e3 * cycles_to_seconds(
+                        static_cast<cycles_t>(rec.exec_cycles)));
+  std::printf("L3<->DDR traffic: %s/node\n",
+              human_bytes(rec.ddr_traffic_bytes).c_str());
+  std::printf("wrote %s and %s\n", (dump_dir / "metrics.csv").string().c_str(),
+              (dump_dir / "counter_stats.csv").string().c_str());
+  return kernel->result().verified ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+#include "common/binio.hpp"
+
+namespace bgp {
+
+void BinaryWriter::write_file(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw BinIoError("cannot open for write: " + path.string());
+  }
+  out.write(reinterpret_cast<const char*>(buf_.data()),
+            static_cast<std::streamsize>(buf_.size()));
+  if (!out) {
+    throw BinIoError("short write: " + path.string());
+  }
+}
+
+std::vector<std::byte> read_file_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw BinIoError("cannot open for read: " + path.string());
+  }
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> buf(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+  if (!in) {
+    throw BinIoError("short read: " + path.string());
+  }
+  return buf;
+}
+
+}  // namespace bgp

@@ -1,0 +1,98 @@
+// Little-endian binary serialization helpers for the per-node dump files
+// written by the interface library and read by the post-processing tools.
+#pragma once
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bgp {
+
+/// Error thrown on malformed or truncated binary input.
+class BinIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends little-endian scalars and byte ranges to an in-memory buffer.
+class BinaryWriter {
+ public:
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &v, sizeof(T));
+  }
+
+  void put_bytes(std::span<const std::byte> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  void put_string(const std::string& s) {
+    put<u32>(static_cast<u32>(s.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    put_bytes({p, s.size()});
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& buffer() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+  /// Write the accumulated buffer to `path`, replacing any existing file.
+  void write_file(const std::filesystem::path& path) const;
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Reads little-endian scalars from a byte buffer with bounds checking.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const std::byte> data) noexcept
+      : data_(data) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > data_.size()) {
+      throw BinIoError("binary input truncated");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string get_string() {
+    const u32 n = get<u32>();
+    if (pos_ + n > data_.size()) {
+      throw BinIoError("binary input truncated (string)");
+    }
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Read a whole file into a byte vector; throws BinIoError on failure.
+std::vector<std::byte> read_file_bytes(const std::filesystem::path& path);
+
+}  // namespace bgp

@@ -1,0 +1,32 @@
+// CSV emission for the post-processing tools (paper §IV: metrics are printed
+// as .csv records usable with Excel / OpenOffice Calc).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace bgp {
+
+/// Builds a CSV document row by row with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  void header(const std::vector<std::string>& cols);
+  void row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+  void write_file(const std::filesystem::path& path) const;
+
+  /// Quote a cell if it contains a comma, quote or newline.
+  static std::string escape(const std::string& cell);
+
+ private:
+  void append_row(const std::vector<std::string>& cells);
+
+  std::string text_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace bgp

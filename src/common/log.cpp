@@ -1,0 +1,74 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strfmt.hpp"
+
+namespace bgp {
+namespace {
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("BGP_LOG")) {
+    if (!std::strcmp(env, "debug")) return LogLevel::kDebug;
+    if (!std::strcmp(env, "info")) return LogLevel::kInfo;
+    if (!std::strcmp(env, "warn")) return LogLevel::kWarn;
+    if (!std::strcmp(env, "error")) return LogLevel::kError;
+    if (!std::strcmp(env, "off")) return LogLevel::kOff;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void vlog(LogLevel level, const char* fmt, std::va_list ap) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  const std::string body = vstrfmt(fmt, ap);
+  std::fprintf(stderr, "[bgp:%s] %s\n", level_tag(level), body.c_str());
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::fprintf(stderr, "[bgp:%s] %s\n", level_tag(level), msg.c_str());
+}
+
+#define BGP_DEFINE_LOG_FN(name, level)     \
+  void name(const char* fmt, ...) {        \
+    std::va_list ap;                       \
+    va_start(ap, fmt);                     \
+    vlog(level, fmt, ap);                  \
+    va_end(ap);                            \
+  }
+
+BGP_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+BGP_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+BGP_DEFINE_LOG_FN(log_warn, LogLevel::kWarn)
+BGP_DEFINE_LOG_FN(log_error, LogLevel::kError)
+
+#undef BGP_DEFINE_LOG_FN
+
+}  // namespace bgp

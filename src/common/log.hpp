@@ -1,0 +1,21 @@
+// Minimal leveled logger. Quiet by default so benchmark output stays clean;
+// raise the level via set_log_level or the BGP_LOG environment variable.
+#pragma once
+
+#include <string>
+
+namespace bgp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+void log_message(LogLevel level, const std::string& msg);
+
+[[gnu::format(printf, 1, 2)]] void log_debug(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_info(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_warn(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_error(const char* fmt, ...);
+
+}  // namespace bgp

@@ -1,0 +1,94 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace bgp {
+namespace {
+
+// Constants from the NAS randlc: r23 = 2^-23, t23 = 2^23, r46, t46.
+constexpr double r23 = 1.0 / 8388608.0;
+constexpr double t23 = 8388608.0;
+constexpr double r46 = r23 * r23;
+constexpr double t46 = t23 * t23;
+
+// One randlc step: returns the uniform deviate and updates x in place.
+double randlc_step(double& x, double a) noexcept {
+  // Break a and x into two 23-bit halves and carry out the 46-bit product.
+  const double t1a = r23 * a;
+  const double a1 = static_cast<double>(static_cast<i64>(t1a));
+  const double a2 = a - t23 * a1;
+
+  const double t1x = r23 * x;
+  const double x1 = static_cast<double>(static_cast<i64>(t1x));
+  const double x2 = x - t23 * x1;
+
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = static_cast<double>(static_cast<i64>(r23 * t1));
+  const double z = t1 - t23 * t2;
+  const double t3 = t23 * z + a2 * x2;
+  const double t4 = static_cast<double>(static_cast<i64>(r46 * t3));
+  x = t3 - t46 * t4;
+  return r46 * x;
+}
+
+}  // namespace
+
+NasRng::NasRng(double seed, double a) noexcept : x_(seed), a_(a) {}
+
+double NasRng::next() noexcept { return randlc_step(x_, a_); }
+
+double NasRng::jump(double seed, double a, u64 exp) noexcept {
+  // Compute a^exp mod 2^46 by binary exponentiation, applying it to seed.
+  double x = seed;
+  double t = a;
+  while (exp != 0) {
+    if (exp & 1ull) {
+      randlc_step(x, t);  // x <- t*x
+    }
+    double tt = t;
+    randlc_step(t, tt);  // t <- t*t
+    exp >>= 1;
+  }
+  return x;
+}
+
+Xoshiro256pp::Xoshiro256pp(u64 seed) noexcept {
+  // SplitMix64 expansion of the seed into four lanes.
+  u64 z = seed;
+  for (auto& lane : s_) {
+    z += 0x9E3779B97F4A7C15ull;
+    u64 w = z;
+    w = (w ^ (w >> 30)) * 0xBF58476D1CE4E5B9ull;
+    w = (w ^ (w >> 27)) * 0x94D049BB133111EBull;
+    lane = w ^ (w >> 31);
+  }
+}
+
+u64 Xoshiro256pp::next() noexcept {
+  auto rotl = [](u64 v, int k) { return (v << k) | (v >> (64 - k)); };
+  const u64 result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256pp::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+u64 Xoshiro256pp::next_below(u64 bound) noexcept {
+  if (bound == 0) return 0;
+  // Rejection sampling on the top bits to avoid modulo bias.
+  const u64 threshold = (0ull - bound) % bound;
+  for (;;) {
+    const u64 r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace bgp

@@ -1,0 +1,63 @@
+// Random number generators used by the workload models.
+//
+// NasRng implements the NAS Parallel Benchmarks linear congruential generator
+// (the `randlc` routine): x_{k+1} = a * x_k mod 2^46 with a = 5^13, producing
+// uniform doubles in (0,1). EP depends on its exact sequence and on the
+// jump-ahead (`ipow46`) used to give each rank an independent subsequence.
+//
+// Xoshiro256pp is a fast general-purpose generator used where reproducibility
+// against NAS semantics is not required (e.g. IS key generation, address
+// stream perturbation).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace bgp {
+
+/// NAS Parallel Benchmarks pseudorandom generator (46-bit LCG).
+class NasRng {
+ public:
+  /// Default multiplier a = 5^13 and the EP/CG seed from the NPB reports.
+  static constexpr double kDefaultA = 1220703125.0;  // 5^13
+  static constexpr double kDefaultSeed = 271828183.0;
+
+  explicit NasRng(double seed = kDefaultSeed, double a = kDefaultA) noexcept;
+
+  /// Next uniform double in (0,1); advances the state by one step.
+  double next() noexcept;
+
+  /// Current raw state x (an integer value stored in a double, < 2^46).
+  [[nodiscard]] double state() const noexcept { return x_; }
+
+  /// Jump the seed forward: returns a^exp mod 2^46 applied to `seed`,
+  /// i.e. the state after `exp` calls to next() starting from `seed`.
+  static double jump(double seed, double a, u64 exp) noexcept;
+
+  /// Re-seed in place.
+  void seed(double s) noexcept { x_ = s; }
+
+ private:
+  double x_;
+  double a_;
+};
+
+/// xoshiro256++ by Blackman & Vigna; public-domain algorithm, reimplemented.
+class Xoshiro256pp {
+ public:
+  explicit Xoshiro256pp(u64 seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  u64 next() noexcept;
+
+  /// Uniform double in [0,1).
+  double next_double() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias for small bounds.
+  u64 next_below(u64 bound) noexcept;
+
+ private:
+  std::array<u64, 4> s_{};
+};
+
+}  // namespace bgp

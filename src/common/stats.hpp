@@ -1,0 +1,44 @@
+// Streaming statistics used by the post-processing tools.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace bgp {
+
+/// Welford-style running min/max/mean/variance over a stream of doubles.
+class RunningStats {
+ public:
+  void add(double v) noexcept {
+    ++n_;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
+  }
+
+  [[nodiscard]] u64 count() const noexcept { return n_; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(n_);
+  }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  u64 n_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace bgp

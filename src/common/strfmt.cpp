@@ -1,0 +1,39 @@
+#include "common/strfmt.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace bgp {
+
+std::string vstrfmt(const char* fmt, std::va_list ap) {
+  std::va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::string out = vstrfmt(fmt, ap);
+  va_end(ap);
+  return out;
+}
+
+std::string human_bytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return strfmt("%.1f %s", bytes, kUnits[u]);
+}
+
+}  // namespace bgp

@@ -1,0 +1,18 @@
+// Minimal printf-style string formatting (GCC 12 lacks <format>).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace bgp {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strfmt(const char* fmt, ...);
+
+/// vprintf-style formatting into a std::string.
+std::string vstrfmt(const char* fmt, std::va_list ap);
+
+/// Human-readable byte count, e.g. "4.0 MiB".
+std::string human_bytes(double bytes);
+
+}  // namespace bgp

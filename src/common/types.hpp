@@ -1,0 +1,36 @@
+// Fundamental type aliases and small strong types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace bgp {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulated machine cycles (PPC450 core clock, 850 MHz on Blue Gene/P).
+using cycles_t = u64;
+
+/// Simulated physical byte address.
+using addr_t = u64;
+
+/// Blue Gene/P core clock in Hz; used to convert cycle counts to seconds.
+inline constexpr double kCoreClockHz = 850.0e6;
+
+/// Convert a cycle count to seconds of simulated time.
+constexpr double cycles_to_seconds(cycles_t c) noexcept {
+  return static_cast<double>(c) / kCoreClockHz;
+}
+
+/// Bytes helpers.
+inline constexpr u64 KiB = 1024;
+inline constexpr u64 MiB = 1024 * KiB;
+
+}  // namespace bgp

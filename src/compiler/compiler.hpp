@@ -1,0 +1,52 @@
+// The optimization pipeline: lowers a source-level LoopDesc to the machine
+// op bundle the selected XL option set would emit. Each pass mirrors the
+// paper's description of the flags (§VI):
+//
+//   baseline "-O"     CSE/code motion/DCE already applied; loop overhead
+//                     (induction arithmetic, branches) is unreduced.
+//   -O3               strength reduction + scheduling: fewer integer ops,
+//                     4x unrolling (fewer branches).
+//   -O4 (+qhot etc.)  deeper unrolling, hot-loop transforms that improve
+//                     spatial locality / prefetchability (higher overlap).
+//   -O5 (IPA)         inlines calls out of hot loops, more integer cleanup.
+//   -qarch=440d       SIMDizes the vectorizable fraction of the FP work:
+//                     pairs add-sub/mult/FMA into SIMD forms and pairs
+//                     double loads/stores into quadword accesses. The
+//                     SIMDizable fraction it can actually exploit grows
+//                     with the optimization level (better dependence and
+//                     alias analysis at -O4/-O5).
+#pragma once
+
+#include "compiler/optconfig.hpp"
+#include "isa/loop.hpp"
+
+namespace bgp::opt {
+
+/// A loop lowered to machine operations for one whole invocation.
+struct CompiledLoop {
+  std::string_view name;
+  /// Total machine op counts (per-iteration mix scaled by trip count).
+  isa::OpMix ops;
+  /// Memory-level-parallelism factor for this loop's traffic: the cache
+  /// walk's raw latency is divided by this before being charged as stall.
+  double mem_overlap = 1.0;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(const OptConfig& config) noexcept : config_(config) {}
+
+  [[nodiscard]] const OptConfig& config() const noexcept { return config_; }
+
+  /// Lower one loop nest under the active option set.
+  [[nodiscard]] CompiledLoop compile(const isa::LoopDesc& loop) const;
+
+  /// Fraction of the declared vectorizable work the SIMDizer exploits at
+  /// each level (0 when -qarch440d is off or level is -O).
+  [[nodiscard]] double simd_efficiency() const noexcept;
+
+ private:
+  OptConfig config_;
+};
+
+}  // namespace bgp::opt

@@ -1,0 +1,71 @@
+#include "compiler/optconfig.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bgp::opt {
+
+std::string_view to_string(OptLevel level) noexcept {
+  switch (level) {
+    case OptLevel::kO: return "-O";
+    case OptLevel::kO3: return "-O3";
+    case OptLevel::kO4: return "-O4";
+    case OptLevel::kO5: return "-O5";
+  }
+  return "?";
+}
+
+std::string OptConfig::name() const {
+  std::string n{to_string(level)};
+  if (qstrict) n += " -qstrict";
+  if (qarch440d) n += " -qarch440d";
+  return n;
+}
+
+OptConfig OptConfig::parse(std::string_view flags) {
+  OptConfig cfg;
+  std::istringstream in{std::string(flags)};
+  std::string tok;
+  bool level_seen = false;
+  while (in >> tok) {
+    if (tok == "-O" || tok == "-O2") {
+      cfg.level = OptLevel::kO;
+      level_seen = true;
+    } else if (tok == "-O3") {
+      cfg.level = OptLevel::kO3;
+      level_seen = true;
+    } else if (tok == "-O4") {
+      cfg.level = OptLevel::kO4;
+      level_seen = true;
+    } else if (tok == "-O5") {
+      cfg.level = OptLevel::kO5;
+      level_seen = true;
+    } else if (tok == "-qstrict") {
+      cfg.qstrict = true;
+    } else if (tok == "-qarch440d" || tok == "-qarch=440d") {
+      cfg.qarch440d = true;
+    } else if (tok == "-qhot" || tok == "-qtune" || tok == "-qcache" ||
+               tok == "-qtune=440" || tok == "-qcache=auto") {
+      // Accepted; subsumed by the level model (implied at -O4+).
+    } else {
+      throw std::invalid_argument("unknown compiler flag: " + tok);
+    }
+  }
+  if (!level_seen) {
+    throw std::invalid_argument("no optimization level in: " +
+                                std::string(flags));
+  }
+  return cfg;
+}
+
+const std::vector<OptConfig>& OptConfig::paper_set() {
+  static const std::vector<OptConfig> set = {
+      parse("-O -qstrict"),        parse("-O3"),
+      parse("-O3 -qarch440d"),     parse("-O4"),
+      parse("-O4 -qarch440d"),     parse("-O5"),
+      parse("-O5 -qarch440d"),
+  };
+  return set;
+}
+
+}  // namespace bgp::opt

@@ -1,0 +1,49 @@
+// IBM XL compiler option sets studied by the paper (§VI): -O with -qstrict,
+// -O3, -O4 and -O5, each optionally with -qarch=440d which turns on
+// SIMDization for the double-hummer FPU. -O4 implies -qtune/-qcache/-qhot;
+// -O5 adds inter-procedural analysis.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bgp::opt {
+
+enum class OptLevel : u8 {
+  kO = 0,  ///< "-O": default optimization (CSE, code motion, DCE, ...)
+  kO3,     ///< + strength reduction, aggressive motion & scheduling
+  kO4,     ///< + -qarch -qtune -qcache -qhot
+  kO5,     ///< + inter-procedural analysis
+};
+
+[[nodiscard]] std::string_view to_string(OptLevel level) noexcept;
+
+struct OptConfig {
+  OptLevel level = OptLevel::kO;
+  /// Optimizations must preserve exact semantics (paper pairs it with -O).
+  bool qstrict = false;
+  /// -qarch=440d: emit double-hummer SIMD instructions and quad load/stores.
+  bool qarch440d = false;
+
+  /// -qhot loop transformations are implied by -O4 and above.
+  [[nodiscard]] bool qhot() const noexcept { return level >= OptLevel::kO4; }
+  /// Inter-procedural analysis at -O5.
+  [[nodiscard]] bool ipa() const noexcept { return level >= OptLevel::kO5; }
+
+  /// Display name, e.g. "-O5 -qarch440d".
+  [[nodiscard]] std::string name() const;
+
+  /// Parse a flag string such as "-O3 -qarch440d" or "-O -qstrict".
+  [[nodiscard]] static OptConfig parse(std::string_view flags);
+
+  /// The seven option sets of the paper's Figures 7-10, in paper order:
+  /// -O -qstrict, -O3, -O3+440d, -O4, -O4+440d, -O5, -O5+440d.
+  [[nodiscard]] static const std::vector<OptConfig>& paper_set();
+
+  bool operator==(const OptConfig&) const = default;
+};
+
+}  // namespace bgp::opt

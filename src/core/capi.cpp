@@ -1,0 +1,26 @@
+#include "core/capi.hpp"
+
+#include <stdexcept>
+
+namespace bgp::pc {
+
+namespace {
+Session* g_session = nullptr;
+
+Session& bound() {
+  if (g_session == nullptr) {
+    throw std::logic_error("no Session bound; call BGP_Bind first");
+  }
+  return *g_session;
+}
+}  // namespace
+
+void BGP_Bind(Session* session) noexcept { g_session = session; }
+Session* BGP_Bound() noexcept { return g_session; }
+
+void BGP_Initialize(rt::RankCtx& ctx) { bound().BGP_Initialize(ctx); }
+void BGP_Start(rt::RankCtx& ctx, unsigned set) { bound().BGP_Start(ctx, set); }
+void BGP_Stop(rt::RankCtx& ctx, unsigned set) { bound().BGP_Stop(ctx, set); }
+void BGP_Finalize(rt::RankCtx& ctx) { bound().BGP_Finalize(ctx); }
+
+}  // namespace bgp::pc

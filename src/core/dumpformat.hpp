@@ -1,0 +1,46 @@
+// Binary layout of the per-node dump files written by BGP_Finalize() and
+// read by the post-processing tools (paper §IV). Little-endian throughout.
+//
+//   header:  magic "BGPC" (u32) | version (u32) | node id (u32)
+//            | card id (u32) | counter mode (u32) | app name (string)
+//            | set count (u32)
+//   per set: set id (u32) | start/stop pair count (u32)
+//            | first start cycle (u64) | last stop cycle (u64)
+//            | 256 counter deltas (u64 each)
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/events.hpp"
+
+namespace bgp::pc {
+
+inline constexpr u32 kDumpMagic = 0x43504742;  // "BGPC" little-endian
+inline constexpr u32 kDumpVersion = 1;
+
+struct SetDump {
+  u32 set_id = 0;
+  u32 pairs = 0;  ///< completed start/stop pairs accumulated into deltas
+  u64 first_start_cycle = 0;
+  u64 last_stop_cycle = 0;
+  std::array<u64, isa::kCountersPerUnit> deltas{};
+};
+
+struct NodeDump {
+  u32 node_id = 0;
+  u32 card_id = 0;
+  u32 counter_mode = 0;
+  std::string app_name;
+  std::vector<SetDump> sets;
+
+  /// Event id of physical counter `i` under this dump's mode.
+  [[nodiscard]] isa::EventId event_of(unsigned counter) const {
+    return static_cast<isa::EventId>(counter_mode * isa::kCountersPerUnit +
+                                     counter);
+  }
+};
+
+}  // namespace bgp::pc

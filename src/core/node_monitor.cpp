@@ -1,0 +1,143 @@
+#include "core/node_monitor.hpp"
+
+#include <stdexcept>
+
+#include "common/binio.hpp"
+#include "common/strfmt.hpp"
+
+namespace bgp::pc {
+
+NodeMonitor::NodeMonitor(sys::Node& node, const Options& options)
+    : node_(node),
+      options_(options),
+      sets_(options.max_sets),
+      active_(options.max_sets) {
+  for (unsigned s = 0; s < options.max_sets; ++s) {
+    sets_[s].set_id = s;
+  }
+}
+
+void NodeMonitor::initialize() {
+  if (initialized_) return;
+  mode_ = node_.even_card() ? options_.mode_even_cards
+                            : options_.mode_odd_cards;
+  auto& upc = node_.upc();
+  upc.set_mode(mode_);
+  upc.reset_config();
+  for (unsigned c = 0; c < upc::UpcUnit::kNumCounters; ++c) {
+    upc::CounterConfig cfg;
+    cfg.signal = upc::SignalMode::kEdgeRise;
+    cfg.enabled = true;
+    upc.configure(static_cast<u8>(c), cfg);
+  }
+  upc.reset_counters();
+  initialized_ = true;
+}
+
+void NodeMonitor::start(unsigned set, cycles_t now) {
+  if (!initialized_) {
+    throw std::logic_error("BGP_Start before BGP_Initialize");
+  }
+  if (set >= sets_.size()) {
+    throw std::out_of_range(strfmt("set %u out of range", set));
+  }
+  ActiveSet& act = active_[set];
+  if (act.active_starts == 0) {
+    act.start_snapshot = node_.upc().snapshot();
+    if (sets_[set].pairs == 0 && sets_[set].first_start_cycle == 0) {
+      sets_[set].first_start_cycle = now;
+    }
+    if (unit_users_ == 0) {
+      node_.upc().start();
+    }
+    ++unit_users_;
+  }
+  ++act.active_starts;
+}
+
+void NodeMonitor::stop(unsigned set, cycles_t now) {
+  if (set >= sets_.size()) {
+    throw std::out_of_range(strfmt("set %u out of range", set));
+  }
+  ActiveSet& act = active_[set];
+  if (act.active_starts == 0) {
+    throw std::logic_error(strfmt("BGP_Stop(%u) without matching start", set));
+  }
+  if (--act.active_starts > 0) return;
+
+  const auto snap = node_.upc().snapshot();
+  SetDump& rec = sets_[set];
+  for (unsigned c = 0; c < isa::kCountersPerUnit; ++c) {
+    rec.deltas[c] += snap[c] - act.start_snapshot[c];
+  }
+  ++rec.pairs;
+  rec.last_stop_cycle = now;
+  if (--unit_users_ == 0) {
+    node_.upc().stop();
+  }
+}
+
+NodeDump NodeMonitor::finalize() {
+  NodeDump dump;
+  dump.node_id = node_.id();
+  dump.card_id = node_.card_id();
+  dump.counter_mode = mode_;
+  dump.app_name = options_.app_name;
+  for (const SetDump& s : sets_) {
+    if (s.pairs > 0) dump.sets.push_back(s);
+  }
+  return dump;
+}
+
+std::vector<std::byte> NodeMonitor::serialize(const NodeDump& dump) {
+  BinaryWriter w;
+  w.put<u32>(kDumpMagic);
+  w.put<u32>(kDumpVersion);
+  w.put<u32>(dump.node_id);
+  w.put<u32>(dump.card_id);
+  w.put<u32>(dump.counter_mode);
+  w.put_string(dump.app_name);
+  w.put<u32>(static_cast<u32>(dump.sets.size()));
+  for (const SetDump& s : dump.sets) {
+    w.put<u32>(s.set_id);
+    w.put<u32>(s.pairs);
+    w.put<u64>(s.first_start_cycle);
+    w.put<u64>(s.last_stop_cycle);
+    for (u64 d : s.deltas) w.put<u64>(d);
+  }
+  return w.buffer();
+}
+
+NodeDump NodeMonitor::parse(std::span<const std::byte> bytes) {
+  BinaryReader r(bytes);
+  if (r.get<u32>() != kDumpMagic) {
+    throw BinIoError("not a BGPC dump (bad magic)");
+  }
+  const u32 version = r.get<u32>();
+  if (version != kDumpVersion) {
+    throw BinIoError(strfmt("unsupported BGPC dump version %u", version));
+  }
+  NodeDump dump;
+  dump.node_id = r.get<u32>();
+  dump.card_id = r.get<u32>();
+  dump.counter_mode = r.get<u32>();
+  if (dump.counter_mode >= isa::kNumCounterModes) {
+    throw BinIoError("corrupt dump: counter mode out of range");
+  }
+  dump.app_name = r.get_string();
+  const u32 nsets = r.get<u32>();
+  dump.sets.resize(nsets);
+  for (SetDump& s : dump.sets) {
+    s.set_id = r.get<u32>();
+    s.pairs = r.get<u32>();
+    s.first_start_cycle = r.get<u64>();
+    s.last_stop_cycle = r.get<u64>();
+    for (u64& d : s.deltas) d = r.get<u64>();
+  }
+  if (!r.at_end()) {
+    throw BinIoError("corrupt dump: trailing bytes");
+  }
+  return dump;
+}
+
+}  // namespace bgp::pc

@@ -1,0 +1,74 @@
+#include "core/sampler.hpp"
+
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+
+namespace bgp::pc {
+
+Sampler::Sampler(sys::Node& node, std::vector<isa::EventId> events,
+                 cycles_t interval)
+    : node_(node), events_(std::move(events)), interval_(interval) {
+  if (interval_ == 0) {
+    throw std::invalid_argument("sampler interval must be positive");
+  }
+  next_due_ = interval_;
+}
+
+void Sampler::sample_now() {
+  Sample s;
+  s.timestamp = node_.timebase();
+  s.values.reserve(events_.size());
+  // Reads go through the memory-mapped path, like a monitoring thread's.
+  const auto& upc = node_.upc();
+  for (const isa::EventId ev : events_) {
+    const u8 counter = isa::event_counter(ev);
+    s.values.push_back(upc.mmio_read64(upc.mmio_base() + 8ull * counter));
+  }
+  timeline_.push_back(std::move(s));
+}
+
+unsigned Sampler::poll() {
+  const cycles_t now = node_.timebase();
+  unsigned taken = 0;
+  while (now >= next_due_) {
+    sample_now();
+    timeline_.back().timestamp = next_due_;  // attribute to the boundary
+    next_due_ += interval_;
+    ++taken;
+  }
+  return taken;
+}
+
+std::vector<Sample> Sampler::deltas() const {
+  std::vector<Sample> out;
+  for (std::size_t i = 1; i < timeline_.size(); ++i) {
+    Sample d;
+    d.timestamp = timeline_[i].timestamp;
+    d.values.resize(events_.size());
+    for (std::size_t c = 0; c < events_.size(); ++c) {
+      d.values[c] = timeline_[i].values[c] - timeline_[i - 1].values[c];
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void Sampler::write_csv(CsvWriter& csv, bool as_deltas) const {
+  std::vector<std::string> header{"cycle"};
+  for (const isa::EventId ev : events_) {
+    header.push_back(std::string(isa::event_info(ev).name));
+  }
+  csv.header(header);
+  const std::vector<Sample> rows = as_deltas ? deltas() : timeline_;
+  for (const Sample& s : rows) {
+    std::vector<std::string> row{
+        strfmt("%llu", static_cast<unsigned long long>(s.timestamp))};
+    for (u64 v : s.values) {
+      row.push_back(strfmt("%llu", static_cast<unsigned long long>(v)));
+    }
+    csv.row(row);
+  }
+}
+
+}  // namespace bgp::pc

@@ -1,0 +1,65 @@
+// Time-series counter sampling. The paper (§I) highlights that the UPC's
+// memory-mapped, globally accessible counters let "a single monitoring
+// thread executing as part of a system service, or as part of an
+// application" read them while the workload runs. Sampler models exactly
+// that: it snapshots a set of counters every `interval` cycles of a rank's
+// progress and accumulates a timeline that can be mined or dumped to CSV —
+// the raw material for phase analysis and the dynamic feedback loops
+// (data placement, thread assignment) the paper sketches.
+#pragma once
+
+#include <vector>
+
+#include "common/csv.hpp"
+#include "runtime/rankctx.hpp"
+#include "sys/node.hpp"
+
+namespace bgp::pc {
+
+/// One snapshot of the watched counters.
+struct Sample {
+  cycles_t timestamp = 0;
+  std::vector<u64> values;  ///< parallel to Sampler::events()
+};
+
+class Sampler {
+ public:
+  /// Watch `events` on `node`; the node's UPC mode must cover an event for
+  /// its column to advance (others read the aliased physical counter, as
+  /// on the real unit — pick events of the node's programmed mode).
+  Sampler(sys::Node& node, std::vector<isa::EventId> events,
+          cycles_t interval);
+
+  [[nodiscard]] const std::vector<isa::EventId>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] cycles_t interval() const noexcept { return interval_; }
+
+  /// Poll: if at least one interval elapsed since the last sample (by the
+  /// node's Time Base), take snapshots at interval boundaries. Call this
+  /// from instrumentation points; cheap when no sample is due. Returns the
+  /// number of samples taken.
+  unsigned poll();
+
+  /// Unconditionally snapshot now.
+  void sample_now();
+
+  [[nodiscard]] const std::vector<Sample>& timeline() const noexcept {
+    return timeline_;
+  }
+
+  /// Per-interval deltas between consecutive samples (length = samples-1).
+  [[nodiscard]] std::vector<Sample> deltas() const;
+
+  /// Emit the timeline (cumulative values) as CSV: one row per sample.
+  void write_csv(CsvWriter& csv, bool as_deltas = false) const;
+
+ private:
+  sys::Node& node_;
+  std::vector<isa::EventId> events_;
+  cycles_t interval_;
+  cycles_t next_due_;
+  std::vector<Sample> timeline_;
+};
+
+}  // namespace bgp::pc

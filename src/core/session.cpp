@@ -1,0 +1,105 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+
+#include "common/binio.hpp"
+#include "common/strfmt.hpp"
+
+namespace bgp::pc {
+
+namespace {
+
+void charge(rt::RankCtx& ctx, cycles_t cycles) {
+  ctx.compute_cycles(cycles);
+  mem::emit(ctx.node().sink(),
+            isa::ev::system(isa::SysEvent::kUpcOverheadCycles,
+                            ctx.core_id()),
+            cycles);
+}
+
+}  // namespace
+
+Session::Session(rt::Machine& machine, Options options)
+    : machine_(machine), options_(std::move(options)) {
+  const unsigned n = machine.partition().num_nodes();
+  monitors_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    monitors_.push_back(std::make_unique<NodeMonitor>(
+        machine.partition().node(i), options_));
+  }
+  finalize_calls_.assign(n, 0);
+  dumps_.reserve(n);
+}
+
+void Session::BGP_Initialize(rt::RankCtx& ctx) {
+  charge(ctx, options_.init_overhead);
+  monitors_[ctx.node_id()]->initialize();
+}
+
+void Session::BGP_Start(rt::RankCtx& ctx, unsigned set) {
+  charge(ctx, options_.start_overhead);
+  mem::emit(ctx.node().sink(),
+            isa::ev::system(isa::SysEvent::kUpcStartCalls, ctx.core_id()), 1);
+  monitors_[ctx.node_id()]->start(set, ctx.now());
+}
+
+void Session::BGP_Stop(rt::RankCtx& ctx, unsigned set) {
+  charge(ctx, options_.stop_overhead);
+  mem::emit(ctx.node().sink(),
+            isa::ev::system(isa::SysEvent::kUpcStopCalls, ctx.core_id()), 1);
+  monitors_[ctx.node_id()]->stop(set, ctx.now());
+}
+
+void Session::BGP_Finalize(rt::RankCtx& ctx) {
+  // Dumping happens once per node, when its last local rank finalizes.
+  const unsigned node = ctx.node_id();
+  const unsigned ppn = sys::processes_per_node(machine_.partition().mode());
+  const unsigned local_ranks = std::min(ppn, machine_.num_ranks() - node * ppn);
+  charge(ctx, options_.finalize_overhead);
+  if (++finalize_calls_[node] < local_ranks) {
+    return;
+  }
+  NodeDump dump = monitors_[node]->finalize();
+  dumps_.push_back(dump);
+  if (options_.write_dumps) {
+    const auto path =
+        options_.dump_dir /
+        strfmt("%s.node%04u.bgpc", options_.app_name.c_str(), node);
+    const auto bytes = NodeMonitor::serialize(dump);
+    BinaryWriter w;
+    w.put_bytes(bytes);
+    w.write_file(path);
+    dump_files_.push_back(path);
+    std::sort(dump_files_.begin(), dump_files_.end());
+  }
+}
+
+void Session::link_with_mpi(unsigned set) {
+  machine_.set_mpi_hooks(rt::MpiHooks{
+      .on_init =
+          [this, set](rt::RankCtx& ctx) {
+            BGP_Initialize(ctx);
+            BGP_Start(ctx, set);
+          },
+      .on_finalize =
+          [this, set](rt::RankCtx& ctx) {
+            BGP_Stop(ctx, set);
+            BGP_Finalize(ctx);
+          },
+  });
+}
+
+void Session::arm_threshold(rt::RankCtx& ctx, isa::EventId event,
+                            u64 threshold) {
+  auto& upc = ctx.node().upc();
+  if (isa::event_mode(event) != upc.mode()) {
+    return;  // this node's programmed mode does not cover the event
+  }
+  const u8 counter = isa::event_counter(event);
+  upc::CounterConfig cfg = upc.config(counter);
+  cfg.interrupt_enable = true;
+  cfg.threshold = threshold;
+  upc.configure(counter, cfg);
+}
+
+}  // namespace bgp::pc

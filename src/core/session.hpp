@@ -1,0 +1,69 @@
+// The interface library (the paper's §IV contribution): four user-facing
+// calls — BGP_Initialize, BGP_Start, BGP_Stop, BGP_Finalize — plus the MPI
+// integration that instruments any MPI application without code changes,
+// and the binary dump files the post-processing tools mine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/node_monitor.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/rankctx.hpp"
+
+namespace bgp::pc {
+
+class Session {
+ public:
+  /// One session per Machine run. `options.app_name` names the dump files.
+  Session(rt::Machine& machine, Options options = {});
+
+  // ---- the four library calls (paper Fig 4/5 workflow) --------------------
+  /// Select the counter mode (by node-card parity), configure and clear all
+  /// 256 counters. Charges the calling core the library overhead.
+  void BGP_Initialize(rt::RankCtx& ctx);
+  /// Begin monitoring `set`; counter data accumulates until BGP_Stop(set).
+  void BGP_Start(rt::RankCtx& ctx, unsigned set = 0);
+  /// Stop monitoring `set` and fold the counter delta into its record.
+  void BGP_Stop(rt::RankCtx& ctx, unsigned set = 0);
+  /// Dump each node's records into a binary file (<app>.node<N>.bgpc). The
+  /// write happens after monitoring stopped, so it lengthens execution but
+  /// does not perturb the counters (§IV).
+  void BGP_Finalize(rt::RankCtx& ctx);
+
+  /// Install the "new MPI library" behaviour: BGP_Initialize + BGP_Start
+  /// run inside MPI_Init, BGP_Stop + BGP_Finalize inside MPI_Finalize, so
+  /// linking a session instruments an application with no code changes.
+  void link_with_mpi(unsigned set = 0);
+
+  /// Arm thresholding on the counter monitoring `event` (if the node's
+  /// programmed mode covers it): an interrupt fires when the counter
+  /// crosses `threshold` (paper §I: dynamic feedback to system tasks).
+  void arm_threshold(rt::RankCtx& ctx, isa::EventId event, u64 threshold);
+
+  // ---- post-run access ------------------------------------------------------
+  [[nodiscard]] NodeMonitor& monitor(unsigned node) {
+    return *monitors_.at(node);
+  }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  /// Dump files written by BGP_Finalize (one per node), in node order.
+  [[nodiscard]] const std::vector<std::filesystem::path>& dump_files()
+      const noexcept {
+    return dump_files_;
+  }
+  /// In-memory dumps of every finalized node (also available when
+  /// write_dumps is off), in finalize order.
+  [[nodiscard]] const std::vector<NodeDump>& dumps() const noexcept {
+    return dumps_;
+  }
+
+ private:
+  rt::Machine& machine_;
+  Options options_;
+  std::vector<std::unique_ptr<NodeMonitor>> monitors_;
+  std::vector<unsigned> finalize_calls_;  ///< per node
+  std::vector<NodeDump> dumps_;
+  std::vector<std::filesystem::path> dump_files_;
+};
+
+}  // namespace bgp::pc

@@ -1,0 +1,98 @@
+#include "cpu/core.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bgp::cpu {
+
+namespace ev = isa::ev;
+
+Core::Core(unsigned id, const CoreParams& params,
+           mem::EventSink* sink) noexcept
+    : id_(id), params_(params), sink_(sink) {}
+
+void Core::tick(cycles_t cycles) {
+  now_ += cycles;
+  mem::emit(sink_, ev::cycle_count(id_), cycles);
+}
+
+cycles_t Core::read_timebase() noexcept {
+  mem::emit(sink_, ev::system(isa::SysEvent::kTimebaseReads, id_), 1);
+  return now_;
+}
+
+cycles_t Core::bundle_cycles(const isa::OpMix& mix, const CoreParams& params) {
+  const u64 total = mix.total_instructions();
+  if (total == 0) return 0;
+
+  // Issue bound: two instructions per cycle through the front end.
+  const u64 issue =
+      (total + params.issue_width - 1) / params.issue_width;
+
+  // FPU occupancy: every FP instruction (scalar or SIMD) occupies the unit
+  // one cycle; divides are unpipelined.
+  const u64 divs = mix.fp_at(isa::FpOp::kDiv) + mix.fp_at(isa::FpOp::kSimdDiv);
+  const u64 fpu =
+      (mix.total_fp_instructions() - divs) + divs * params.fp_div_cycles;
+
+  // LSU occupancy: one load/store per cycle regardless of width (quad
+  // load/stores move 16 B in the same slot — that is the SIMD win).
+  u64 lsu = 0;
+  for (u64 c : mix.ls) lsu += c;
+
+  const u64 busiest = std::max({issue, fpu, lsu});
+
+  // Branch mispredictions refill the 7-stage pipe.
+  const u64 branches = mix.int_at(isa::IntOp::kBranch);
+  const auto mispredicts = static_cast<u64>(
+      std::llround(static_cast<double>(branches) * params.mispredict_rate));
+  // Calls pay a fixed link/return overhead pair.
+  const u64 call_cost = mix.int_at(isa::IntOp::kCall) * params.call_cost;
+
+  return busiest + mispredicts * params.mispredict_penalty + call_cost;
+}
+
+cycles_t Core::execute(const isa::OpMix& mix) {
+  const cycles_t cycles = bundle_cycles(mix, params_);
+  stats_.instructions += mix.total_instructions();
+  stats_.flops += mix.total_flops();
+  stats_.compute_cycles += cycles;
+
+  if (sink_ != nullptr) {
+    for (std::size_t i = 0; i < isa::kNumFpOps; ++i) {
+      mem::emit(sink_, ev::fpu_op(id_, static_cast<isa::FpOp>(i)), mix.fp[i]);
+    }
+    for (std::size_t i = 0; i < isa::kNumLsOps; ++i) {
+      mem::emit(sink_, ev::ls_op(id_, static_cast<isa::LsOp>(i)), mix.ls[i]);
+    }
+    for (std::size_t i = 0; i < isa::kNumIntOps; ++i) {
+      mem::emit(sink_, ev::int_op(id_, static_cast<isa::IntOp>(i)), mix.in[i]);
+    }
+    mem::emit(sink_, ev::instr_completed(id_), mix.total_instructions());
+  }
+  tick(cycles);
+  return cycles;
+}
+
+void Core::stall(cycles_t cycles) {
+  stats_.memory_stall_cycles += cycles;
+  tick(cycles);
+}
+
+void Core::wait(cycles_t cycles) {
+  stats_.wait_cycles += cycles;
+  tick(cycles);
+}
+
+void Core::advance(cycles_t cycles) {
+  stats_.compute_cycles += cycles;
+  tick(cycles);
+}
+
+void Core::sync_to(cycles_t t) {
+  if (t > now_) {
+    wait(t - now_);
+  }
+}
+
+}  // namespace bgp::cpu

@@ -1,0 +1,97 @@
+// PPC450 core timing model. The PowerPC 450 is a 2-way superscalar,
+// 7-stage-pipeline embedded core; each BG/P core carries a dual-pipeline
+// SIMD floating point unit ("double hummer") able to complete one FP
+// instruction per cycle — up to 4 flops/cycle via SIMD FMA, giving the
+// node's 13.6 GFLOPS peak at 850 MHz.
+//
+// The model is a bottleneck/occupancy model: a compiled op bundle costs
+// max(issue slots / width, FPU occupancy, LSU occupancy) plus branch
+// misprediction and divide penalties. Memory stalls are charged separately
+// (see runtime::RankCtx), because they come from the cache walk of the real
+// address streams.
+#pragma once
+
+#include "isa/events.hpp"
+#include "isa/ops.hpp"
+#include "mem/sink.hpp"
+
+namespace bgp::cpu {
+
+struct CoreParams {
+  unsigned issue_width = 2;
+  /// Unpipelined FP divide occupancy.
+  cycles_t fp_div_cycles = 28;
+  /// Extra pipeline-refill penalty per mispredicted branch (7-stage pipe).
+  cycles_t mispredict_penalty = 7;
+  /// Fraction of branches mispredicted (loop-dominated HPC codes predict
+  /// extremely well).
+  double mispredict_rate = 0.02;
+  /// Link/return/spill overhead per un-inlined call (pair).
+  cycles_t call_cost = 8;
+};
+
+/// Per-core execution statistics (independent of UPC wiring).
+struct CoreStats {
+  u64 instructions = 0;
+  u64 flops = 0;
+  cycles_t compute_cycles = 0;
+  cycles_t memory_stall_cycles = 0;
+  cycles_t wait_cycles = 0;  ///< time blocked in communication
+
+  [[nodiscard]] cycles_t total_cycles() const noexcept {
+    return compute_cycles + memory_stall_cycles + wait_cycles;
+  }
+};
+
+/// One PPC450 core. The runtime guarantees single-threaded access.
+class Core {
+ public:
+  Core(unsigned id, const CoreParams& params,
+       mem::EventSink* sink = nullptr) noexcept;
+
+  [[nodiscard]] unsigned id() const noexcept { return id_; }
+
+  /// Current core time in cycles (also the Time Base value).
+  [[nodiscard]] cycles_t now() const noexcept { return now_; }
+
+  /// Read the Time Base register (counts like the UPC CYCLE_COUNT event;
+  /// the interface library's overhead check compares against it, §IV).
+  [[nodiscard]] cycles_t read_timebase() noexcept;
+
+  /// Execute a machine op bundle: charge compute cycles and signal the
+  /// per-op UPC events. Returns the cycles charged.
+  cycles_t execute(const isa::OpMix& mix);
+
+  /// Charge exposed memory-stall cycles (from the hierarchy walk, already
+  /// divided by the loop's overlap factor).
+  void stall(cycles_t cycles);
+
+  /// Charge blocked-in-communication cycles.
+  void wait(cycles_t cycles);
+
+  /// Charge raw cycles with no instruction activity (runtime overheads,
+  /// e.g. the interface library's 196-cycle instrumentation cost).
+  void advance(cycles_t cycles);
+
+  /// Jump the core's clock forward to `t` (collective synchronization);
+  /// no-op if `t` is in the past. The skipped time counts as wait.
+  void sync_to(cycles_t t);
+
+  [[nodiscard]] const CoreStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CoreParams& params() const noexcept { return params_; }
+
+  /// Pure function: compute cycles the bundle occupies, given the params.
+  [[nodiscard]] static cycles_t bundle_cycles(const isa::OpMix& mix,
+                                              const CoreParams& params);
+
+ private:
+  void tick(cycles_t cycles);  // advance clock + CYCLE_COUNT event
+
+  unsigned id_;
+  CoreParams params_;
+  mem::EventSink* sink_;
+  cycles_t now_ = 0;
+  CoreStats stats_;
+};
+
+}  // namespace bgp::cpu

@@ -1,0 +1,259 @@
+#include "isa/events.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/strfmt.hpp"
+
+namespace bgp::isa {
+
+std::string_view to_string(Unit unit) noexcept {
+  switch (unit) {
+    case Unit::kFpu: return "FPU";
+    case Unit::kCore: return "CORE";
+    case Unit::kL1d: return "L1D";
+    case Unit::kL1i: return "L1I";
+    case Unit::kL2: return "L2";
+    case Unit::kL3: return "L3";
+    case Unit::kDdr: return "DDR";
+    case Unit::kSnoop: return "SNOOP";
+    case Unit::kTorus: return "TORUS";
+    case Unit::kCollective: return "COLLECTIVE";
+    case Unit::kBarrier: return "BARRIER";
+    case Unit::kSystem: return "SYSTEM";
+    case Unit::kReserved: return "RESERVED";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* sys_event_name(SysEvent e) {
+  switch (e) {
+    case SysEvent::kTimebaseReads: return "TIMEBASE_READS";
+    case SysEvent::kUpcStartCalls: return "UPC_START_CALLS";
+    case SysEvent::kUpcStopCalls: return "UPC_STOP_CALLS";
+    case SysEvent::kUpcOverheadCycles: return "UPC_OVERHEAD_CYCLES";
+    case SysEvent::kThresholdInterrupts: return "THRESHOLD_INTERRUPTS";
+    case SysEvent::kMpiSends: return "MPI_SENDS";
+    case SysEvent::kMpiRecvs: return "MPI_RECVS";
+    case SysEvent::kMpiCollectives: return "MPI_COLLECTIVES";
+    case SysEvent::kMpiWaitCycles: return "MPI_WAIT_CYCLES";
+    case SysEvent::kRankActiveCycles: return "RANK_ACTIVE_CYCLES";
+    case SysEvent::kRankIdleCycles: return "RANK_IDLE_CYCLES";
+  }
+  return "?";
+}
+
+const char* l1d_event_name(L1dEvent e) {
+  switch (e) {
+    case L1dEvent::kReadAccess: return "READ_ACCESS";
+    case L1dEvent::kReadMiss: return "READ_MISS";
+    case L1dEvent::kWriteAccess: return "WRITE_ACCESS";
+    case L1dEvent::kWriteMiss: return "WRITE_MISS";
+    case L1dEvent::kLineFill: return "LINE_FILL";
+    case L1dEvent::kEvict: return "EVICT";
+    case L1dEvent::kWriteback: return "WRITEBACK";
+  }
+  return "?";
+}
+
+const char* l2_event_name(L2Event e) {
+  switch (e) {
+    case L2Event::kReadAccess: return "READ_ACCESS";
+    case L2Event::kReadHit: return "READ_HIT";
+    case L2Event::kReadMiss: return "READ_MISS";
+    case L2Event::kWriteAccess: return "WRITE_ACCESS";
+    case L2Event::kWriteMiss: return "WRITE_MISS";
+    case L2Event::kPrefetchIssued: return "PREFETCH_ISSUED";
+    case L2Event::kPrefetchHit: return "PREFETCH_HIT";
+    case L2Event::kStreamDetected: return "STREAM_DETECTED";
+  }
+  return "?";
+}
+
+const char* l3_event_name(L3Event e) {
+  switch (e) {
+    case L3Event::kReadAccess: return "READ_ACCESS";
+    case L3Event::kReadHit: return "READ_HIT";
+    case L3Event::kReadMiss: return "READ_MISS";
+    case L3Event::kWriteAccess: return "WRITE_ACCESS";
+    case L3Event::kWriteHit: return "WRITE_HIT";
+    case L3Event::kWriteMiss: return "WRITE_MISS";
+    case L3Event::kFillFromDdr: return "FILL_FROM_DDR";
+    case L3Event::kWritebackToDdr: return "WRITEBACK_TO_DDR";
+    case L3Event::kEvict: return "EVICT";
+  }
+  return "?";
+}
+
+const char* ddr_event_name(DdrEvent e) {
+  switch (e) {
+    case DdrEvent::kReadReq: return "READ_REQ";
+    case DdrEvent::kWriteReq: return "WRITE_REQ";
+    case DdrEvent::kBytesRead16B: return "BYTES_READ_16B";
+    case DdrEvent::kBytesWritten16B: return "BYTES_WRITTEN_16B";
+    case DdrEvent::kBusyCycles: return "BUSY_CYCLES";
+    case DdrEvent::kQueueStallCycles: return "QUEUE_STALL_CYCLES";
+  }
+  return "?";
+}
+
+const char* snoop_event_name(SnoopEvent e) {
+  switch (e) {
+    case SnoopEvent::kRequests: return "REQUESTS";
+    case SnoopEvent::kFilterHits: return "FILTER_HITS";
+    case SnoopEvent::kInvalidatesSent: return "INVALIDATES_SENT";
+    case SnoopEvent::kInvalidatesReceived: return "INVALIDATES_RECEIVED";
+  }
+  return "?";
+}
+
+const char* torus_event_name(TorusEvent e) {
+  switch (e) {
+    case TorusEvent::kPacketsSentXp: return "PACKETS_SENT_XP";
+    case TorusEvent::kPacketsSentXm: return "PACKETS_SENT_XM";
+    case TorusEvent::kPacketsSentYp: return "PACKETS_SENT_YP";
+    case TorusEvent::kPacketsSentYm: return "PACKETS_SENT_YM";
+    case TorusEvent::kPacketsSentZp: return "PACKETS_SENT_ZP";
+    case TorusEvent::kPacketsSentZm: return "PACKETS_SENT_ZM";
+    case TorusEvent::kPacketsReceived: return "PACKETS_RECEIVED";
+    case TorusEvent::kBytesSent32B: return "BYTES_SENT_32B";
+    case TorusEvent::kBytesRecv32B: return "BYTES_RECV_32B";
+    case TorusEvent::kHopsTotal: return "HOPS_TOTAL";
+    case TorusEvent::kSendStallCycles: return "SEND_STALL_CYCLES";
+  }
+  return "?";
+}
+
+const char* collective_event_name(CollectiveEvent e) {
+  switch (e) {
+    case CollectiveEvent::kOperations: return "OPERATIONS";
+    case CollectiveEvent::kBytes32B: return "BYTES_32B";
+    case CollectiveEvent::kLatencyCycles: return "LATENCY_CYCLES";
+  }
+  return "?";
+}
+
+const char* barrier_event_name(BarrierEvent e) {
+  switch (e) {
+    case BarrierEvent::kEntries: return "ENTRIES";
+    case BarrierEvent::kWaitCycles: return "WAIT_CYCLES";
+  }
+  return "?";
+}
+
+// Owns the composed name strings so EventInfo::name views stay valid.
+struct TableHolder {
+  std::vector<std::string> names;
+  std::vector<EventInfo> infos;
+};
+
+TableHolder build_table() {
+  TableHolder t;
+  t.names.resize(kNumEvents);
+  t.infos.resize(kNumEvents);
+  for (u16 id = 0; id < kNumEvents; ++id) {
+    t.infos[id] = EventInfo{id, Unit::kReserved, "RESERVED"};
+  }
+
+  auto set = [&](EventId id, Unit unit, std::string name) {
+    t.names[id] = std::move(name);
+    t.infos[id] = EventInfo{id, unit, t.names[id]};
+  };
+
+  for (unsigned core = 0; core < kCoresPerNode; ++core) {
+    for (unsigned i = 0; i < kNumFpOps; ++i) {
+      const auto op = static_cast<FpOp>(i);
+      set(ev::fpu_op(core, op), Unit::kFpu,
+          strfmt("CORE%u_%s", core, std::string(to_string(op)).c_str()));
+    }
+    for (unsigned i = 0; i < kNumLsOps; ++i) {
+      const auto op = static_cast<LsOp>(i);
+      set(ev::ls_op(core, op), Unit::kCore,
+          strfmt("CORE%u_%s", core, std::string(to_string(op)).c_str()));
+    }
+    for (unsigned i = 0; i < kNumIntOps; ++i) {
+      const auto op = static_cast<IntOp>(i);
+      set(ev::int_op(core, op), Unit::kCore,
+          strfmt("CORE%u_%s", core, std::string(to_string(op)).c_str()));
+    }
+    set(ev::cycle_count(core), Unit::kCore, strfmt("CORE%u_CYCLE_COUNT", core));
+    set(ev::instr_completed(core), Unit::kCore,
+        strfmt("CORE%u_INSTR_COMPLETED", core));
+    for (unsigned i = 0; i < kNumL1dEvents; ++i) {
+      const auto e = static_cast<L1dEvent>(i);
+      set(ev::l1d(core, e), Unit::kL1d,
+          strfmt("CORE%u_L1D_%s", core, l1d_event_name(e)));
+    }
+    for (unsigned i = 0; i < kNumL1iEvents; ++i) {
+      const auto e = static_cast<L1iEvent>(i);
+      set(ev::l1i(core, e), Unit::kL1i,
+          strfmt("CORE%u_L1I_%s", core,
+                 e == L1iEvent::kAccess ? "ACCESS" : "MISS"));
+    }
+    for (unsigned i = 0; i < kNumL2Events; ++i) {
+      const auto e = static_cast<L2Event>(i);
+      set(ev::l2(core, e), Unit::kL2,
+          strfmt("CORE%u_L2_%s", core, l2_event_name(e)));
+    }
+  }
+
+  for (unsigned i = 0; i < kNumL3Events; ++i) {
+    const auto e = static_cast<L3Event>(i);
+    set(ev::l3(e), Unit::kL3, strfmt("L3_%s", l3_event_name(e)));
+  }
+  for (unsigned c = 0; c < kNumDdrControllers; ++c) {
+    for (unsigned i = 0; i < kNumDdrEvents; ++i) {
+      const auto e = static_cast<DdrEvent>(i);
+      set(ev::ddr(c, e), Unit::kDdr, strfmt("DDR%u_%s", c, ddr_event_name(e)));
+    }
+  }
+  for (unsigned i = 0; i < kNumSnoopEvents; ++i) {
+    const auto e = static_cast<SnoopEvent>(i);
+    set(ev::snoop(e), Unit::kSnoop, strfmt("SNOOP_%s", snoop_event_name(e)));
+  }
+
+  for (unsigned i = 0; i < kNumTorusEvents; ++i) {
+    const auto e = static_cast<TorusEvent>(i);
+    set(ev::torus(e), Unit::kTorus, strfmt("TORUS_%s", torus_event_name(e)));
+  }
+  for (unsigned i = 0; i < kNumCollectiveEvents; ++i) {
+    const auto e = static_cast<CollectiveEvent>(i);
+    set(ev::collective(e), Unit::kCollective,
+        strfmt("COLLECTIVE_%s", collective_event_name(e)));
+  }
+  for (unsigned i = 0; i < kNumBarrierEvents; ++i) {
+    const auto e = static_cast<BarrierEvent>(i);
+    set(ev::barrier(e), Unit::kBarrier,
+        strfmt("BARRIER_%s", barrier_event_name(e)));
+  }
+
+  for (unsigned slot = 0; slot < kCoresPerNode; ++slot) {
+    for (unsigned i = 0; i < kNumSysEvents; ++i) {
+      const auto e = static_cast<SysEvent>(i);
+      set(ev::system(e, slot), Unit::kSystem,
+          strfmt("SLOT%u_%s", slot, sys_event_name(e)));
+    }
+  }
+
+  return t;
+}
+
+const TableHolder& table_holder() {
+  static const TableHolder t = build_table();
+  return t;
+}
+
+}  // namespace
+
+const std::vector<EventInfo>& event_table() { return table_holder().infos; }
+
+const EventInfo& event_info(EventId id) {
+  if (id >= kNumEvents) {
+    throw std::out_of_range("event id out of range");
+  }
+  return table_holder().infos[id];
+}
+
+}  // namespace bgp::isa

@@ -1,0 +1,49 @@
+// Loop-nest descriptors: the contract between the workload kernels and the
+// compiler model. A kernel describes each hot loop in *source-level scalar*
+// form (per-iteration op mix plus properties such as its vectorizable
+// fraction); the compiler model lowers that to machine-op bundles according
+// to the active optimization options (paper §VI).
+#pragma once
+
+#include <string_view>
+
+#include "isa/ops.hpp"
+
+namespace bgp::isa {
+
+/// Memory reference behaviour of a loop; used by the hot-loop transforms
+/// (-qhot) and the prefetch model.
+enum class LocalityClass : u8 {
+  kStreaming,  ///< unit-stride sweeps over arrays (stencils, BLAS-1)
+  kBlocked,    ///< tiled reuse (FFT butterflies, block solvers)
+  kRandom,     ///< data-dependent access (sparse matvec, bucket sort)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(LocalityClass c) noexcept {
+  switch (c) {
+    case LocalityClass::kStreaming: return "streaming";
+    case LocalityClass::kBlocked: return "blocked";
+    case LocalityClass::kRandom: return "random";
+  }
+  return "?";
+}
+
+/// One loop nest as the source code describes it, before optimization.
+struct LoopDesc {
+  std::string_view name = "loop";
+  /// Total iterations executed for this invocation of the loop.
+  u64 trip = 0;
+  /// Per-iteration operation mix in scalar (unvectorized) form.
+  OpMix body;
+  /// Fraction of the FP and load/store work that is data-parallel and can be
+  /// paired onto the SIMD pipes by -qarch=440d (0 = none, 1 = all).
+  double vectorizable = 0.0;
+  /// Loop carries a reduction (dot products, norms); SIMDizable but with a
+  /// small extra combine cost and no store pairing.
+  bool reduction = false;
+  /// Body contains function calls that -O5 inter-procedural analysis inlines.
+  bool has_calls = false;
+  LocalityClass locality = LocalityClass::kStreaming;
+};
+
+}  // namespace bgp::isa

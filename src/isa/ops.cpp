@@ -1,0 +1,96 @@
+#include "isa/ops.hpp"
+
+namespace bgp::isa {
+
+std::string_view to_string(FpOp op) noexcept {
+  switch (op) {
+    case FpOp::kAddSub: return "fp_add_sub";
+    case FpOp::kMult: return "fp_mult";
+    case FpOp::kDiv: return "fp_div";
+    case FpOp::kFma: return "fp_fma";
+    case FpOp::kSimdAddSub: return "fp_simd_add_sub";
+    case FpOp::kSimdMult: return "fp_simd_mult";
+    case FpOp::kSimdDiv: return "fp_simd_div";
+    case FpOp::kSimdFma: return "fp_simd_fma";
+  }
+  return "fp_unknown";
+}
+
+std::string_view to_string(LsOp op) noexcept {
+  switch (op) {
+    case LsOp::kLoadSingle: return "load_single";
+    case LsOp::kLoadDouble: return "load_double";
+    case LsOp::kLoadQuad: return "load_quad";
+    case LsOp::kStoreSingle: return "store_single";
+    case LsOp::kStoreDouble: return "store_double";
+    case LsOp::kStoreQuad: return "store_quad";
+  }
+  return "ls_unknown";
+}
+
+std::string_view to_string(IntOp op) noexcept {
+  switch (op) {
+    case IntOp::kAlu: return "int_alu";
+    case IntOp::kMul: return "int_mul";
+    case IntOp::kBranch: return "branch";
+    case IntOp::kCall: return "call";
+  }
+  return "int_unknown";
+}
+
+u64 OpMix::total_instructions() const noexcept {
+  u64 n = 0;
+  for (u64 c : fp) n += c;
+  for (u64 c : ls) n += c;
+  for (u64 c : in) n += c;
+  return n;
+}
+
+u64 OpMix::total_fp_instructions() const noexcept {
+  u64 n = 0;
+  for (u64 c : fp) n += c;
+  return n;
+}
+
+u64 OpMix::total_flops() const noexcept {
+  u64 n = 0;
+  for (std::size_t i = 0; i < kNumFpOps; ++i) {
+    n += fp[i] * flops_per_op(static_cast<FpOp>(i));
+  }
+  return n;
+}
+
+u64 OpMix::bytes_loaded() const noexcept {
+  u64 n = 0;
+  for (std::size_t i = 0; i < kNumLsOps; ++i) {
+    const auto op = static_cast<LsOp>(i);
+    if (is_load(op)) n += ls[i] * bytes_per_op(op);
+  }
+  return n;
+}
+
+u64 OpMix::bytes_stored() const noexcept {
+  u64 n = 0;
+  for (std::size_t i = 0; i < kNumLsOps; ++i) {
+    const auto op = static_cast<LsOp>(i);
+    if (!is_load(op)) n += ls[i] * bytes_per_op(op);
+  }
+  return n;
+}
+
+OpMix& OpMix::operator+=(const OpMix& other) noexcept {
+  for (std::size_t i = 0; i < kNumFpOps; ++i) fp[i] += other.fp[i];
+  for (std::size_t i = 0; i < kNumLsOps; ++i) ls[i] += other.ls[i];
+  for (std::size_t i = 0; i < kNumIntOps; ++i) in[i] += other.in[i];
+  return *this;
+}
+
+OpMix OpMix::scaled(u64 k) const noexcept {
+  OpMix out = *this;
+  for (auto& c : out.fp) c *= k;
+  for (auto& c : out.ls) c *= k;
+  for (auto& c : out.in) c *= k;
+  return out;
+}
+
+}  // namespace bgp::isa

@@ -1,0 +1,160 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bgp::mem {
+
+Cache::Cache(std::string name, const CacheParams& params, MemLevel* next,
+             EventSink* sink, const CacheEventIds& events)
+    : name_(std::move(name)),
+      params_(params),
+      next_(next),
+      sink_(sink),
+      events_(events),
+      sets_(params.num_sets()),
+      lines_(static_cast<std::size_t>(sets_) * params.assoc) {
+  if (params_.size_bytes % (u64{params_.line_bytes} * params_.assoc) != 0 ||
+      sets_ == 0) {
+    throw std::invalid_argument("cache size must be sets*assoc*line");
+  }
+}
+
+int Cache::find(u32 set, addr_t line) const noexcept {
+  const std::size_t base = std::size_t{set} * params_.assoc;
+  for (u32 w = 0; w < params_.assoc; ++w) {
+    const Line& l = lines_[base + w];
+    if (l.valid && l.tag == line) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+int Cache::victim(u32 set) const noexcept {
+  const std::size_t base = std::size_t{set} * params_.assoc;
+  int best = 0;
+  u64 best_lru = ~0ull;
+  for (u32 w = 0; w < params_.assoc; ++w) {
+    const Line& l = lines_[base + w];
+    if (!l.valid) return static_cast<int>(w);
+    if (l.lru < best_lru) {
+      best_lru = l.lru;
+      best = static_cast<int>(w);
+    }
+  }
+  return best;
+}
+
+void Cache::fill(addr_t line, bool dirty, unsigned core, cycles_t now) {
+  const u32 set = set_of(line);
+  const int w = victim(set);
+  Line& slot = lines_[std::size_t{set} * params_.assoc + w];
+  if (slot.valid) {
+    ++stats_.evictions;
+    emit(sink_, events_.evict, 1);
+    if (slot.dirty) {
+      ++stats_.writebacks;
+      emit(sink_, events_.writeback, 1);
+      // Reconstruct the victim's address from its tag (tags store the full
+      // line number, so this is exact).
+      if (next_ != nullptr) {
+        next_->access(slot.tag * params_.line_bytes, AccessType::kWrite, core,
+                      now);
+      }
+    }
+  }
+  slot = Line{line, ++tick_, /*valid=*/true, dirty};
+  ++stats_.line_fills;
+  emit(sink_, events_.line_fill, 1);
+}
+
+AccessResult Cache::access(addr_t addr, AccessType type, unsigned core,
+                           cycles_t now) {
+  const addr_t line = line_of(addr);
+  const u32 set = set_of(line);
+  const bool is_read = type == AccessType::kRead;
+
+  if (is_read) {
+    ++stats_.read_access;
+    emit(sink_, events_.read_access, 1);
+  } else {
+    ++stats_.write_access;
+    emit(sink_, events_.write_access, 1);
+  }
+
+  const int w = find(set, line);
+  if (w >= 0) {
+    Line& l = lines_[std::size_t{set} * params_.assoc + w];
+    l.lru = ++tick_;
+    emit(sink_, is_read ? events_.read_hit : events_.write_hit, 1);
+    cycles_t latency = params_.hit_latency;
+    if (!is_read) {
+      if (params_.write_through) {
+        // Write-through: the write also goes below, but the store itself
+        // retires at L1 speed (the store queue hides the downstream time).
+        assert(next_ != nullptr);
+        next_->access(addr, AccessType::kWrite, core, now);
+      } else {
+        l.dirty = true;
+      }
+    }
+    return {latency, params_.level_tag};
+  }
+
+  // Miss.
+  if (is_read) {
+    ++stats_.read_miss;
+    emit(sink_, events_.read_miss, 1);
+  } else {
+    ++stats_.write_miss;
+    emit(sink_, events_.write_miss, 1);
+  }
+
+  if (next_ == nullptr) {
+    // No backing level configured (L3-disabled bypass handles this above
+    // the cache, so reaching here is a wiring bug).
+    throw std::logic_error(name_ + ": miss with no next level");
+  }
+
+  if (!is_read && (params_.write_through || !params_.write_allocate)) {
+    // No-allocate write miss: forward the write below; its latency is
+    // absorbed by the store queue.
+    AccessResult below = next_->access(addr, AccessType::kWrite, core, now);
+    return {params_.hit_latency, below.serviced_by};
+  }
+
+  // Read miss or allocating write miss: fetch the line from below.
+  AccessResult below = next_->access(addr, AccessType::kRead, core, now);
+  fill(line, /*dirty=*/!is_read, core, now);
+  return {params_.hit_latency + below.latency, below.serviced_by};
+}
+
+bool Cache::probe(addr_t addr) const noexcept {
+  const addr_t line = line_of(addr);
+  return find(set_of(line), line) >= 0;
+}
+
+bool Cache::install(addr_t addr, unsigned core, cycles_t now) {
+  const addr_t line = line_of(addr);
+  if (find(set_of(line), line) >= 0) return false;
+  fill(line, /*dirty=*/false, core, now);
+  return true;
+}
+
+void Cache::flush(unsigned core, cycles_t now) {
+  for (auto& l : lines_) {
+    if (l.valid && l.dirty && next_ != nullptr) {
+      ++stats_.writebacks;
+      emit(sink_, events_.writeback, 1);
+      next_->access(l.tag * params_.line_bytes, AccessType::kWrite, core, now);
+    }
+    l = Line{};
+  }
+}
+
+u64 Cache::resident_lines() const noexcept {
+  u64 n = 0;
+  for (const auto& l : lines_) n += l.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace bgp::mem

@@ -1,0 +1,94 @@
+// Off-chip DDR2 model: two independent controllers, line-interleaved, each a
+// FCFS bandwidth server with a base access latency. Queueing at the
+// controllers is what produces the paper's Fig 12/13 behaviour: four cores
+// in Virtual Node Mode contend for the same two controllers and see both
+// more traffic and longer effective latency.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "mem/cache.hpp"
+
+namespace bgp::mem {
+
+struct DdrParams {
+  /// Uncontended access latency in core cycles (row activation + transfer
+  /// start); BG/P DDR2 latency is on the order of 100 core cycles.
+  cycles_t base_latency = 104;
+  /// Controller streaming bandwidth in bytes per core cycle. The two BG/P
+  /// controllers together deliver 13.6 GB/s at an 850 MHz core clock:
+  /// 16 B/cycle total, 8 per controller.
+  double bytes_per_cycle = 8.0;
+  /// Transfer granularity (the L3 line size).
+  u32 line_bytes = 128;
+  /// Cap on modelled queueing delay, as a multiple of the service time, to
+  /// keep transient inter-core time skew from exploding the model.
+  u32 max_queue_services = 64;
+};
+
+struct DdrStats {
+  u64 read_reqs = 0;
+  u64 write_reqs = 0;
+  u64 bytes_read = 0;
+  u64 bytes_written = 0;
+  u64 busy_cycles = 0;
+  u64 queue_stall_cycles = 0;
+
+  [[nodiscard]] u64 requests() const noexcept { return read_reqs + write_reqs; }
+  [[nodiscard]] u64 bytes() const noexcept { return bytes_read + bytes_written; }
+};
+
+/// UPC event wiring for a DdrController.
+struct DdrEventIds {
+  isa::EventId read_req = kNoEvent;
+  isa::EventId write_req = kNoEvent;
+  isa::EventId bytes_read_16b = kNoEvent;
+  isa::EventId bytes_written_16b = kNoEvent;
+  isa::EventId busy_cycles = kNoEvent;
+  isa::EventId queue_stall_cycles = kNoEvent;
+};
+
+/// One DDR controller.
+class DdrController final : public MemLevel {
+ public:
+  using EventIds = DdrEventIds;
+
+  DdrController(const DdrParams& params, EventSink* sink = nullptr,
+                const EventIds& events = {}) noexcept
+      : params_(params), sink_(sink), events_(events) {}
+
+  AccessResult access(addr_t addr, AccessType type, unsigned core,
+                      cycles_t now) override;
+
+  [[nodiscard]] const DdrStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const DdrParams& params() const noexcept { return params_; }
+
+ private:
+  DdrParams params_;
+  EventSink* sink_;
+  EventIds events_;
+  cycles_t busy_until_ = 0;
+  DdrStats stats_;
+};
+
+/// The pair of controllers, interleaved by line address.
+class DdrSystem final : public MemLevel {
+ public:
+  explicit DdrSystem(const DdrParams& params, EventSink* sink = nullptr);
+
+  AccessResult access(addr_t addr, AccessType type, unsigned core,
+                      cycles_t now) override;
+
+  [[nodiscard]] const DdrController& controller(unsigned i) const {
+    return *ctrls_.at(i);
+  }
+  /// Combined statistics over both controllers.
+  [[nodiscard]] DdrStats total() const noexcept;
+
+ private:
+  DdrParams params_;
+  std::array<std::unique_ptr<DdrController>, isa::kNumDdrControllers> ctrls_;
+};
+
+}  // namespace bgp::mem

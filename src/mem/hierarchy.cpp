@@ -1,0 +1,140 @@
+#include "mem/hierarchy.hpp"
+
+#include "common/strfmt.hpp"
+
+namespace bgp::mem {
+
+namespace {
+namespace ev = isa::ev;
+
+CacheEventIds l1d_events(unsigned core) {
+  return CacheEventIds{
+      .read_access = ev::l1d(core, isa::L1dEvent::kReadAccess),
+      .read_miss = ev::l1d(core, isa::L1dEvent::kReadMiss),
+      .write_access = ev::l1d(core, isa::L1dEvent::kWriteAccess),
+      .write_miss = ev::l1d(core, isa::L1dEvent::kWriteMiss),
+      .line_fill = ev::l1d(core, isa::L1dEvent::kLineFill),
+      .evict = ev::l1d(core, isa::L1dEvent::kEvict),
+      .writeback = ev::l1d(core, isa::L1dEvent::kWriteback),
+  };
+}
+
+CacheEventIds l1i_events(unsigned core) {
+  return CacheEventIds{
+      .read_access = ev::l1i(core, isa::L1iEvent::kAccess),
+      .read_miss = ev::l1i(core, isa::L1iEvent::kMiss),
+  };
+}
+
+L2Unit::EventIds l2_events(unsigned core) {
+  return L2Unit::EventIds{
+      .read_access = ev::l2(core, isa::L2Event::kReadAccess),
+      .read_hit = ev::l2(core, isa::L2Event::kReadHit),
+      .read_miss = ev::l2(core, isa::L2Event::kReadMiss),
+      .write_access = ev::l2(core, isa::L2Event::kWriteAccess),
+      .write_miss = ev::l2(core, isa::L2Event::kWriteMiss),
+      .prefetch_issued = ev::l2(core, isa::L2Event::kPrefetchIssued),
+      .prefetch_hit = ev::l2(core, isa::L2Event::kPrefetchHit),
+      .stream_detected = ev::l2(core, isa::L2Event::kStreamDetected),
+  };
+}
+
+CacheEventIds l3_events() {
+  return CacheEventIds{
+      .read_access = ev::l3(isa::L3Event::kReadAccess),
+      .read_hit = ev::l3(isa::L3Event::kReadHit),
+      .read_miss = ev::l3(isa::L3Event::kReadMiss),
+      .write_access = ev::l3(isa::L3Event::kWriteAccess),
+      .write_hit = ev::l3(isa::L3Event::kWriteHit),
+      .write_miss = ev::l3(isa::L3Event::kWriteMiss),
+      .line_fill = ev::l3(isa::L3Event::kFillFromDdr),
+      .evict = ev::l3(isa::L3Event::kEvict),
+      .writeback = ev::l3(isa::L3Event::kWritebackToDdr),
+  };
+}
+
+SnoopFilter::EventIds snoop_events() {
+  return SnoopFilter::EventIds{
+      .requests = ev::snoop(isa::SnoopEvent::kRequests),
+      .filter_hits = ev::snoop(isa::SnoopEvent::kFilterHits),
+      .invalidates_sent = ev::snoop(isa::SnoopEvent::kInvalidatesSent),
+      .invalidates_received = ev::snoop(isa::SnoopEvent::kInvalidatesReceived),
+  };
+}
+
+}  // namespace
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyParams& params,
+                                 EventSink* sink)
+    : params_(params), sink_(sink) {
+  ddr_ = std::make_unique<DdrSystem>(params_.ddr, sink);
+  snoop_ = std::make_unique<SnoopFilter>(16384, sink, snoop_events());
+
+  MemLevel* below_l2 = ddr_.get();
+  if (params_.l3_size_bytes > 0) {
+    CacheParams l3p{.size_bytes = params_.l3_size_bytes,
+                    .line_bytes = params_.l3_line_bytes,
+                    .assoc = params_.l3_assoc,
+                    .hit_latency = params_.l3_hit_latency,
+                    .write_through = false,
+                    .write_allocate = true,
+                    .level_tag = 3};
+    l3_ = std::make_unique<Cache>("L3", l3p, ddr_.get(), sink, l3_events());
+    below_l2 = l3_.get();
+  }
+
+  for (unsigned c = 0; c < isa::kCoresPerNode; ++c) {
+    auto& pc = cores_[c];
+    pc.l2 = std::make_unique<L2Unit>(strfmt("core%u.L2", c), params_.l2,
+                                     params_.prefetch, below_l2, sink,
+                                     l2_events(c));
+    pc.l1d = std::make_unique<Cache>(strfmt("core%u.L1D", c), params_.l1d,
+                                     pc.l2.get(), sink, l1d_events(c));
+    pc.l1i = std::make_unique<Cache>(strfmt("core%u.L1I", c), params_.l1i,
+                                     pc.l2.get(), sink, l1i_events(c));
+  }
+}
+
+AccessResult MemoryHierarchy::read(unsigned core, addr_t addr, u64 bytes,
+                                   cycles_t now) {
+  auto& pc = cores_.at(core);
+  const u32 line = params_.l1d.line_bytes;
+  AccessResult total{0, 1};
+  addr_t a = addr & ~addr_t{line - 1};
+  const addr_t end = addr + (bytes == 0 ? 1 : bytes);
+  for (; a < end; a += line) {
+    const bool was_hit = pc.l1d->probe(a);
+    const AccessResult r = pc.l1d->access(a, AccessType::kRead, core, now);
+    if (!was_hit) {
+      snoop_->record_fill(core, a / line);
+    }
+    total.latency += r.latency;
+    total.serviced_by = std::max(total.serviced_by, r.serviced_by);
+    now += r.latency;
+  }
+  return total;
+}
+
+AccessResult MemoryHierarchy::write(unsigned core, addr_t addr, u64 bytes,
+                                    cycles_t now) {
+  auto& pc = cores_.at(core);
+  const u32 line = params_.l1d.line_bytes;
+  AccessResult total{0, 1};
+  addr_t a = addr & ~addr_t{line - 1};
+  const addr_t end = addr + (bytes == 0 ? 1 : bytes);
+  for (; a < end; a += line) {
+    snoop_->on_write(core, a / line);
+    const AccessResult r = pc.l1d->access(a, AccessType::kWrite, core, now);
+    total.latency += r.latency;
+    total.serviced_by = std::max(total.serviced_by, r.serviced_by);
+    now += r.latency;
+  }
+  return total;
+}
+
+AccessResult MemoryHierarchy::ifetch(unsigned core, addr_t addr,
+                                     cycles_t now) {
+  return cores_.at(core).l1i->access(addr, AccessType::kRead, core, now);
+}
+
+}  // namespace bgp::mem

@@ -1,0 +1,117 @@
+#include "mem/prefetch.hpp"
+
+namespace bgp::mem {
+
+L2Unit::L2Unit(std::string name, const CacheParams& cache_params,
+               const PrefetchParams& pf, MemLevel* next, EventSink* sink,
+               const EventIds& events)
+    : cache_(std::move(name), cache_params, next, sink,
+             CacheEventIds{
+                 .read_access = events.read_access,
+                 .read_hit = events.read_hit,
+                 .read_miss = events.read_miss,
+                 .write_access = events.write_access,
+                 .write_miss = events.write_miss,
+             }),
+      pf_(pf),
+      next_(next),
+      sink_(sink),
+      events_(events),
+      streams_(pf.streams) {
+  miss_history_.fill(kNoLine);
+}
+
+void L2Unit::run_ahead(addr_t line, unsigned core, cycles_t now) {
+  const u32 line_bytes = cache_.params().line_bytes;
+  for (unsigned d = 1; d <= pf_.depth; ++d) {
+    const addr_t pf_line = line + d;
+    const addr_t pf_addr = pf_line * line_bytes;
+    if (cache_.probe(pf_addr)) continue;
+    // The prefetch consumes downstream bandwidth; a demand arriving before
+    // the fill completes pays the residual latency.
+    const AccessResult fill =
+        next_->access(pf_addr, AccessType::kRead, core, now);
+    cache_.install(pf_addr, core, now);
+    // Bound the tracking map: lines evicted before being demanded would
+    // otherwise accumulate forever.
+    if (pending_prefetched_.size() > 8192) pending_prefetched_.clear();
+    pending_prefetched_[pf_line] = now + fill.latency;
+    ++pf_stats_.issued;
+    emit(sink_, events_.prefetch_issued, 1);
+  }
+}
+
+AccessResult L2Unit::access(addr_t addr, AccessType type, unsigned core,
+                            cycles_t now) {
+  const u32 line_bytes = cache_.params().line_bytes;
+  const addr_t line = addr / line_bytes;
+
+  if (type == AccessType::kRead) {
+    cycles_t prefetch_ready = 0;
+    bool was_prefetched = false;
+    if (const auto it = pending_prefetched_.find(line);
+        it != pending_prefetched_.end()) {
+      was_prefetched = true;
+      prefetch_ready = it->second;
+      pending_prefetched_.erase(it);
+    }
+    const bool hit_before = cache_.probe(addr);
+    AccessResult r = cache_.access(addr, type, core, now);
+    if (hit_before) {
+      if (was_prefetched) {
+        ++pf_stats_.hits;
+        emit(sink_, events_.prefetch_hit, 1);
+        // In-flight fill: the demand pays the remaining latency.
+        if (prefetch_ready > now) r.latency += prefetch_ready - now;
+        // A confirmed prefetch hit keeps the stream running ahead.
+        if (pf_.enabled) run_ahead(line, core, now);
+      }
+      r.serviced_by = 2;
+      return r;
+    }
+
+    // Demand miss: update the stream table.
+    if (pf_.enabled) {
+      bool matched = false;
+      for (auto& s : streams_) {
+        if (s.valid && s.next_line == line) {
+          s.next_line = line + 1;
+          s.last_use = ++use_tick_;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched && line != 0) {
+        // Two misses on consecutive lines (not necessarily back to back in
+        // time) establish a new stream in the LRU stream slot.
+        for (const addr_t past : miss_history_) {
+          if (past != kNoLine && past + 1 == line) {
+            auto* slot = &streams_[0];
+            for (auto& s : streams_) {
+              if (!s.valid) {
+                slot = &s;
+                break;
+              }
+              if (s.last_use < slot->last_use) slot = &s;
+            }
+            *slot = Stream{line + 1, ++use_tick_, true};
+            ++pf_stats_.streams_detected;
+            emit(sink_, events_.stream_detected, 1);
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (matched) run_ahead(line, core, now);
+      miss_history_[miss_history_pos_] = line;
+      miss_history_pos_ = (miss_history_pos_ + 1) % miss_history_.size();
+    }
+    return r;
+  }
+
+  // Writes pass through (the L2 is write-through toward the L3, which is
+  // the point of coherence on the chip).
+  return cache_.access(addr, type, core, now);
+}
+
+}  // namespace bgp::mem

@@ -1,0 +1,95 @@
+// The BG/P private L2 is primarily a prefetch engine: a small line store
+// plus sequential stream detection that runs ahead of demand misses. L2Unit
+// models it as a small write-through cache combined with a multi-stream
+// sequential prefetcher whose depth is configurable (the paper's §IX floats
+// varying the prefetch amount as follow-on work; bench/abl_prefetch_sweep
+// does exactly that).
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hpp"
+
+namespace bgp::mem {
+
+struct PrefetchParams {
+  bool enabled = true;
+  /// Concurrent sequential streams tracked.
+  unsigned streams = 8;
+  /// Lines fetched ahead of a confirmed stream.
+  unsigned depth = 2;
+};
+
+struct PrefetchStats {
+  u64 issued = 0;        ///< prefetch fills brought into the L2
+  u64 hits = 0;          ///< demand accesses served by a prefetched line
+  u64 streams_detected = 0;
+};
+
+/// UPC event wiring for an L2Unit.
+struct L2EventIds {
+  isa::EventId read_access = kNoEvent;
+  isa::EventId read_hit = kNoEvent;
+  isa::EventId read_miss = kNoEvent;
+  isa::EventId write_access = kNoEvent;
+  isa::EventId write_miss = kNoEvent;
+  isa::EventId prefetch_issued = kNoEvent;
+  isa::EventId prefetch_hit = kNoEvent;
+  isa::EventId stream_detected = kNoEvent;
+};
+
+/// Per-core L2: small cache + stream prefetcher.
+class L2Unit final : public MemLevel {
+ public:
+  using EventIds = L2EventIds;
+
+  L2Unit(std::string name, const CacheParams& cache_params,
+         const PrefetchParams& pf, MemLevel* next, EventSink* sink = nullptr,
+         const EventIds& events = {});
+
+  AccessResult access(addr_t addr, AccessType type, unsigned core,
+                      cycles_t now) override;
+
+  [[nodiscard]] const CacheStats& cache_stats() const noexcept {
+    return cache_.stats();
+  }
+  [[nodiscard]] const PrefetchStats& prefetch_stats() const noexcept {
+    return pf_stats_;
+  }
+  [[nodiscard]] const PrefetchParams& prefetch_params() const noexcept {
+    return pf_;
+  }
+
+ private:
+  struct Stream {
+    addr_t next_line = 0;  ///< next line number expected on this stream
+    u64 last_use = 0;
+    bool valid = false;
+  };
+
+  /// Issue prefetches for lines [line+1, line+depth] along a stream.
+  void run_ahead(addr_t line, unsigned core, cycles_t now);
+
+  Cache cache_;
+  PrefetchParams pf_;
+  MemLevel* next_;
+  EventSink* sink_;
+  EventIds events_;
+  std::vector<Stream> streams_;
+  static constexpr addr_t kNoLine = ~addr_t{0};
+  /// Recent demand-miss lines; a miss adjacent to any of them establishes a
+  /// stream (so interleaved streams, e.g. x[i] and y[i] of a dot product,
+  /// are both detected).
+  std::array<addr_t, 8> miss_history_;
+  unsigned miss_history_pos_ = 0;
+  u64 use_tick_ = 0;
+  PrefetchStats pf_stats_;
+  /// Lines brought in by prefetch and not yet demanded, with the cycle at
+  /// which their fill completes (a demand before that pays the residue —
+  /// this is why deeper prefetch hides more latency).
+  std::unordered_map<addr_t, cycles_t> pending_prefetched_;
+};
+
+}  // namespace bgp::mem

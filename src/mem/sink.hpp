@@ -1,0 +1,34 @@
+// Event delivery interface between the hardware models and the UPC unit.
+// Every cache / DDR / network model reports through an EventSink so the
+// models stay testable in isolation (tests plug in a recording sink).
+#pragma once
+
+#include "isa/events.hpp"
+
+namespace bgp::mem {
+
+/// Sentinel meaning "this event is not wired to a counter".
+inline constexpr isa::EventId kNoEvent = 0xFFFF;
+
+/// Receiver of hardware event reports (normally the node's UpcUnit).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// Report `count` occurrences of edge event `id`.
+  virtual void event(isa::EventId id, u64 count) = 0;
+};
+
+/// Sink that drops everything (for unwired unit tests).
+class NullSink final : public EventSink {
+ public:
+  void event(isa::EventId, u64) override {}
+};
+
+/// Helper: emit only when the hook is wired.
+inline void emit(EventSink* sink, isa::EventId id, u64 count) {
+  if (sink != nullptr && id != kNoEvent && count != 0) {
+    sink->event(id, count);
+  }
+}
+
+}  // namespace bgp::mem

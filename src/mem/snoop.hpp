@@ -1,0 +1,62 @@
+// Snoop filter model. The BG/P chip places a snoop filter in front of each
+// write-through L1 so that stores by one core invalidate stale copies in the
+// others without broadcasting every write. We track per-line sharer masks in
+// a bounded direct-mapped table: precise enough for the UPC snoop counters,
+// cheap enough to sit on the store path.
+#pragma once
+
+#include <vector>
+
+#include "mem/sink.hpp"
+
+namespace bgp::mem {
+
+struct SnoopStats {
+  u64 requests = 0;          ///< store-side lookups
+  u64 filter_hits = 0;       ///< lookups filtered (no other sharer)
+  u64 invalidates_sent = 0;  ///< sharer copies invalidated
+};
+
+/// UPC event wiring for the snoop filter.
+struct SnoopEventIds {
+  isa::EventId requests = kNoEvent;
+  isa::EventId filter_hits = kNoEvent;
+  isa::EventId invalidates_sent = kNoEvent;
+  isa::EventId invalidates_received = kNoEvent;
+};
+
+class SnoopFilter {
+ public:
+  using EventIds = SnoopEventIds;
+
+  explicit SnoopFilter(std::size_t table_entries = 16384,
+                       EventSink* sink = nullptr, const EventIds& events = {})
+      : sink_(sink), events_(events), table_(table_entries) {}
+
+  /// Record that `core` now holds a copy of `line` (L1 fill path).
+  void record_fill(unsigned core, addr_t line) noexcept;
+
+  /// A store by `core` to `line`: returns the number of *other* cores whose
+  /// copies had to be invalidated.
+  unsigned on_write(unsigned core, addr_t line) noexcept;
+
+  [[nodiscard]] const SnoopStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    addr_t line = 0;
+    u8 sharers = 0;
+    bool valid = false;
+  };
+
+  [[nodiscard]] Entry& slot(addr_t line) noexcept {
+    return table_[static_cast<std::size_t>(line) % table_.size()];
+  }
+
+  EventSink* sink_;
+  EventIds events_;
+  std::vector<Entry> table_;
+  SnoopStats stats_;
+};
+
+}  // namespace bgp::mem

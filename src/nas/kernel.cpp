@@ -1,0 +1,114 @@
+#include "nas/kernel.hpp"
+
+#include <stdexcept>
+
+namespace bgp::nas {
+
+std::string_view name(Benchmark b) noexcept {
+  switch (b) {
+    case Benchmark::kEP: return "EP";
+    case Benchmark::kCG: return "CG";
+    case Benchmark::kMG: return "MG";
+    case Benchmark::kFT: return "FT";
+    case Benchmark::kIS: return "IS";
+    case Benchmark::kLU: return "LU";
+    case Benchmark::kSP: return "SP";
+    case Benchmark::kBT: return "BT";
+  }
+  return "?";
+}
+
+Benchmark parse_benchmark(std::string_view s) {
+  for (Benchmark b : all_benchmarks()) {
+    if (s == name(b)) return b;
+  }
+  throw std::invalid_argument("unknown benchmark: " + std::string(s));
+}
+
+const std::vector<Benchmark>& all_benchmarks() {
+  static const std::vector<Benchmark> all = {
+      Benchmark::kEP, Benchmark::kCG, Benchmark::kMG, Benchmark::kFT,
+      Benchmark::kIS, Benchmark::kLU, Benchmark::kSP, Benchmark::kBT,
+  };
+  return all;
+}
+
+std::string_view name(ProblemClass c) noexcept {
+  switch (c) {
+    case ProblemClass::kS: return "S";
+    case ProblemClass::kW: return "W";
+    case ProblemClass::kA: return "A";
+  }
+  return "?";
+}
+
+ProblemClass parse_class(std::string_view s) {
+  if (s == "S") return ProblemClass::kS;
+  if (s == "W") return ProblemClass::kW;
+  if (s == "A") return ProblemClass::kA;
+  throw std::invalid_argument("unknown problem class: " + std::string(s));
+}
+
+void alltoallv_padded(rt::RankCtx& ctx,
+                      const std::vector<std::vector<std::byte>>& send,
+                      std::vector<std::vector<std::byte>>& recv) {
+  const unsigned p = ctx.size();
+  if (send.size() != p) {
+    throw std::invalid_argument("alltoallv_padded: need one block per rank");
+  }
+  u64 local_max = 0;
+  for (const auto& blk : send) local_max = std::max<u64>(local_max, blk.size());
+  const u64 chunk_payload = static_cast<u64>(
+      ctx.allreduce_max(static_cast<double>(local_max)));
+  const u64 chunk = chunk_payload + sizeof(u64);
+
+  std::vector<std::byte> sbuf(chunk * p), rbuf(chunk * p);
+  for (unsigned d = 0; d < p; ++d) {
+    const u64 len = send[d].size();
+    std::memcpy(sbuf.data() + d * chunk, &len, sizeof(u64));
+    std::memcpy(sbuf.data() + d * chunk + sizeof(u64), send[d].data(), len);
+  }
+  ctx.alltoall(sbuf, rbuf, chunk);
+  recv.assign(p, {});
+  for (unsigned s = 0; s < p; ++s) {
+    u64 len = 0;
+    std::memcpy(&len, rbuf.data() + s * chunk, sizeof(u64));
+    recv[s].assign(rbuf.begin() + static_cast<std::ptrdiff_t>(s * chunk + sizeof(u64)),
+                   rbuf.begin() + static_cast<std::ptrdiff_t>(s * chunk + sizeof(u64) + len));
+  }
+}
+
+Block block_of(u64 total, unsigned parts, unsigned index) {
+  const u64 base = total / parts;
+  const u64 rem = total % parts;
+  const u64 begin = index * base + std::min<u64>(index, rem);
+  const u64 size = base + (index < rem ? 1 : 0);
+  return Block{begin, begin + size};
+}
+
+// Forward declarations of the per-benchmark factories (defined in their
+// translation units).
+std::unique_ptr<Kernel> make_ep(ProblemClass);
+std::unique_ptr<Kernel> make_cg(ProblemClass);
+std::unique_ptr<Kernel> make_mg(ProblemClass);
+std::unique_ptr<Kernel> make_ft(ProblemClass);
+std::unique_ptr<Kernel> make_is(ProblemClass);
+std::unique_ptr<Kernel> make_lu(ProblemClass);
+std::unique_ptr<Kernel> make_sp(ProblemClass);
+std::unique_ptr<Kernel> make_bt(ProblemClass);
+
+std::unique_ptr<Kernel> make_kernel(Benchmark b, ProblemClass cls) {
+  switch (b) {
+    case Benchmark::kEP: return make_ep(cls);
+    case Benchmark::kCG: return make_cg(cls);
+    case Benchmark::kMG: return make_mg(cls);
+    case Benchmark::kFT: return make_ft(cls);
+    case Benchmark::kIS: return make_is(cls);
+    case Benchmark::kLU: return make_lu(cls);
+    case Benchmark::kSP: return make_sp(cls);
+    case Benchmark::kBT: return make_bt(cls);
+  }
+  throw std::invalid_argument("unknown benchmark");
+}
+
+}  // namespace bgp::nas

@@ -1,0 +1,52 @@
+#include "nas/runner.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "postproc/sanity.hpp"
+
+namespace bgp::nas {
+
+RunOutput run_benchmark(const RunConfig& config) {
+  rt::MachineConfig mc;
+  mc.num_nodes = config.num_nodes;
+  mc.mode = config.mode;
+  mc.boot = config.boot;
+  mc.opt = config.opt;
+  mc.num_ranks_override = config.ranks_override;
+  rt::Machine machine(mc);
+
+  pc::Options opts;
+  opts.app_name = std::string(name(config.bench));
+  opts.write_dumps = false;
+  pc::Session session(machine, opts);
+  session.link_with_mpi();
+
+  auto kernel = make_kernel(config.bench, config.cls);
+  machine.run([&](rt::RankCtx& ctx) {
+    ctx.mpi_init();
+    kernel->run(ctx);
+    ctx.mpi_finalize();
+  });
+
+  RunOutput out;
+  out.dumps = session.dumps();
+  out.elapsed = machine.elapsed();
+  out.result = kernel->result();
+  if (!out.result.verified) {
+    log_warn("%s class %s: verification FAILED: %s",
+             std::string(name(config.bench)).c_str(),
+             std::string(name(config.cls)).c_str(),
+             out.result.detail.c_str());
+  }
+  const auto sanity = post::check(out.dumps);
+  if (!sanity.ok()) {
+    throw std::runtime_error("counter dump sanity check failed: " +
+                             sanity.problems.front());
+  }
+  const post::Aggregate agg(out.dumps, 0);
+  out.record = post::make_record(opts.app_name, agg);
+  return out;
+}
+
+}  // namespace bgp::nas

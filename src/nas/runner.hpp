@@ -1,0 +1,35 @@
+// One-call instrumented benchmark runs: build the machine, link the
+// interface library into "MPI", run the kernel, collect the per-node dumps
+// and compute the standard metrics record. This is what the bench harnesses
+// and examples drive.
+#pragma once
+
+#include "core/session.hpp"
+#include "nas/kernel.hpp"
+#include "postproc/report.hpp"
+
+namespace bgp::nas {
+
+struct RunConfig {
+  Benchmark bench = Benchmark::kEP;
+  ProblemClass cls = ProblemClass::kW;
+  unsigned num_nodes = 4;
+  sys::OpMode mode = sys::OpMode::kVnm;
+  sys::BootOptions boot{};
+  opt::OptConfig opt = opt::OptConfig{opt::OptLevel::kO5, false, true};
+  /// Use fewer ranks than the partition hosts (paper: 121 for SP/BT). 0=all.
+  unsigned ranks_override = 0;
+};
+
+struct RunOutput {
+  std::vector<pc::NodeDump> dumps;  ///< per-node counter dumps
+  cycles_t elapsed = 0;             ///< wall clock of the slowest node
+  KernelResult result;              ///< kernel verification outcome
+  post::AppRecord record;           ///< standard metrics (paper §IV)
+};
+
+/// Run one benchmark fully instrumented (counters started in MPI_Init,
+/// dumped at MPI_Finalize) and post-process the counters.
+[[nodiscard]] RunOutput run_benchmark(const RunConfig& config);
+
+}  // namespace bgp::nas

@@ -1,0 +1,61 @@
+// The dense/banded linear-algebra kernels the SP and BT benchmarks are
+// built on, exposed for direct testing: a penta-diagonal (5-band) Gaussian
+// elimination and a block-tridiagonal Thomas solver over 5x5 blocks with
+// partially-pivoted dense block solves.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bgp::nas {
+
+// ---- penta-diagonal (SP) ---------------------------------------------------
+
+/// The five band coefficients of one row.
+struct PentaBands {
+  double a2 = 0;  ///< second sub-diagonal
+  double a1 = 0;  ///< first sub-diagonal
+  double b = 1;   ///< diagonal
+  double c1 = 0;  ///< first super-diagonal
+  double c2 = 0;  ///< second super-diagonal
+};
+
+/// Row-coefficient generator: bands(i) for row i of an n-row system.
+using PentaRowFn = PentaBands (*)(u64 row, u64 seed);
+
+/// Solve the penta-diagonal system defined by `rows(i, seed)` in place:
+/// `x` holds the right-hand side on entry and the solution on exit.
+/// Returns the max-norm residual of the original system (a built-in
+/// verification, used by SP's NPB-style checks). No pivoting: rows must be
+/// diagonally dominant.
+double penta_solve(u64 n, u64 seed, PentaRowFn rows, std::vector<double>& x);
+
+// ---- 5x5 block tridiagonal (BT) -------------------------------------------
+
+inline constexpr unsigned kBlock = 5;
+using Mat5 = std::array<double, kBlock * kBlock>;
+using Vec5 = std::array<double, kBlock>;
+
+[[nodiscard]] Mat5 mat5_mul(const Mat5& a, const Mat5& b);
+[[nodiscard]] Vec5 mat5_vec(const Mat5& a, const Vec5& x);
+[[nodiscard]] Mat5 mat5_sub(const Mat5& a, const Mat5& b);
+[[nodiscard]] Vec5 vec5_sub(const Vec5& a, const Vec5& b);
+
+/// Solve M X = RHS (5x5, multiple right-hand sides as columns) by Gaussian
+/// elimination with partial pivoting.
+[[nodiscard]] Mat5 mat5_solve(Mat5 m, Mat5 rhs);
+[[nodiscard]] Vec5 mat5_solve_vec(const Mat5& m, const Vec5& rhs);
+
+/// Cell-coefficient generator: fills the A (sub), B (diag), C (super)
+/// blocks of cell i.
+using BlockRowFn = void (*)(u64 cell, u64 seed, Mat5& a, Mat5& b, Mat5& c);
+
+/// Block Thomas solve of one line of n cells; `x` holds the 5n-entry
+/// right-hand side on entry and the solution on exit. Returns the max-norm
+/// residual of the original block system.
+double block_tridiag_solve(u64 n, u64 seed, BlockRowFn blocks,
+                           std::vector<double>& x);
+
+}  // namespace bgp::nas

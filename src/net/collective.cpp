@@ -1,0 +1,64 @@
+#include "net/collective.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace bgp::net {
+
+namespace ev = isa::ev;
+
+CollectiveNet::CollectiveNet(unsigned nodes, const CollectiveParams& params)
+    : params_(params), sinks_(nodes, nullptr) {}
+
+unsigned CollectiveNet::depth() const noexcept {
+  const unsigned n = nodes();
+  if (n <= 1) return 0;
+  return static_cast<unsigned>(std::bit_width(n - 1));  // ceil(log2(n))
+}
+
+cycles_t CollectiveNet::op_cycles(u64 bytes) const {
+  const auto serialization = static_cast<cycles_t>(
+      std::llround(static_cast<double>(bytes) / params_.bytes_per_cycle));
+  return params_.sw_overhead + cycles_t{depth()} * params_.level_latency +
+         serialization;
+}
+
+void CollectiveNet::attach_sink(unsigned node, mem::EventSink* sink) {
+  sinks_.at(node) = sink;
+}
+
+void CollectiveNet::record_operation(u64 bytes, cycles_t latency) {
+  const u64 chunks32 = (bytes + 31) / 32;
+  for (mem::EventSink* s : sinks_) {
+    if (s == nullptr) continue;
+    mem::emit(s, ev::collective(isa::CollectiveEvent::kOperations), 1);
+    mem::emit(s, ev::collective(isa::CollectiveEvent::kBytes32B), chunks32);
+    mem::emit(s, ev::collective(isa::CollectiveEvent::kLatencyCycles),
+              latency);
+  }
+}
+
+BarrierNet::BarrierNet(unsigned nodes, const BarrierParams& params)
+    : nodes_(nodes), params_(params), sinks_(nodes, nullptr) {}
+
+cycles_t BarrierNet::barrier_cycles() const noexcept {
+  if (nodes_ <= 1) return params_.base_latency;
+  const auto levels = static_cast<cycles_t>(std::bit_width(nodes_ - 1));
+  return params_.base_latency + levels * params_.per_level_latency;
+}
+
+void BarrierNet::attach_sink(unsigned node, mem::EventSink* sink) {
+  sinks_.at(node) = sink;
+}
+
+void BarrierNet::record_barrier(cycles_t wait_cycles_total) {
+  const u64 per_node =
+      sinks_.empty() ? 0 : wait_cycles_total / sinks_.size();
+  for (mem::EventSink* s : sinks_) {
+    if (s == nullptr) continue;
+    mem::emit(s, ev::barrier(isa::BarrierEvent::kEntries), 1);
+    mem::emit(s, ev::barrier(isa::BarrierEvent::kWaitCycles), per_node);
+  }
+}
+
+}  // namespace bgp::net

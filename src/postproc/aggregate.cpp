@@ -1,0 +1,26 @@
+#include "postproc/aggregate.hpp"
+
+namespace bgp::post {
+
+const pc::SetDump* Aggregate::find_set(const pc::NodeDump& dump,
+                                       unsigned set) {
+  for (const pc::SetDump& s : dump.sets) {
+    if (s.set_id == set) return &s;
+  }
+  return nullptr;
+}
+
+Aggregate::Aggregate(const std::vector<pc::NodeDump>& dumps, unsigned set)
+    : set_(set) {
+  for (const pc::NodeDump& d : dumps) {
+    if (d.counter_mode >= isa::kNumCounterModes) continue;
+    by_mode_[d.counter_mode].push_back(d);
+    const pc::SetDump* s = find_set(d, set);
+    if (s == nullptr) continue;
+    for (unsigned c = 0; c < isa::kCountersPerUnit; ++c) {
+      per_event_[d.event_of(c)].add(static_cast<double>(s->deltas[c]));
+    }
+  }
+}
+
+}  // namespace bgp::post

@@ -1,0 +1,50 @@
+// Cross-node aggregation: min / max / arithmetic mean of each of the 512
+// monitored events (paper §IV), merging the even-card and odd-card views
+// into one event-indexed table.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/dumpformat.hpp"
+
+namespace bgp::post {
+
+class Aggregate {
+ public:
+  /// Aggregate counter deltas of `set` across all nodes. Each node
+  /// contributes to the 256 events of its programmed mode.
+  explicit Aggregate(const std::vector<pc::NodeDump>& dumps, unsigned set = 0);
+
+  /// Statistics across the nodes that monitored `event`.
+  [[nodiscard]] const RunningStats& stats(isa::EventId event) const {
+    return per_event_.at(event);
+  }
+  [[nodiscard]] double mean(isa::EventId event) const {
+    return stats(event).mean();
+  }
+  /// Number of nodes that monitored the event's mode.
+  [[nodiscard]] u64 nodes_reporting(isa::EventId event) const {
+    return stats(event).count();
+  }
+
+  /// The underlying dumps restricted to one counter mode (owned copies, so
+  /// the Aggregate is safe to keep after the source vector is gone).
+  [[nodiscard]] const std::vector<pc::NodeDump>& dumps_in_mode(u8 mode) const {
+    return by_mode_.at(mode);
+  }
+
+  [[nodiscard]] unsigned set_id() const noexcept { return set_; }
+
+  /// The set record of a dump, or null if the set is absent.
+  [[nodiscard]] static const pc::SetDump* find_set(const pc::NodeDump& dump,
+                                                   unsigned set);
+
+ private:
+  unsigned set_;
+  std::array<RunningStats, isa::kNumEvents> per_event_{};
+  std::array<std::vector<pc::NodeDump>, isa::kNumCounterModes> by_mode_{};
+};
+
+}  // namespace bgp::post

@@ -1,0 +1,44 @@
+#include "postproc/loader.hpp"
+
+#include <algorithm>
+
+#include "common/binio.hpp"
+#include "core/node_monitor.hpp"
+
+namespace bgp::post {
+
+pc::NodeDump load_dump(const std::filesystem::path& file) {
+  const auto bytes = read_file_bytes(file);
+  return pc::NodeMonitor::parse(bytes);
+}
+
+std::vector<pc::NodeDump> load_dumps(const std::filesystem::path& dir,
+                                     const std::string& app) {
+  std::vector<std::filesystem::path> files;
+  const std::string prefix = app + ".node";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with(prefix) && name.ends_with(".bgpc")) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return load_dumps(files);
+}
+
+std::vector<pc::NodeDump> load_dumps(
+    const std::vector<std::filesystem::path>& files) {
+  std::vector<pc::NodeDump> dumps;
+  dumps.reserve(files.size());
+  for (const auto& f : files) {
+    dumps.push_back(load_dump(f));
+  }
+  std::sort(dumps.begin(), dumps.end(),
+            [](const pc::NodeDump& a, const pc::NodeDump& b) {
+              return a.node_id < b.node_id;
+            });
+  return dumps;
+}
+
+}  // namespace bgp::post

@@ -1,0 +1,24 @@
+// Loading of per-node binary dump files (the post-processing tools "read
+// all the files dumped by each node", paper §IV).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/dumpformat.hpp"
+
+namespace bgp::post {
+
+/// Parse one dump file.
+[[nodiscard]] pc::NodeDump load_dump(const std::filesystem::path& file);
+
+/// Load every `<app>.node*.bgpc` in `dir`, sorted by node id.
+[[nodiscard]] std::vector<pc::NodeDump> load_dumps(
+    const std::filesystem::path& dir, const std::string& app);
+
+/// Load an explicit file list.
+[[nodiscard]] std::vector<pc::NodeDump> load_dumps(
+    const std::vector<std::filesystem::path>& files);
+
+}  // namespace bgp::post

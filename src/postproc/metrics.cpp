@@ -1,0 +1,158 @@
+#include "postproc/metrics.hpp"
+
+#include <algorithm>
+
+namespace bgp::post {
+
+namespace ev = isa::ev;
+
+double FpProfile::total() const noexcept {
+  double t = 0;
+  for (double c : counts) t += c;
+  return t;
+}
+
+double FpProfile::fraction(isa::FpOp op) const noexcept {
+  const double t = total();
+  return t > 0 ? counts[static_cast<std::size_t>(op)] / t : 0.0;
+}
+
+double FpProfile::flops() const noexcept {
+  double f = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    f += counts[i] * isa::flops_per_op(static_cast<isa::FpOp>(i));
+  }
+  return f;
+}
+
+double FpProfile::simd_instructions() const noexcept {
+  double s = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (isa::is_simd(static_cast<isa::FpOp>(i))) s += counts[i];
+  }
+  return s;
+}
+
+FpProfile fp_profile(const Aggregate& agg) {
+  FpProfile p;
+  for (const pc::NodeDump& d : agg.dumps_in_mode(0)) {
+    const pc::SetDump* s = Aggregate::find_set(d, agg.set_id());
+    if (s == nullptr) continue;
+    for (std::size_t i = 0; i < isa::kNumFpOps; ++i) {
+      double node_total = 0;
+      for (unsigned core = 0; core < isa::kCoresPerNode; ++core) {
+        node_total += static_cast<double>(
+            s->deltas[isa::event_counter(
+                ev::fpu_op(core, static_cast<isa::FpOp>(i)))]);
+      }
+      p.counts[i] += node_total;
+    }
+  }
+  const auto n = static_cast<double>(agg.dumps_in_mode(0).size());
+  if (n > 0) {
+    for (double& c : p.counts) c /= n;
+  }
+  return p;
+}
+
+LsProfile ls_profile(const Aggregate& agg) {
+  LsProfile p;
+  for (const pc::NodeDump& d : agg.dumps_in_mode(0)) {
+    const pc::SetDump* s = Aggregate::find_set(d, agg.set_id());
+    if (s == nullptr) continue;
+    for (std::size_t i = 0; i < isa::kNumLsOps; ++i) {
+      for (unsigned core = 0; core < isa::kCoresPerNode; ++core) {
+        p.counts[i] += static_cast<double>(
+            s->deltas[isa::event_counter(
+                ev::ls_op(core, static_cast<isa::LsOp>(i)))]);
+      }
+    }
+  }
+  const auto n = static_cast<double>(agg.dumps_in_mode(0).size());
+  if (n > 0) {
+    for (double& c : p.counts) c /= n;
+  }
+  return p;
+}
+
+double LsProfile::quad_fraction() const noexcept {
+  double quad = counts[static_cast<std::size_t>(isa::LsOp::kLoadQuad)] +
+                counts[static_cast<std::size_t>(isa::LsOp::kStoreQuad)];
+  double total = 0;
+  for (double c : counts) total += c;
+  return total > 0 ? quad / total : 0.0;
+}
+
+double mean_exec_cycles(const Aggregate& agg) {
+  double sum = 0;
+  unsigned n = 0;
+  for (const pc::NodeDump& d : agg.dumps_in_mode(0)) {
+    const pc::SetDump* s = Aggregate::find_set(d, agg.set_id());
+    if (s == nullptr) continue;
+    u64 node_max = 0;
+    for (unsigned core = 0; core < isa::kCoresPerNode; ++core) {
+      node_max = std::max(
+          node_max, s->deltas[isa::event_counter(ev::cycle_count(core))]);
+    }
+    sum += static_cast<double>(node_max);
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+
+double mean_mflops_per_node(const Aggregate& agg) {
+  // flops and cycles both come from mode-0 nodes; convert with the 850 MHz
+  // clock: MFLOPS = flops / seconds / 1e6.
+  const double cycles = mean_exec_cycles(agg);
+  if (cycles <= 0) return 0.0;
+  const double seconds = cycles / kCoreClockHz;
+  return fp_profile(agg).flops() / seconds / 1e6;
+}
+
+double mean_ddr_traffic_bytes(const Aggregate& agg) {
+  double sum = 0;
+  unsigned n = 0;
+  for (const pc::NodeDump& d : agg.dumps_in_mode(1)) {
+    const pc::SetDump* s = Aggregate::find_set(d, agg.set_id());
+    if (s == nullptr) continue;
+    u64 chunks = 0;
+    for (unsigned ctrl = 0; ctrl < isa::kNumDdrControllers; ++ctrl) {
+      chunks += s->deltas[isa::event_counter(
+          ev::ddr(ctrl, isa::DdrEvent::kBytesRead16B))];
+      chunks += s->deltas[isa::event_counter(
+          ev::ddr(ctrl, isa::DdrEvent::kBytesWritten16B))];
+    }
+    sum += static_cast<double>(chunks) * 16.0;
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+
+double mean_ddr_bandwidth(const Aggregate& agg) {
+  double sum = 0;
+  unsigned n = 0;
+  for (const pc::NodeDump& d : agg.dumps_in_mode(1)) {
+    const pc::SetDump* s = Aggregate::find_set(d, agg.set_id());
+    if (s == nullptr || s->last_stop_cycle <= s->first_start_cycle) continue;
+    u64 chunks = 0;
+    for (unsigned ctrl = 0; ctrl < isa::kNumDdrControllers; ++ctrl) {
+      chunks += s->deltas[isa::event_counter(
+          ev::ddr(ctrl, isa::DdrEvent::kBytesRead16B))];
+      chunks += s->deltas[isa::event_counter(
+          ev::ddr(ctrl, isa::DdrEvent::kBytesWritten16B))];
+    }
+    const double window =
+        static_cast<double>(s->last_stop_cycle - s->first_start_cycle);
+    sum += static_cast<double>(chunks) * 16.0 / window;
+    ++n;
+  }
+  return n ? sum / n : 0.0;
+}
+
+double l3_read_miss_ratio(const Aggregate& agg) {
+  const double access = agg.mean(ev::l3(isa::L3Event::kReadAccess));
+  const double miss = agg.mean(ev::l3(isa::L3Event::kReadMiss));
+  return access > 0 ? miss / access : 0.0;
+}
+
+}  // namespace bgp::post

@@ -1,0 +1,57 @@
+// User-defined metrics computed from the raw counters (paper §IV):
+// MFLOPS from the FPU counters with the FMA/SIMD weights, the dynamic FP
+// instruction mix (Fig 6), L3–DDR traffic and DDR bandwidth (Figs 11/12),
+// and execution time from CYCLE_COUNT (Figs 9/10/13).
+#pragma once
+
+#include <array>
+
+#include "postproc/aggregate.hpp"
+
+namespace bgp::post {
+
+/// Dynamic FP instruction profile: per-class instruction counts summed over
+/// a node's four cores, averaged across mode-0 nodes.
+struct FpProfile {
+  /// Mean per-node dynamic instruction count per FP class.
+  std::array<double, isa::kNumFpOps> counts{};
+
+  [[nodiscard]] double total() const noexcept;
+  /// Fraction of the dynamic FP instructions in `op` (Fig 6's bars).
+  [[nodiscard]] double fraction(isa::FpOp op) const noexcept;
+  /// Weighted flop count (FMA = 2, SIMD = 2x).
+  [[nodiscard]] double flops() const noexcept;
+  /// SIMD instruction count (Figs 7/8's y-axis).
+  [[nodiscard]] double simd_instructions() const noexcept;
+};
+
+[[nodiscard]] FpProfile fp_profile(const Aggregate& agg);
+
+/// Mean per-node execution cycles: the max CYCLE_COUNT over the node's
+/// cores, averaged across mode-0 nodes.
+[[nodiscard]] double mean_exec_cycles(const Aggregate& agg);
+
+/// Mean per-node MFLOPS (paper: "performance of the application is
+/// computed in terms of MFLOPS based on the data of all the floating point
+/// counters").
+[[nodiscard]] double mean_mflops_per_node(const Aggregate& agg);
+
+/// Mean per-node L3<->DDR traffic in bytes (fills + writebacks), from the
+/// DDR controllers' byte counters on mode-1 nodes.
+[[nodiscard]] double mean_ddr_traffic_bytes(const Aggregate& agg);
+
+/// Mean DDR bandwidth in bytes/cycle over the set's execution window.
+[[nodiscard]] double mean_ddr_bandwidth(const Aggregate& agg);
+
+/// Fraction of L3 read accesses that miss (Fig 11 commentary: "misses are
+/// reduced to nearly 10% of the total accesses" at 4 MB).
+[[nodiscard]] double l3_read_miss_ratio(const Aggregate& agg);
+
+/// Mean per-node load/store instruction counts (quadword forms separate).
+struct LsProfile {
+  std::array<double, isa::kNumLsOps> counts{};
+  [[nodiscard]] double quad_fraction() const noexcept;
+};
+[[nodiscard]] LsProfile ls_profile(const Aggregate& agg);
+
+}  // namespace bgp::post

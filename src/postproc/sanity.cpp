@@ -1,0 +1,66 @@
+#include "postproc/sanity.hpp"
+
+#include <set>
+
+#include "common/strfmt.hpp"
+
+namespace bgp::post {
+
+SanityReport check(const std::vector<pc::NodeDump>& dumps) {
+  SanityReport rep;
+  if (dumps.empty()) {
+    rep.problems.push_back("no dump records");
+    return rep;
+  }
+
+  std::set<u32> node_ids;
+  std::set<std::string> apps;
+  std::set<u32> reference_sets;
+  for (const pc::SetDump& s : dumps.front().sets) {
+    reference_sets.insert(s.set_id);
+  }
+
+  for (const pc::NodeDump& d : dumps) {
+    if (!node_ids.insert(d.node_id).second) {
+      rep.problems.push_back(strfmt("duplicate node id %u", d.node_id));
+    }
+    apps.insert(d.app_name);
+    if (d.counter_mode >= isa::kNumCounterModes) {
+      rep.problems.push_back(
+          strfmt("node %u: counter mode %u out of range", d.node_id,
+                 d.counter_mode));
+    }
+    std::set<u32> sets;
+    for (const pc::SetDump& s : d.sets) {
+      sets.insert(s.set_id);
+      if (s.pairs == 0) {
+        rep.problems.push_back(
+            strfmt("node %u set %u: zero start/stop pairs", d.node_id,
+                   s.set_id));
+      }
+      if (s.last_stop_cycle < s.first_start_cycle) {
+        rep.problems.push_back(
+            strfmt("node %u set %u: stop before start", d.node_id, s.set_id));
+      }
+      for (unsigned c = 0; c < isa::kCountersPerUnit; ++c) {
+        if (s.deltas[c] >= (u64{1} << 60)) {
+          rep.problems.push_back(
+              strfmt("node %u set %u counter %u: implausible value",
+                     d.node_id, s.set_id, c));
+          break;
+        }
+      }
+    }
+    if (sets != reference_sets) {
+      rep.problems.push_back(
+          strfmt("node %u: set list differs from node %u", d.node_id,
+                 dumps.front().node_id));
+    }
+  }
+  if (apps.size() > 1) {
+    rep.problems.push_back("dumps from more than one application");
+  }
+  return rep;
+}
+
+}  // namespace bgp::post

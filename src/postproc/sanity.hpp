@@ -1,0 +1,27 @@
+// Data validation before mining (paper §IV: "the data is checked based on
+// the number of records and the length of each record and also for the
+// range of values in the different counter readings to eliminate possible
+// errors").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dumpformat.hpp"
+
+namespace bgp::post {
+
+struct SanityReport {
+  std::vector<std::string> problems;
+  [[nodiscard]] bool ok() const noexcept { return problems.empty(); }
+};
+
+/// Checks applied:
+///  * at least one dump, unique node ids, one application name
+///  * every node reports the same set ids with pair counts > 0
+///  * counter modes within [0,4)
+///  * counter values within a plausibility range (< 2^60)
+///  * set time windows are ordered (first start <= last stop)
+[[nodiscard]] SanityReport check(const std::vector<pc::NodeDump>& dumps);
+
+}  // namespace bgp::post

@@ -1,0 +1,236 @@
+#include "runtime/machine.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "common/strfmt.hpp"
+#include "runtime/rankctx.hpp"
+
+namespace bgp::rt {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      partition_(std::make_unique<sys::Partition>(config.num_nodes,
+                                                  config.mode, config.boot)),
+      compiler_(config.opt) {
+  const unsigned capacity = partition_->num_ranks();
+  num_ranks_ = config.num_ranks_override == 0 ? capacity
+                                              : config.num_ranks_override;
+  if (num_ranks_ > capacity || num_ranks_ == 0) {
+    throw std::invalid_argument(
+        strfmt("rank override %u out of range (capacity %u)",
+               config.num_ranks_override, capacity));
+  }
+  collective_.members.resize(num_ranks_);
+}
+
+Machine::~Machine() {
+  // If run() threw, rank threads were already joined there; nothing holds
+  // the token at this point.
+}
+
+int Machine::pick_next() const {
+  int best = -1;
+  cycles_t best_time = ~cycles_t{0};
+  for (unsigned r = 0; r < num_ranks_; ++r) {
+    const Rank& rank = *ranks_[r];
+    if (rank.status != Status::kReady) continue;
+    const cycles_t t = rank.ctx->core().now();
+    if (t < best_time) {
+      best_time = t;
+      best = static_cast<int>(r);
+    }
+  }
+  return best;
+}
+
+void Machine::thread_main(unsigned rank, const RankFn& program) {
+  Rank& self = *ranks_[rank];
+  self.go.acquire();  // wait for the first dispatch
+  try {
+    if (aborting_) throw AbortRun{};
+    program(*self.ctx);
+    self.status = Status::kFinished;
+  } catch (const AbortRun&) {
+    self.status = Status::kFailed;
+  } catch (...) {
+    self.status = Status::kFailed;
+    self.error = std::current_exception();
+  }
+  sched_sem_.release();
+}
+
+void Machine::run(const RankFn& program) {
+  if (ran_) throw std::logic_error("Machine::run may only be called once");
+  ran_ = true;
+
+  ranks_.reserve(num_ranks_);
+  for (unsigned r = 0; r < num_ranks_; ++r) {
+    auto rank = std::make_unique<Rank>();
+    rank->ctx = std::make_unique<RankCtx>(*this, r);
+    ranks_.push_back(std::move(rank));
+  }
+  for (unsigned r = 0; r < num_ranks_; ++r) {
+    ranks_[r]->thread =
+        std::thread([this, r, &program] { thread_main(r, program); });
+  }
+
+  // Dispatch loop: hand the token to the most-behind ready rank.
+  for (;;) {
+    const int next = pick_next();
+    if (next < 0) {
+      bool all_done = true;
+      bool any_failed = false;
+      for (const auto& rank : ranks_) {
+        if (rank->status == Status::kFailed) any_failed = true;
+        if (rank->status != Status::kFinished &&
+            rank->status != Status::kFailed) {
+          all_done = false;
+        }
+      }
+      if (all_done) break;
+      if (!any_failed) {
+        // Nobody is ready, nobody finished everything: deadlock. Build a
+        // diagnostic before unwinding.
+        std::string diag = "MiniMPI deadlock: no runnable rank;";
+        for (unsigned r2 = 0; r2 < num_ranks_; ++r2) {
+          const Rank& rk = *ranks_[r2];
+          if (rk.status == Status::kBlockedRecv) {
+            diag += strfmt(" rank%u=recv(src=%u,tag=%d,mail=%zu)", r2,
+                           rk.recv_src, rk.recv_tag, rk.mailbox.size());
+          } else if (rk.status == Status::kBlockedCollective) {
+            diag += strfmt(" rank%u=coll(kind=%d)", r2, collective_.kind);
+          }
+        }
+        aborting_ = true;
+        for (auto& rank : ranks_) {
+          if (rank->status == Status::kBlockedRecv ||
+              rank->status == Status::kBlockedCollective) {
+            rank->status = Status::kReady;  // wake to unwind via AbortRun
+          }
+        }
+        // Wake them one by one so they can abort.
+        for (auto& rank : ranks_) {
+          if (rank->status == Status::kReady) {
+            rank->go.release();
+            sched_sem_.acquire();
+          }
+        }
+        for (auto& rank : ranks_) rank->thread.join();
+        throw std::runtime_error(diag);
+      }
+      // A rank failed: abort the rest.
+      aborting_ = true;
+      for (auto& rank : ranks_) {
+        if (rank->status == Status::kBlockedRecv ||
+            rank->status == Status::kBlockedCollective) {
+          rank->status = Status::kReady;
+        }
+      }
+      continue;
+    }
+    ranks_[static_cast<std::size_t>(next)]->go.release();
+    sched_sem_.acquire();
+  }
+
+  for (auto& rank : ranks_) rank->thread.join();
+  for (auto& rank : ranks_) {
+    if (rank->error) std::rethrow_exception(rank->error);
+  }
+  if (aborting_) {
+    throw std::runtime_error("run aborted");
+  }
+}
+
+void Machine::yield_from(unsigned rank) {
+  Rank& self = *ranks_[rank];
+  sched_sem_.release();
+  self.go.acquire();
+  if (aborting_) throw AbortRun{};
+}
+
+void Machine::deposit(Message msg, unsigned dst) {
+  Rank& receiver = *ranks_.at(dst);
+  const unsigned src = msg.src;
+  const int tag = msg.tag;
+  receiver.mailbox.push_back(std::move(msg));
+  if (receiver.status == Status::kBlockedRecv &&
+      (receiver.recv_src == RankCtx::kAnySource || receiver.recv_src == src) &&
+      (receiver.recv_tag == RankCtx::kAnyTag || receiver.recv_tag == tag)) {
+    receiver.status = Status::kReady;
+  }
+}
+
+std::optional<Machine::Message> Machine::try_match(unsigned rank, unsigned src,
+                                                   int tag) {
+  Rank& self = *ranks_[rank];
+  for (auto it = self.mailbox.begin(); it != self.mailbox.end(); ++it) {
+    if ((src == RankCtx::kAnySource || it->src == src) &&
+        (tag == RankCtx::kAnyTag || it->tag == tag)) {
+      Message m = std::move(*it);
+      self.mailbox.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+void Machine::enter_collective(
+    unsigned rank, int kind, u64 bytes, unsigned root,
+    std::span<const std::byte> send, std::span<std::byte> recv,
+    const std::function<void(Collective&)>& combine, cycles_t op_latency) {
+  Rank& self = *ranks_[rank];
+  Collective& coll = collective_;
+
+  if (coll.arrived == 0) {
+    coll.kind = kind;
+    coll.bytes = bytes;
+    coll.root = root;
+    coll.max_arrival = 0;
+    for (auto& m : coll.members) m = Collective::Member{};
+  } else if (coll.kind != kind || coll.root != root) {
+    throw std::logic_error(
+        strfmt("collective mismatch: rank %u entered kind %d but kind %d in "
+               "flight",
+               rank, kind, coll.kind));
+  }
+
+  auto& member = coll.members[rank];
+  member.send = send;
+  member.recv = recv;
+  member.present = true;
+  coll.max_arrival = std::max(coll.max_arrival, self.ctx->core().now());
+  ++coll.arrived;
+
+  if (coll.arrived < num_ranks_) {
+    self.status = Status::kBlockedCollective;
+    yield_from(rank);
+    return;  // a later arrival completed the operation and synced our clock
+  }
+
+  // Last arrival: perform the data movement and release everyone.
+  combine(coll);
+  const cycles_t done = coll.max_arrival + op_latency;
+  for (unsigned r = 0; r < num_ranks_; ++r) {
+    ranks_[r]->ctx->core().sync_to(done);
+    if (ranks_[r]->status == Status::kBlockedCollective) {
+      ranks_[r]->status = Status::kReady;
+    }
+  }
+  coll.arrived = 0;
+  coll.kind = -1;
+}
+
+cycles_t Machine::node_time(unsigned node) const {
+  return partition_->node(node).timebase();
+}
+
+cycles_t Machine::elapsed() const {
+  cycles_t t = 0;
+  for (unsigned n = 0; n < partition_->num_nodes(); ++n) {
+    t = std::max(t, node_time(n));
+  }
+  return t;
+}
+
+}  // namespace bgp::rt

@@ -1,0 +1,162 @@
+// The execution machine: a Partition plus a deterministic cooperative
+// scheduler and a message-passing runtime ("MiniMPI") with the semantics
+// the NAS kernels need — blocking send/recv and the usual collectives.
+//
+// Concurrency model: one OS thread per rank, but exactly one runs at any
+// moment (token passing through semaphores). The scheduler always resumes
+// the runnable rank whose core clock is furthest behind, so simulated time
+// across the cores of a node advances in lockstep-ish fashion and shared
+// L3/DDR contention emerges naturally. Runs are bit-deterministic.
+#pragma once
+
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <semaphore>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "sys/partition.hpp"
+
+namespace bgp::rt {
+
+class RankCtx;
+
+/// Program run by every rank.
+using RankFn = std::function<void(RankCtx&)>;
+
+/// Hooks the performance-counter interface library installs around the MPI
+/// lifecycle (paper §IV: BGP_Initialize/Start inside MPI_Init, BGP_Stop/
+/// Finalize inside MPI_Finalize).
+struct MpiHooks {
+  std::function<void(RankCtx&)> on_init;
+  std::function<void(RankCtx&)> on_finalize;
+};
+
+struct MachineConfig {
+  unsigned num_nodes = 4;
+  sys::OpMode mode = sys::OpMode::kVnm;
+  sys::BootOptions boot{};
+  /// Compiler option set the "application binaries" were built with.
+  opt::OptConfig opt = opt::OptConfig{opt::OptLevel::kO5, false, true};
+  /// Use fewer ranks than the partition supports (e.g. the paper's 121-rank
+  /// SP/BT runs on 32 nodes). 0 = all.
+  unsigned num_ranks_override = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] sys::Partition& partition() noexcept { return *partition_; }
+  [[nodiscard]] const sys::Partition& partition() const noexcept {
+    return *partition_;
+  }
+  [[nodiscard]] const opt::Compiler& compiler() const noexcept {
+    return compiler_;
+  }
+  [[nodiscard]] const MachineConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] unsigned num_ranks() const noexcept { return num_ranks_; }
+
+  void set_mpi_hooks(MpiHooks hooks) { hooks_ = std::move(hooks); }
+  [[nodiscard]] const MpiHooks& mpi_hooks() const noexcept { return hooks_; }
+
+  /// Run `program` on every rank to completion. A Machine runs one program
+  /// in its lifetime; failures in any rank abort the run and rethrow here.
+  void run(const RankFn& program);
+
+  /// Longest per-node execution time (max over cores), after run().
+  [[nodiscard]] cycles_t node_time(unsigned node) const;
+  /// Longest execution time across the whole partition.
+  [[nodiscard]] cycles_t elapsed() const;
+
+ private:
+  friend class RankCtx;
+
+  enum class Status : u8 {
+    kReady,
+    kBlockedRecv,
+    kBlockedCollective,
+    kFinished,
+    kFailed,
+  };
+
+  struct Message {
+    unsigned src = 0;
+    int tag = 0;
+    std::vector<std::byte> payload;
+    cycles_t ready_time = 0;
+  };
+
+  /// Per-rank bookkeeping (thread, scheduling state, mailbox).
+  struct Rank {
+    std::unique_ptr<RankCtx> ctx;
+    std::thread thread;
+    std::binary_semaphore go{0};
+    Status status = Status::kReady;
+    // recv match spec while blocked
+    unsigned recv_src = 0;
+    int recv_tag = 0;
+    std::deque<Message> mailbox;
+    std::exception_ptr error;
+  };
+
+  /// In-flight collective rendezvous.
+  struct Collective {
+    int kind = -1;  ///< first arriver's op kind; later arrivals must match
+    u64 bytes = 0;
+    unsigned root = 0;
+    unsigned arrived = 0;
+    cycles_t max_arrival = 0;
+    struct Member {
+      std::span<const std::byte> send;
+      std::span<std::byte> recv;
+      bool present = false;
+    };
+    std::vector<Member> members;
+  };
+
+  // -- scheduler internals (called from rank threads via RankCtx) ---------
+  /// Give the token back to the scheduler and wait to be resumed.
+  void yield_from(unsigned rank);
+  /// Deposit a message; wakes a matching blocked receiver.
+  void deposit(Message msg, unsigned dst);
+  /// Try to pop a matching message from `rank`'s mailbox.
+  std::optional<Message> try_match(unsigned rank, unsigned src, int tag);
+  /// Enter a collective; blocks (yields) until all ranks arrived, then the
+  /// last arrival runs `combine` over the member buffers and releases all.
+  void enter_collective(unsigned rank, int kind, u64 bytes, unsigned root,
+                        std::span<const std::byte> send,
+                        std::span<std::byte> recv,
+                        const std::function<void(Collective&)>& combine,
+                        cycles_t op_latency);
+
+  void thread_main(unsigned rank, const RankFn& program);
+  [[nodiscard]] int pick_next() const;
+
+  MachineConfig config_;
+  std::unique_ptr<sys::Partition> partition_;
+  opt::Compiler compiler_;
+  MpiHooks hooks_;
+  unsigned num_ranks_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::binary_semaphore sched_sem_{0};
+  Collective collective_;
+  bool aborting_ = false;
+  bool ran_ = false;
+};
+
+/// Thrown inside rank threads to unwind them when another rank failed.
+struct AbortRun {};
+
+}  // namespace bgp::rt

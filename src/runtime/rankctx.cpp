@@ -1,0 +1,467 @@
+#include "runtime/rankctx.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "common/strfmt.hpp"
+
+namespace bgp::rt {
+
+namespace {
+
+/// Collective op kinds for rendezvous matching.
+enum CollKind : int {
+  kCollBarrier = 0,
+  kCollBcast,
+  kCollAllreduceSum,
+  kCollAllreduceMax,
+  kCollAlltoall,
+  kCollAllgather,
+};
+
+/// Per-rank private region: 256 MB at (core+1)*256MB in the node space.
+constexpr addr_t kRankRegionBytes = addr_t{256} * MiB;
+
+}  // namespace
+
+RankCtx::RankCtx(Machine& machine, unsigned rank)
+    : machine_(machine),
+      rank_(rank),
+      placement_(machine.partition().placement(rank)) {
+  alloc_next_ = kRankRegionBytes * (placement_.core + 1);
+  alloc_limit_ = alloc_next_ + kRankRegionBytes;
+}
+
+addr_t RankCtx::allocate_bytes(u64 bytes) {
+  const addr_t base = alloc_next_;
+  const u64 padded = (bytes + 127) & ~u64{127};
+  if (base + padded > alloc_limit_) {
+    throw std::runtime_error(
+        strfmt("rank %u: simulated heap exhausted (%llu bytes requested)",
+               rank_, static_cast<unsigned long long>(bytes)));
+  }
+  alloc_next_ = base + padded;
+  return base;
+}
+
+void RankCtx::sys_event(isa::SysEvent e, u64 count) {
+  mem::emit(node().sink(), isa::ev::system(e, placement_.local_proc), count);
+}
+
+void RankCtx::wait_until(cycles_t t) {
+  const cycles_t now_c = core().now();
+  if (t > now_c) {
+    core().wait(t - now_c);
+    sys_event(isa::SysEvent::kMpiWaitCycles, t - now_c);
+  }
+}
+
+// ---- lifecycle -------------------------------------------------------------
+
+void RankCtx::mpi_init() {
+  if (machine_.mpi_hooks().on_init) {
+    machine_.mpi_hooks().on_init(*this);
+  }
+  barrier();
+}
+
+void RankCtx::mpi_finalize() {
+  barrier();
+  if (machine_.mpi_hooks().on_finalize) {
+    machine_.mpi_hooks().on_finalize(*this);
+  }
+}
+
+// ---- computation ------------------------------------------------------------
+
+void RankCtx::loop(const isa::LoopDesc& desc,
+                   std::initializer_list<MemRange> ranges) {
+  loop(desc, std::span<const MemRange>(ranges.begin(), ranges.size()));
+}
+
+void RankCtx::loop(const isa::LoopDesc& desc,
+                   std::span<const MemRange> ranges) {
+  const opt::CompiledLoop cl = machine_.compiler().compile(desc);
+  core().execute(cl.ops);
+  for (const MemRange& r : ranges) {
+    touch_no_yield(r, cl.mem_overlap);
+  }
+  yield();
+}
+
+unsigned RankCtx::num_threads() const noexcept {
+  return sys::threads_per_process(machine_.partition().mode());
+}
+
+void RankCtx::parallel_loop(const isa::LoopDesc& desc,
+                            std::initializer_list<MemRange> ranges,
+                            unsigned nthreads) {
+  parallel_loop(desc, std::span<const MemRange>(ranges.begin(), ranges.size()),
+                nthreads);
+}
+
+void RankCtx::parallel_loop(const isa::LoopDesc& desc,
+                            std::span<const MemRange> ranges,
+                            unsigned nthreads) {
+  const unsigned team_max = num_threads();
+  if (nthreads == 0) nthreads = team_max;
+  if (nthreads > team_max) {
+    throw std::invalid_argument(
+        strfmt("parallel_loop: %u threads but the process owns %u cores",
+               nthreads, team_max));
+  }
+  if (nthreads == 1) {
+    loop(desc, ranges);
+    return;
+  }
+
+  /// Fork/join overhead per parallel region (thread wake + barrier).
+  constexpr cycles_t kForkJoin = 800;
+  auto& node_ref = node();
+  const unsigned base_core = placement_.core;
+
+  // The master forks from its current time; workers cannot start earlier.
+  cycles_t fork_time = node_ref.core(base_core).now();
+  cycles_t join_time = 0;
+  for (unsigned t = 0; t < nthreads; ++t) {
+    cpu::Core& core = node_ref.core(base_core + t);
+    core.sync_to(fork_time);
+
+    isa::LoopDesc slice = desc;
+    slice.trip = desc.trip / nthreads +
+                 (t < desc.trip % nthreads ? 1 : 0);
+    const opt::CompiledLoop cl = machine_.compiler().compile(slice);
+    core.execute(cl.ops);
+
+    // Static range split: thread t walks its contiguous slice through the
+    // *shared* node caches from its own core.
+    for (const MemRange& r : ranges) {
+      const u64 chunk = r.bytes / nthreads;
+      const MemRange sub{r.addr + t * chunk,
+                         t + 1 == nthreads ? r.bytes - t * chunk : chunk,
+                         r.write};
+      if (sub.bytes == 0) continue;
+      const auto res =
+          sub.write
+              ? node_ref.memory().write(base_core + t, sub.addr, sub.bytes,
+                                        core.now())
+              : node_ref.memory().read(base_core + t, sub.addr, sub.bytes,
+                                       core.now());
+      const auto& l1 = node_ref.memory().params().l1d;
+      const u64 lines = sub.bytes / l1.line_bytes + 2;
+      const cycles_t baseline = lines * l1.hit_latency;
+      if (res.latency > baseline && cl.mem_overlap > 0.0) {
+        core.stall(static_cast<cycles_t>(std::llround(
+            static_cast<double>(res.latency - baseline) / cl.mem_overlap)));
+      }
+    }
+    join_time = std::max(join_time, core.now());
+  }
+  // Join barrier: every team member reaches the max, master pays fork/join.
+  for (unsigned t = 0; t < nthreads; ++t) {
+    node_ref.core(base_core + t).sync_to(join_time);
+  }
+  node_ref.core(base_core).advance(kForkJoin);
+  yield();
+}
+
+void RankCtx::touch_no_yield(const MemRange& r, double overlap) {
+  if (r.bytes == 0) return;
+  auto& memory = node().memory();
+  const auto res = r.write
+                       ? memory.write(core_id(), r.addr, r.bytes, core().now())
+                       : memory.read(core_id(), r.addr, r.bytes, core().now());
+  // The L1-hit portion of the walk is already covered by LSU occupancy in
+  // the compute model; only the excess is an exposed stall, discounted by
+  // the loop's memory-level parallelism.
+  const auto& l1 = memory.params().l1d;
+  const u64 lines = r.bytes / l1.line_bytes + 2;
+  const cycles_t baseline = lines * l1.hit_latency;
+  if (res.latency > baseline && overlap > 0.0) {
+    core().stall(static_cast<cycles_t>(
+        std::llround(static_cast<double>(res.latency - baseline) / overlap)));
+  }
+}
+
+void RankCtx::touch(const MemRange& range, double overlap) {
+  touch_no_yield(range, overlap);
+  yield();
+}
+
+void RankCtx::gather(addr_t base, std::span<const u32> indices, u32 elem_bytes,
+                     bool write) {
+  auto& memory = node().memory();
+  const cycles_t l1_hit = memory.params().l1d.hit_latency;
+  cycles_t stall = 0;
+  for (const u32 idx : indices) {
+    const addr_t a = base + addr_t{idx} * elem_bytes;
+    const auto res = write ? memory.write(core_id(), a, elem_bytes, core().now())
+                           : memory.read(core_id(), a, elem_bytes, core().now());
+    if (res.latency > l1_hit) stall += res.latency - l1_hit;
+  }
+  // Gathers expose most of their latency (little MLP).
+  core().stall(static_cast<cycles_t>(static_cast<double>(stall) / 1.2));
+  yield();
+}
+
+// ---- point-to-point ---------------------------------------------------------
+
+cycles_t RankCtx::transfer_cycles(unsigned peer_node, u64 bytes) const {
+  auto& part = const_cast<Machine&>(machine_).partition();
+  if (peer_node == placement_.node) {
+    // Intra-node: a memory-to-memory copy through the shared L3.
+    return 300 + bytes / 8;
+  }
+  return part.torus().transfer_cycles(placement_.node, peer_node, bytes);
+}
+
+void RankCtx::send(unsigned dst, std::span<const std::byte> data, int tag) {
+  if (dst >= size()) {
+    throw std::out_of_range(strfmt("send to invalid rank %u", dst));
+  }
+  sys_event(isa::SysEvent::kMpiSends);
+  const auto peer = machine_.partition().placement(dst);
+
+  // Software overhead; the injection DMA's memory reads are charged by the
+  // caller when it touches its send buffer.
+  core().advance(machine_.partition().torus().params().sw_overhead);
+  Machine::Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.payload.assign(data.begin(), data.end());
+  msg.ready_time = core().now() + transfer_cycles(peer.node, data.size());
+
+  if (peer.node != placement_.node) {
+    machine_.partition().torus().record_transfer(placement_.node, peer.node,
+                                                 data.size());
+  }
+  machine_.deposit(std::move(msg), dst);
+  yield();
+}
+
+void RankCtx::recv(unsigned src, std::span<std::byte> out, int tag) {
+  sys_event(isa::SysEvent::kMpiRecvs);
+  core().advance(machine_.partition().torus().params().sw_overhead);
+  for (;;) {
+    auto msg = machine_.try_match(rank_, src, tag);
+    if (msg.has_value()) {
+      if (msg->payload.size() != out.size()) {
+        throw std::runtime_error(
+            strfmt("rank %u: recv size mismatch (got %zu, want %zu)", rank_,
+                   msg->payload.size(), out.size()));
+      }
+      wait_until(msg->ready_time);
+      std::memcpy(out.data(), msg->payload.data(), out.size());
+      yield();
+      return;
+    }
+    auto& self = *machine_.ranks_[rank_];
+    self.status = Machine::Status::kBlockedRecv;
+    self.recv_src = src;
+    self.recv_tag = tag;
+    yield();
+  }
+}
+
+void RankCtx::sendrecv(unsigned peer, std::span<const std::byte> out,
+                       std::span<std::byte> in, int tag) {
+  // Eager sends never block, so send-then-recv is deadlock-free.
+  send(peer, out, tag);
+  recv(peer, in, tag);
+}
+
+// ---- collectives -------------------------------------------------------------
+
+void RankCtx::barrier() {
+  auto& part = machine_.partition();
+  const cycles_t latency = part.barrier_net().barrier_cycles();
+  const cycles_t t0 = core().now();
+  sys_event(isa::SysEvent::kMpiCollectives);
+  machine_.enter_collective(
+      rank_, kCollBarrier, 0, 0, {}, {},
+      [&part, t0](Machine::Collective& coll) {
+        cycles_t total_wait = 0;
+        total_wait += coll.max_arrival - t0;  // rough skew estimate
+        part.barrier_net().record_barrier(total_wait);
+      },
+      latency);
+  const cycles_t waited = core().now() - t0;
+  if (waited > latency) {
+    sys_event(isa::SysEvent::kMpiWaitCycles, waited - latency);
+  }
+}
+
+void RankCtx::bcast(std::span<std::byte> data, unsigned root) {
+  auto& part = machine_.partition();
+  const cycles_t latency = part.collective().op_cycles(data.size());
+  sys_event(isa::SysEvent::kMpiCollectives);
+  machine_.enter_collective(
+      rank_, kCollBcast, data.size(), root, std::as_bytes(std::span(data)),
+      data,
+      [&part, root, latency](Machine::Collective& coll) {
+        const auto& src = coll.members[root];
+        for (auto& m : coll.members) {
+          if (!m.present || m.recv.data() == src.send.data()) continue;
+          std::memcpy(m.recv.data(), src.send.data(), coll.bytes);
+        }
+        part.collective().record_operation(coll.bytes, latency);
+      },
+      latency);
+}
+
+void RankCtx::allreduce_sum(std::span<double> inout) {
+  auto& part = machine_.partition();
+  const u64 bytes = inout.size_bytes();
+  const cycles_t latency = part.collective().op_cycles(bytes);
+  sys_event(isa::SysEvent::kMpiCollectives);
+  machine_.enter_collective(
+      rank_, kCollAllreduceSum, bytes, 0, std::as_bytes(inout),
+      std::as_writable_bytes(inout),
+      [&part, latency](Machine::Collective& coll) {
+        const std::size_t n = coll.bytes / sizeof(double);
+        std::vector<double> acc(n, 0.0);
+        for (auto& m : coll.members) {
+          if (!m.present) continue;
+          const auto* v = reinterpret_cast<const double*>(m.send.data());
+          for (std::size_t i = 0; i < n; ++i) acc[i] += v[i];
+        }
+        for (auto& m : coll.members) {
+          if (!m.present) continue;
+          std::memcpy(m.recv.data(), acc.data(), coll.bytes);
+        }
+        part.collective().record_operation(coll.bytes, latency);
+      },
+      latency);
+}
+
+double RankCtx::allreduce_sum(double v) {
+  double buf = v;
+  allreduce_sum(std::span<double>(&buf, 1));
+  return buf;
+}
+
+u64 RankCtx::allreduce_sum(u64 v) {
+  // Reuse the double path exactly only when values are small; use a
+  // dedicated reduction for exact 64-bit sums.
+  auto& part = machine_.partition();
+  const cycles_t latency = part.collective().op_cycles(sizeof(u64));
+  sys_event(isa::SysEvent::kMpiCollectives);
+  u64 buf = v;
+  const std::span<u64> inout(&buf, 1);
+  machine_.enter_collective(
+      rank_, kCollAllreduceSum, sizeof(u64), 0, std::as_bytes(inout),
+      std::as_writable_bytes(inout),
+      [&part, latency](Machine::Collective& coll) {
+        u64 acc = 0;
+        for (auto& m : coll.members) {
+          if (!m.present) continue;
+          u64 v2;
+          std::memcpy(&v2, m.send.data(), sizeof(u64));
+          acc += v2;
+        }
+        for (auto& m : coll.members) {
+          if (!m.present) continue;
+          std::memcpy(m.recv.data(), &acc, sizeof(u64));
+        }
+        part.collective().record_operation(coll.bytes, latency);
+      },
+      latency);
+  return buf;
+}
+
+double RankCtx::allreduce_max(double v) {
+  auto& part = machine_.partition();
+  const cycles_t latency = part.collective().op_cycles(sizeof(double));
+  sys_event(isa::SysEvent::kMpiCollectives);
+  double buf = v;
+  const std::span<double> inout(&buf, 1);
+  machine_.enter_collective(
+      rank_, kCollAllreduceMax, sizeof(double), 0, std::as_bytes(inout),
+      std::as_writable_bytes(inout),
+      [&part, latency](Machine::Collective& coll) {
+        double acc = -std::numeric_limits<double>::infinity();
+        for (auto& m : coll.members) {
+          if (!m.present) continue;
+          double v2;
+          std::memcpy(&v2, m.send.data(), sizeof(double));
+          acc = std::max(acc, v2);
+        }
+        for (auto& m : coll.members) {
+          if (!m.present) continue;
+          std::memcpy(m.recv.data(), &acc, sizeof(double));
+        }
+        part.collective().record_operation(coll.bytes, latency);
+      },
+      latency);
+  return buf;
+}
+
+void RankCtx::alltoall(std::span<const std::byte> send_buf,
+                       std::span<std::byte> recv_buf, u64 chunk) {
+  const unsigned p = size();
+  if (send_buf.size() != chunk * p || recv_buf.size() != chunk * p) {
+    throw std::invalid_argument("alltoall buffer size mismatch");
+  }
+  auto& part = machine_.partition();
+  // Cost model: every node injects (P-1)*chunk bytes across its six torus
+  // links, plus per-hop latency for an average-distance traversal.
+  const auto& tp = part.torus().params();
+  const double inject_bw = 6.0 * tp.link_bytes_per_cycle;
+  const auto serialization = static_cast<cycles_t>(std::llround(
+      static_cast<double>(chunk) * (p - 1) / inject_bw));
+  const unsigned avg_hops =
+      (part.torus().shape().x + part.torus().shape().y +
+       part.torus().shape().z) / 4 + 1;
+  const cycles_t latency = tp.sw_overhead + serialization +
+                           cycles_t{avg_hops} * tp.hop_latency;
+  sys_event(isa::SysEvent::kMpiCollectives);
+  machine_.enter_collective(
+      rank_, kCollAlltoall, chunk, 0, send_buf, recv_buf,
+      [chunk, p, &part, latency](Machine::Collective& coll) {
+        for (unsigned r = 0; r < p; ++r) {
+          auto& dst = coll.members[r];
+          if (!dst.present) continue;
+          for (unsigned s = 0; s < p; ++s) {
+            const auto& src = coll.members[s];
+            if (!src.present) continue;
+            std::memcpy(dst.recv.data() + s * chunk,
+                        src.send.data() + r * chunk, chunk);
+          }
+        }
+        part.collective().record_operation(chunk * p, latency);
+      },
+      latency);
+}
+
+void RankCtx::allgather(std::span<const std::byte> mine,
+                        std::span<std::byte> all) {
+  const unsigned p = size();
+  const u64 chunk = mine.size();
+  if (all.size() != chunk * p) {
+    throw std::invalid_argument("allgather buffer size mismatch");
+  }
+  auto& part = machine_.partition();
+  const cycles_t latency = part.collective().op_cycles(chunk * p);
+  sys_event(isa::SysEvent::kMpiCollectives);
+  machine_.enter_collective(
+      rank_, kCollAllgather, chunk, 0, mine, all,
+      [chunk, p, &part, latency](Machine::Collective& coll) {
+        for (unsigned r = 0; r < p; ++r) {
+          auto& dst = coll.members[r];
+          if (!dst.present) continue;
+          for (unsigned s = 0; s < p; ++s) {
+            const auto& src = coll.members[s];
+            if (!src.present) continue;
+            std::memcpy(dst.recv.data() + s * chunk, src.send.data(), chunk);
+          }
+        }
+        part.collective().record_operation(chunk * p, latency);
+      },
+      latency);
+}
+
+}  // namespace bgp::rt

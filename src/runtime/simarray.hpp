@@ -1,0 +1,51 @@
+// SimArray<T>: a real C++ array paired with an address in the simulated
+// node address space. Kernels compute on the real data (so results are
+// verifiable) while the simulated addresses drive the cache models.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bgp::rt {
+
+template <typename T>
+class SimArray {
+ public:
+  SimArray() = default;
+  SimArray(addr_t base, std::size_t n) : base_(base), data_(n) {}
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  /// Simulated address of element `i`.
+  [[nodiscard]] addr_t addr(std::size_t i = 0) const noexcept {
+    return base_ + i * sizeof(T);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] u64 bytes() const noexcept { return data_.size() * sizeof(T); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept { return {data_}; }
+
+  [[nodiscard]] auto begin() noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() noexcept { return data_.end(); }
+  [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return data_.end(); }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  addr_t base_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace bgp::rt

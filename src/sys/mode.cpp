@@ -1,0 +1,26 @@
+#include "sys/mode.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace bgp::sys {
+
+std::string_view to_string(OpMode m) noexcept {
+  switch (m) {
+    case OpMode::kSmp1: return "SMP/1";
+    case OpMode::kSmp4: return "SMP/4";
+    case OpMode::kDual: return "DUAL";
+    case OpMode::kVnm: return "VNM";
+  }
+  return "?";
+}
+
+OpMode parse_mode(std::string_view name) {
+  if (name == "smp1" || name == "smp") return OpMode::kSmp1;
+  if (name == "smp4") return OpMode::kSmp4;
+  if (name == "dual") return OpMode::kDual;
+  if (name == "vnm") return OpMode::kVnm;
+  throw std::invalid_argument("unknown operating mode: " + std::string(name));
+}
+
+}  // namespace bgp::sys

@@ -1,0 +1,55 @@
+// Blue Gene/P node operating modes (paper Fig 3): how the four cores of a
+// node are split between MPI processes and threads.
+//
+//   SMP/1 thread :  1 process,  1 thread  (3 cores idle)
+//   SMP/4 threads:  1 process,  4 threads
+//   Dual mode    :  2 processes, 2 threads each
+//   Virtual Node :  4 processes, 1 thread each
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace bgp::sys {
+
+enum class OpMode : u8 {
+  kSmp1 = 0,  ///< SMP, 1 thread
+  kSmp4,      ///< SMP, 4 threads
+  kDual,      ///< Dual mode
+  kVnm,       ///< Virtual Node Mode
+};
+
+[[nodiscard]] constexpr unsigned processes_per_node(OpMode m) noexcept {
+  switch (m) {
+    case OpMode::kSmp1:
+    case OpMode::kSmp4: return 1;
+    case OpMode::kDual: return 2;
+    case OpMode::kVnm: return 4;
+  }
+  return 1;
+}
+
+[[nodiscard]] constexpr unsigned threads_per_process(OpMode m) noexcept {
+  switch (m) {
+    case OpMode::kSmp1: return 1;
+    case OpMode::kSmp4: return 4;
+    case OpMode::kDual: return 2;
+    case OpMode::kVnm: return 1;
+  }
+  return 1;
+}
+
+/// First core a process occupies: processes are packed onto consecutive
+/// cores, each owning threads_per_process of them.
+[[nodiscard]] constexpr unsigned first_core_of_process(OpMode m,
+                                                       unsigned proc) noexcept {
+  return proc * threads_per_process(m);
+}
+
+[[nodiscard]] std::string_view to_string(OpMode m) noexcept;
+
+/// Parse "smp1"/"smp"/"smp4"/"dual"/"vnm" (case-sensitive).
+[[nodiscard]] OpMode parse_mode(std::string_view name);
+
+}  // namespace bgp::sys

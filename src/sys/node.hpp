@@ -1,0 +1,82 @@
+// One Blue Gene/P compute node (paper Fig 2): four PPC450 cores with their
+// SIMD FPUs, the private L1/L2 caches, the shared L3, two DDR controllers,
+// the snoop filter and the node's UPC unit. All hardware event sources are
+// wired into the UPC through the node's EventSink.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "cpu/core.hpp"
+#include "mem/hierarchy.hpp"
+#include "upc/upc_unit.hpp"
+
+namespace bgp::sys {
+
+/// Boot-time configuration, the moral equivalent of the paper's "svchost
+/// options while booting a node" (§VIII uses them to resize the L3).
+struct BootOptions {
+  /// Shared L3 capacity; 0 disables the L3 entirely. Must keep the cache
+  /// geometry valid (multiple of line*assoc).
+  u64 l3_size_bytes = 8 * MiB;
+  /// L2 stream-prefetcher settings (paper §IX: "vary the prefetch amount").
+  mem::PrefetchParams prefetch{};
+  /// Nodes per node card; card parity selects which half of the event space
+  /// a node monitors (§IV's 512-events-in-one-run scheme).
+  unsigned nodes_per_card = 2;
+};
+
+/// One compute node.
+class Node {
+ public:
+  Node(unsigned id, const BootOptions& boot = {});
+
+  [[nodiscard]] unsigned id() const noexcept { return id_; }
+  [[nodiscard]] unsigned card_id() const noexcept {
+    return id_ / boot_.nodes_per_card;
+  }
+  /// Even-numbered node cards monitor the first half of the event space
+  /// (modes 0-1), odd cards the second half (modes 2-3) — or whichever
+  /// split the interface library programs.
+  [[nodiscard]] bool even_card() const noexcept { return card_id() % 2 == 0; }
+
+  [[nodiscard]] upc::UpcUnit& upc() noexcept { return upc_; }
+  [[nodiscard]] const upc::UpcUnit& upc() const noexcept { return upc_; }
+  [[nodiscard]] mem::MemoryHierarchy& memory() noexcept { return *mem_; }
+  [[nodiscard]] const mem::MemoryHierarchy& memory() const noexcept {
+    return *mem_;
+  }
+  [[nodiscard]] cpu::Core& core(unsigned i) { return *cores_.at(i); }
+  [[nodiscard]] const cpu::Core& core(unsigned i) const {
+    return *cores_.at(i);
+  }
+  [[nodiscard]] const BootOptions& boot() const noexcept { return boot_; }
+
+  /// The node's event sink (forwards into the UPC unit); networks and the
+  /// runtime attach through this.
+  [[nodiscard]] mem::EventSink* sink() noexcept { return &sink_; }
+
+  /// Node Time Base: the maximum core clock (cores are kept loosely in sync
+  /// by the runtime; TB is globally synchronized on real hardware).
+  [[nodiscard]] cycles_t timebase() const noexcept;
+
+ private:
+  /// Forwards hardware events into the UPC unit.
+  class UpcSink final : public mem::EventSink {
+   public:
+    explicit UpcSink(upc::UpcUnit& upc) noexcept : upc_(upc) {}
+    void event(isa::EventId id, u64 count) override { upc_.signal(id, count); }
+
+   private:
+    upc::UpcUnit& upc_;
+  };
+
+  unsigned id_;
+  BootOptions boot_;
+  upc::UpcUnit upc_;
+  UpcSink sink_;
+  std::unique_ptr<mem::MemoryHierarchy> mem_;
+  std::array<std::unique_ptr<cpu::Core>, isa::kCoresPerNode> cores_;
+};
+
+}  // namespace bgp::sys

@@ -1,0 +1,163 @@
+#include "upc/upc_unit.hpp"
+
+#include "common/strfmt.hpp"
+
+namespace bgp::upc {
+
+u32 CounterConfig::encode() const noexcept {
+  u32 w = static_cast<u32>(signal) & 0b11u;
+  if (interrupt_enable) w |= 1u << 2;
+  if (enabled) w |= 1u << 3;
+  return w;
+}
+
+CounterConfig CounterConfig::decode(u32 word) noexcept {
+  CounterConfig cfg;
+  cfg.signal = static_cast<SignalMode>(word & 0b11u);
+  cfg.interrupt_enable = (word >> 2) & 1u;
+  cfg.enabled = (word >> 3) & 1u;
+  return cfg;
+}
+
+UpcUnit::UpcUnit(addr_t mmio_base) noexcept : mmio_base_(mmio_base) {}
+
+void UpcUnit::set_mode(u8 mode) {
+  if (mode >= isa::kNumCounterModes) {
+    throw UpcError(strfmt("invalid counter mode %u", mode));
+  }
+  mode_ = mode;
+}
+
+void UpcUnit::reset_counters() noexcept { counters_.fill(0); }
+
+void UpcUnit::reset_config() noexcept {
+  configs_.fill(CounterConfig{});
+}
+
+u8 UpcUnit::check_counter(unsigned counter) {
+  if (counter >= kNumCounters) {
+    throw UpcError(strfmt("counter index %u out of range", counter));
+  }
+  return static_cast<u8>(counter);
+}
+
+void UpcUnit::configure(u8 counter, const CounterConfig& cfg) {
+  configs_[check_counter(counter)] = cfg;
+}
+
+const CounterConfig& UpcUnit::config(u8 counter) const {
+  return configs_[check_counter(counter)];
+}
+
+void UpcUnit::bump(u8 counter, u64 amount) {
+  if (amount == 0) return;
+  const CounterConfig& cfg = configs_[counter];
+  const u64 before = counters_[counter];
+  counters_[counter] = before + amount;  // 64-bit counters; wrap is benign
+  if (cfg.interrupt_enable && cfg.threshold != 0 && before < cfg.threshold &&
+      counters_[counter] >= cfg.threshold) {
+    ++threshold_interrupts_;
+    if (threshold_handler_) {
+      threshold_handler_(counter, counters_[counter]);
+    }
+  }
+}
+
+void UpcUnit::signal(isa::EventId id, u64 count) {
+  if (!running_ || isa::event_mode(id) != mode_) return;
+  const u8 counter = isa::event_counter(id);
+  const CounterConfig& cfg = configs_[counter];
+  if (!cfg.enabled) return;
+  if (cfg.signal != SignalMode::kEdgeRise &&
+      cfg.signal != SignalMode::kEdgeFall) {
+    return;  // level-configured counters ignore edge reports
+  }
+  bump(counter, count);
+}
+
+void UpcUnit::signal_level(isa::EventId id, u64 cycles_high, u64 window) {
+  if (!running_ || isa::event_mode(id) != mode_) return;
+  if (cycles_high > window) cycles_high = window;
+  const u8 counter = isa::event_counter(id);
+  const CounterConfig& cfg = configs_[counter];
+  if (!cfg.enabled) return;
+  switch (cfg.signal) {
+    case SignalMode::kLevelHigh:
+      bump(counter, cycles_high);
+      break;
+    case SignalMode::kLevelLow:
+      bump(counter, window - cycles_high);
+      break;
+    case SignalMode::kEdgeRise:
+    case SignalMode::kEdgeFall:
+      // An observation window in which the signal was ever asserted
+      // contributes one transition.
+      if (cycles_high > 0) bump(counter, 1);
+      break;
+  }
+}
+
+u64 UpcUnit::read(u8 counter) const { return counters_[check_counter(counter)]; }
+
+void UpcUnit::write(u8 counter, u64 value) {
+  counters_[check_counter(counter)] = value;
+}
+
+u64 UpcUnit::mmio_read64(addr_t addr) const {
+  if (!owns_address(addr)) throw UpcError("MMIO read outside UPC window");
+  const addr_t off = addr - mmio_base_;
+  if (off < kConfigOffset) {
+    if (off % 8 != 0) throw UpcError("unaligned counter MMIO read");
+    return read(check_counter(static_cast<unsigned>(off / 8)));
+  }
+  if (off >= kThresholdOffset) {
+    const addr_t toff = off - kThresholdOffset;
+    if (toff % 8 != 0) throw UpcError("unaligned threshold MMIO read");
+    return configs_[check_counter(static_cast<unsigned>(toff / 8))].threshold;
+  }
+  throw UpcError("64-bit MMIO read in 32-bit config region");
+}
+
+void UpcUnit::mmio_write64(addr_t addr, u64 value) {
+  if (!owns_address(addr)) throw UpcError("MMIO write outside UPC window");
+  const addr_t off = addr - mmio_base_;
+  if (off < kConfigOffset) {
+    if (off % 8 != 0) throw UpcError("unaligned counter MMIO write");
+    write(check_counter(static_cast<unsigned>(off / 8)), value);
+    return;
+  }
+  if (off >= kThresholdOffset) {
+    const addr_t toff = off - kThresholdOffset;
+    if (toff % 8 != 0) throw UpcError("unaligned threshold MMIO write");
+    configs_[check_counter(static_cast<unsigned>(toff / 8))].threshold = value;
+    return;
+  }
+  throw UpcError("64-bit MMIO write in 32-bit config region");
+}
+
+u32 UpcUnit::mmio_read32(addr_t addr) const {
+  if (!owns_address(addr)) throw UpcError("MMIO read outside UPC window");
+  const addr_t off = addr - mmio_base_;
+  if (off < kConfigOffset || off >= kThresholdOffset) {
+    throw UpcError("32-bit MMIO access is only defined for config registers");
+  }
+  const addr_t coff = off - kConfigOffset;
+  if (coff % 4 != 0) throw UpcError("unaligned config MMIO read");
+  return configs_[check_counter(static_cast<unsigned>(coff / 4))].encode();
+}
+
+void UpcUnit::mmio_write32(addr_t addr, u32 value) {
+  if (!owns_address(addr)) throw UpcError("MMIO write outside UPC window");
+  const addr_t off = addr - mmio_base_;
+  if (off < kConfigOffset || off >= kThresholdOffset) {
+    throw UpcError("32-bit MMIO access is only defined for config registers");
+  }
+  const addr_t coff = off - kConfigOffset;
+  if (coff % 4 != 0) throw UpcError("unaligned config MMIO write");
+  const u8 counter = check_counter(static_cast<unsigned>(coff / 4));
+  const u64 threshold = configs_[counter].threshold;
+  configs_[counter] = CounterConfig::decode(value);
+  configs_[counter].threshold = threshold;  // set via threshold registers
+}
+
+}  // namespace bgp::upc

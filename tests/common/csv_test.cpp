@@ -1,0 +1,36 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgp {
+namespace {
+
+TEST(Csv, SimpleRows) {
+  CsvWriter csv;
+  csv.header({"app", "mflops"});
+  csv.row({"FT", "1234.5"});
+  EXPECT_EQ(csv.text(), "app,mflops\nFT,1234.5\n");
+  EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(Csv, EscapesCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, EscapedCellsInRow) {
+  CsvWriter csv;
+  csv.row({"a,b", "c"});
+  EXPECT_EQ(csv.text(), "\"a,b\",c\n");
+}
+
+TEST(Csv, EmptyCells) {
+  CsvWriter csv;
+  csv.row({"", "", ""});
+  EXPECT_EQ(csv.text(), ",,\n");
+}
+
+}  // namespace
+}  // namespace bgp

@@ -1,0 +1,85 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bgp {
+namespace {
+
+TEST(NasRng, ProducesValuesInOpenUnitInterval) {
+  NasRng rng;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next();
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(NasRng, StateStaysBelowTwoPow46) {
+  NasRng rng;
+  for (int i = 0; i < 10000; ++i) {
+    rng.next();
+    EXPECT_LT(rng.state(), 70368744177664.0);  // 2^46
+    EXPECT_GE(rng.state(), 0.0);
+    // State must be an exact integer (the LCG is over integers).
+    EXPECT_EQ(rng.state(), std::floor(rng.state()));
+  }
+}
+
+TEST(NasRng, DeterministicForFixedSeed) {
+  NasRng a(12345.0);
+  NasRng b(12345.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(NasRng, JumpMatchesSequentialAdvance) {
+  // jump(seed, a, k) must equal the state after k sequential next() calls.
+  for (u64 k : {0ull, 1ull, 2ull, 17ull, 100ull, 12345ull}) {
+    NasRng seq(NasRng::kDefaultSeed);
+    for (u64 i = 0; i < k; ++i) seq.next();
+    const double jumped =
+        NasRng::jump(NasRng::kDefaultSeed, NasRng::kDefaultA, k);
+    EXPECT_EQ(seq.state(), jumped) << "k=" << k;
+  }
+}
+
+TEST(NasRng, MeanIsApproximatelyHalf) {
+  NasRng rng;
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.next();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro, DoublesInHalfOpenUnitInterval) {
+  Xoshiro256pp rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Xoshiro256pp rng(7);
+  for (u64 bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256pp a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace bgp

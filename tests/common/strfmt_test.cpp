@@ -1,0 +1,28 @@
+#include "common/strfmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgp {
+namespace {
+
+TEST(StrFmt, BasicFormatting) {
+  EXPECT_EQ(strfmt("x=%d", 42), "x=42");
+  EXPECT_EQ(strfmt("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(StrFmt, LongOutput) {
+  const std::string s = strfmt("%0512d", 7);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.back(), '7');
+}
+
+TEST(HumanBytes, Units) {
+  EXPECT_EQ(human_bytes(512), "512.0 B");
+  EXPECT_EQ(human_bytes(4.0 * 1024 * 1024), "4.0 MiB");
+  EXPECT_EQ(human_bytes(1536), "1.5 KiB");
+}
+
+}  // namespace
+}  // namespace bgp

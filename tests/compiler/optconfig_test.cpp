@@ -1,0 +1,53 @@
+#include "compiler/optconfig.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgp::opt {
+namespace {
+
+TEST(OptConfig, ParseLevels) {
+  EXPECT_EQ(OptConfig::parse("-O").level, OptLevel::kO);
+  EXPECT_EQ(OptConfig::parse("-O3").level, OptLevel::kO3);
+  EXPECT_EQ(OptConfig::parse("-O4").level, OptLevel::kO4);
+  EXPECT_EQ(OptConfig::parse("-O5").level, OptLevel::kO5);
+}
+
+TEST(OptConfig, ParseFlags) {
+  const auto cfg = OptConfig::parse("-O -qstrict");
+  EXPECT_TRUE(cfg.qstrict);
+  EXPECT_FALSE(cfg.qarch440d);
+  const auto simd = OptConfig::parse("-O5 -qarch440d");
+  EXPECT_TRUE(simd.qarch440d);
+  EXPECT_TRUE(simd.ipa());
+  EXPECT_TRUE(OptConfig::parse("-O4 -qarch=440d").qarch440d);
+}
+
+TEST(OptConfig, ImpliedOptions) {
+  EXPECT_FALSE(OptConfig::parse("-O3").qhot());
+  EXPECT_TRUE(OptConfig::parse("-O4").qhot());
+  EXPECT_FALSE(OptConfig::parse("-O4").ipa());
+  EXPECT_TRUE(OptConfig::parse("-O5").qhot());
+}
+
+TEST(OptConfig, RejectsUnknownOrMissingLevel) {
+  EXPECT_THROW((void)OptConfig::parse("-O9"), std::invalid_argument);
+  EXPECT_THROW((void)OptConfig::parse("-qarch440d"), std::invalid_argument);
+  EXPECT_THROW((void)OptConfig::parse("-O3 -funroll"), std::invalid_argument);
+}
+
+TEST(OptConfig, Names) {
+  EXPECT_EQ(OptConfig::parse("-O -qstrict").name(), "-O -qstrict");
+  EXPECT_EQ(OptConfig::parse("-O5 -qarch440d").name(), "-O5 -qarch440d");
+}
+
+TEST(OptConfig, PaperSetOrderAndSize) {
+  const auto& set = OptConfig::paper_set();
+  ASSERT_EQ(set.size(), 7u);
+  EXPECT_EQ(set[0].name(), "-O -qstrict");
+  EXPECT_EQ(set[1].name(), "-O3");
+  EXPECT_EQ(set[2].name(), "-O3 -qarch440d");
+  EXPECT_EQ(set[6].name(), "-O5 -qarch440d");
+}
+
+}  // namespace
+}  // namespace bgp::opt

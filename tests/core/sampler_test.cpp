@@ -1,0 +1,139 @@
+#include "core/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+
+namespace bgp::pc {
+namespace {
+
+rt::MachineConfig one_node() {
+  rt::MachineConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.mode = sys::OpMode::kSmp1;
+  return cfg;
+}
+
+isa::LoopDesc fma_loop(u64 trip) {
+  isa::LoopDesc d;
+  d.trip = trip;
+  d.body.fp_at(isa::FpOp::kFma) = 1;
+  return d;
+}
+
+TEST(Sampler, RejectsZeroInterval) {
+  rt::Machine m(one_node());
+  EXPECT_THROW(Sampler(m.partition().node(0), {}, 0), std::invalid_argument);
+}
+
+TEST(Sampler, TimelineTracksMonotoneCounters) {
+  rt::Machine m(one_node());
+  Options opts;
+  opts.write_dumps = false;
+  Session session(m, opts);
+  auto& node = m.partition().node(0);
+  Sampler sampler(node, {isa::ev::fpu_op(0, isa::FpOp::kFma),
+                         isa::ev::cycle_count(0)},
+                  /*interval=*/1000);
+
+  m.run([&](rt::RankCtx& ctx) {
+    session.BGP_Initialize(ctx);
+    session.BGP_Start(ctx);
+    for (int phase = 0; phase < 20; ++phase) {
+      ctx.loop(fma_loop(500));
+      sampler.poll();
+    }
+    session.BGP_Stop(ctx);
+  });
+
+  const auto& tl = sampler.timeline();
+  ASSERT_GE(tl.size(), 3u);
+  for (std::size_t i = 1; i < tl.size(); ++i) {
+    EXPECT_GT(tl[i].timestamp, tl[i - 1].timestamp);
+    EXPECT_EQ(tl[i].timestamp, tl[i - 1].timestamp + 1000);
+    EXPECT_GE(tl[i].values[0], tl[i - 1].values[0]);  // FMA counter grows
+  }
+  EXPECT_GT(tl.back().values[0], 0u);
+}
+
+TEST(Sampler, DeltasMatchTimelineDifferences) {
+  rt::Machine m(one_node());
+  Options opts;
+  opts.write_dumps = false;
+  Session session(m, opts);
+  auto& node = m.partition().node(0);
+  Sampler sampler(node, {isa::ev::fpu_op(0, isa::FpOp::kFma)}, 500);
+
+  m.run([&](rt::RankCtx& ctx) {
+    session.BGP_Initialize(ctx);
+    session.BGP_Start(ctx);
+    for (int phase = 0; phase < 10; ++phase) {
+      ctx.loop(fma_loop(300));
+      sampler.poll();
+    }
+    session.BGP_Stop(ctx);
+  });
+
+  const auto deltas = sampler.deltas();
+  const auto& tl = sampler.timeline();
+  ASSERT_EQ(deltas.size(), tl.size() - 1);
+  u64 sum = 0;
+  for (const auto& d : deltas) sum += d.values[0];
+  EXPECT_EQ(sum, tl.back().values[0] - tl.front().values[0]);
+}
+
+TEST(Sampler, PhaseChangeVisibleInDeltas) {
+  // Two phases: FMA-heavy then integer-only; the FMA delta series must
+  // drop to ~zero in the second phase — the phase-detection use case.
+  rt::Machine m(one_node());
+  Options opts;
+  opts.write_dumps = false;
+  Session session(m, opts);
+  auto& node = m.partition().node(0);
+  Sampler sampler(node, {isa::ev::fpu_op(0, isa::FpOp::kFma)}, 2000);
+
+  m.run([&](rt::RankCtx& ctx) {
+    session.BGP_Initialize(ctx);
+    session.BGP_Start(ctx);
+    for (int i = 0; i < 10; ++i) {
+      ctx.loop(fma_loop(2000));
+      sampler.poll();
+    }
+    isa::LoopDesc ints;
+    ints.trip = 2000;
+    ints.body.int_at(isa::IntOp::kAlu) = 4;
+    for (int i = 0; i < 10; ++i) {
+      ctx.loop(ints);
+      sampler.poll();
+    }
+    session.BGP_Stop(ctx);
+  });
+
+  const auto deltas = sampler.deltas();
+  ASSERT_GE(deltas.size(), 4u);
+  EXPECT_GT(deltas.front().values[0], 0u);
+  EXPECT_EQ(deltas.back().values[0], 0u);
+}
+
+TEST(Sampler, CsvOutputHasHeaderAndRows) {
+  rt::Machine m(one_node());
+  Options opts;
+  opts.write_dumps = false;
+  Session session(m, opts);
+  auto& node = m.partition().node(0);
+  Sampler sampler(node, {isa::ev::cycle_count(0)}, 100);
+  m.run([&](rt::RankCtx& ctx) {
+    session.BGP_Initialize(ctx);
+    session.BGP_Start(ctx);
+    ctx.loop(fma_loop(1000));
+    sampler.poll();
+    session.BGP_Stop(ctx);
+  });
+  CsvWriter csv;
+  sampler.write_csv(csv);
+  EXPECT_NE(csv.text().find("cycle,CORE0_CYCLE_COUNT"), std::string::npos);
+  EXPECT_GT(csv.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace bgp::pc

@@ -1,0 +1,143 @@
+#include "cpu/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace bgp::cpu {
+namespace {
+
+using isa::FpOp;
+using isa::IntOp;
+using isa::LsOp;
+using isa::OpMix;
+
+class Recorder final : public mem::EventSink {
+ public:
+  void event(isa::EventId id, u64 count) override { counts[id] += count; }
+  std::map<isa::EventId, u64> counts;
+};
+
+TEST(Core, EmptyBundleCostsNothing) {
+  Core c(0, CoreParams{});
+  EXPECT_EQ(c.execute(OpMix{}), 0u);
+  EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(Core, DualIssueBound) {
+  // 100 integer ops, nothing else: 2-way issue -> 50 cycles.
+  OpMix m;
+  m.int_at(IntOp::kAlu) = 100;
+  EXPECT_EQ(Core::bundle_cycles(m, CoreParams{}), 50u);
+}
+
+TEST(Core, FpuOccupancyBound) {
+  // 100 FMAs alone: FPU does 1/cycle -> 100 cycles despite 2-way issue.
+  OpMix m;
+  m.fp_at(FpOp::kFma) = 100;
+  EXPECT_EQ(Core::bundle_cycles(m, CoreParams{}), 100u);
+}
+
+TEST(Core, SimdHalvesFpuOccupancy) {
+  OpMix scalar;
+  scalar.fp_at(FpOp::kFma) = 100;
+  OpMix simd;
+  simd.fp_at(FpOp::kSimdFma) = 50;  // same flops, half the instructions
+  EXPECT_LT(Core::bundle_cycles(simd, CoreParams{}),
+            Core::bundle_cycles(scalar, CoreParams{}));
+  // And the same flops are reported.
+  EXPECT_EQ(scalar.total_flops(), simd.total_flops());
+}
+
+TEST(Core, DividesAreUnpipelined) {
+  OpMix m;
+  m.fp_at(FpOp::kDiv) = 10;
+  const CoreParams p{};
+  EXPECT_EQ(Core::bundle_cycles(m, p), 10 * p.fp_div_cycles);
+}
+
+TEST(Core, LsuBound) {
+  OpMix m;
+  m.ls_at(LsOp::kLoadDouble) = 200;
+  m.int_at(IntOp::kAlu) = 10;
+  EXPECT_EQ(Core::bundle_cycles(m, CoreParams{}), 200u);
+}
+
+TEST(Core, QuadLoadsHalveLsuOccupancy) {
+  OpMix dbl;
+  dbl.ls_at(LsOp::kLoadDouble) = 200;
+  OpMix quad;
+  quad.ls_at(LsOp::kLoadQuad) = 100;  // same bytes
+  EXPECT_EQ(dbl.bytes_loaded(), quad.bytes_loaded());
+  EXPECT_LT(Core::bundle_cycles(quad, CoreParams{}),
+            Core::bundle_cycles(dbl, CoreParams{}));
+}
+
+TEST(Core, BranchMispredictionPenalty) {
+  CoreParams p;
+  p.mispredict_rate = 0.5;
+  p.mispredict_penalty = 7;
+  OpMix m;
+  m.int_at(IntOp::kBranch) = 100;
+  // issue bound 50 + 50 mispredicts * 7.
+  EXPECT_EQ(Core::bundle_cycles(m, p), 50u + 350u);
+}
+
+TEST(Core, ExecuteAccumulatesStatsAndTime) {
+  Core c(1, CoreParams{});
+  OpMix m;
+  m.fp_at(FpOp::kSimdFma) = 10;
+  m.ls_at(LsOp::kLoadQuad) = 5;
+  c.execute(m);
+  EXPECT_EQ(c.stats().instructions, 15u);
+  EXPECT_EQ(c.stats().flops, 40u);
+  EXPECT_EQ(c.now(), c.stats().compute_cycles);
+  c.stall(100);
+  c.wait(50);
+  EXPECT_EQ(c.stats().memory_stall_cycles, 100u);
+  EXPECT_EQ(c.stats().wait_cycles, 50u);
+  EXPECT_EQ(c.now(), c.stats().total_cycles());
+}
+
+TEST(Core, SignalsFpuAndCycleEvents) {
+  Recorder rec;
+  Core c(2, CoreParams{}, &rec);
+  OpMix m;
+  m.fp_at(FpOp::kSimdAddSub) = 7;
+  m.int_at(IntOp::kAlu) = 3;
+  const cycles_t cycles = c.execute(m);
+  EXPECT_EQ(rec.counts[isa::ev::fpu_op(2, FpOp::kSimdAddSub)], 7u);
+  EXPECT_EQ(rec.counts[isa::ev::int_op(2, IntOp::kAlu)], 3u);
+  EXPECT_EQ(rec.counts[isa::ev::instr_completed(2)], 10u);
+  EXPECT_EQ(rec.counts[isa::ev::cycle_count(2)], cycles);
+}
+
+TEST(Core, SyncToOnlyMovesForward) {
+  Core c(0, CoreParams{});
+  c.advance(100);
+  c.sync_to(50);  // no-op
+  EXPECT_EQ(c.now(), 100u);
+  c.sync_to(250);
+  EXPECT_EQ(c.now(), 250u);
+  EXPECT_EQ(c.stats().wait_cycles, 150u);
+}
+
+TEST(Core, TimebaseMatchesClockAndCountsReads) {
+  Recorder rec;
+  Core c(0, CoreParams{}, &rec);
+  c.advance(123);
+  EXPECT_EQ(c.read_timebase(), 123u);
+  EXPECT_EQ(rec.counts[isa::ev::system(isa::SysEvent::kTimebaseReads, 0)], 1u);
+}
+
+TEST(Core, PeakSimdRateIsFourFlopsPerCycle) {
+  // 13.6 GFLOPS node peak = 4 cores * 850 MHz * 4 flops: a pure SIMD-FMA
+  // bundle must execute at 4 flops/cycle.
+  OpMix m;
+  m.fp_at(FpOp::kSimdFma) = 1000;
+  const cycles_t cycles = Core::bundle_cycles(m, CoreParams{});
+  EXPECT_EQ(m.total_flops() / cycles, 4u);
+}
+
+}  // namespace
+}  // namespace bgp::cpu

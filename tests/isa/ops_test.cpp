@@ -1,0 +1,90 @@
+#include "isa/ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgp::isa {
+namespace {
+
+TEST(Ops, FlopsPerOpMatchesPaperWeights) {
+  // MFLOPS computation weights (paper §IV): scalar ops 1 flop, FMA 2,
+  // SIMD add/mult 2, SIMD FMA 4.
+  EXPECT_EQ(flops_per_op(FpOp::kAddSub), 1u);
+  EXPECT_EQ(flops_per_op(FpOp::kMult), 1u);
+  EXPECT_EQ(flops_per_op(FpOp::kDiv), 1u);
+  EXPECT_EQ(flops_per_op(FpOp::kFma), 2u);
+  EXPECT_EQ(flops_per_op(FpOp::kSimdAddSub), 2u);
+  EXPECT_EQ(flops_per_op(FpOp::kSimdMult), 2u);
+  EXPECT_EQ(flops_per_op(FpOp::kSimdDiv), 2u);
+  EXPECT_EQ(flops_per_op(FpOp::kSimdFma), 4u);
+}
+
+TEST(Ops, SimdClassification) {
+  EXPECT_FALSE(is_simd(FpOp::kAddSub));
+  EXPECT_FALSE(is_simd(FpOp::kFma));
+  EXPECT_TRUE(is_simd(FpOp::kSimdAddSub));
+  EXPECT_TRUE(is_simd(FpOp::kSimdFma));
+}
+
+TEST(Ops, BytesPerLsOp) {
+  EXPECT_EQ(bytes_per_op(LsOp::kLoadSingle), 4u);
+  EXPECT_EQ(bytes_per_op(LsOp::kLoadDouble), 8u);
+  EXPECT_EQ(bytes_per_op(LsOp::kLoadQuad), 16u);
+  EXPECT_EQ(bytes_per_op(LsOp::kStoreQuad), 16u);
+}
+
+TEST(Ops, LoadClassification) {
+  EXPECT_TRUE(is_load(LsOp::kLoadQuad));
+  EXPECT_FALSE(is_load(LsOp::kStoreDouble));
+}
+
+TEST(OpMix, Totals) {
+  OpMix m;
+  m.fp_at(FpOp::kFma) = 10;       // 20 flops
+  m.fp_at(FpOp::kSimdFma) = 5;    // 20 flops
+  m.fp_at(FpOp::kAddSub) = 3;     // 3 flops
+  m.ls_at(LsOp::kLoadDouble) = 7; // 56 bytes loaded
+  m.ls_at(LsOp::kStoreQuad) = 2;  // 32 bytes stored
+  m.int_at(IntOp::kBranch) = 4;
+
+  EXPECT_EQ(m.total_fp_instructions(), 18u);
+  EXPECT_EQ(m.total_instructions(), 18u + 9u + 4u);
+  EXPECT_EQ(m.total_flops(), 43u);
+  EXPECT_EQ(m.bytes_loaded(), 56u);
+  EXPECT_EQ(m.bytes_stored(), 32u);
+}
+
+TEST(OpMix, SumAndScale) {
+  OpMix a;
+  a.fp_at(FpOp::kMult) = 2;
+  a.ls_at(LsOp::kLoadDouble) = 1;
+  OpMix b;
+  b.fp_at(FpOp::kMult) = 3;
+  b.int_at(IntOp::kAlu) = 5;
+
+  OpMix c = a;
+  c += b;
+  EXPECT_EQ(c.fp_at(FpOp::kMult), 5u);
+  EXPECT_EQ(c.ls_at(LsOp::kLoadDouble), 1u);
+  EXPECT_EQ(c.int_at(IntOp::kAlu), 5u);
+
+  const OpMix s = a.scaled(10);
+  EXPECT_EQ(s.fp_at(FpOp::kMult), 20u);
+  EXPECT_EQ(s.ls_at(LsOp::kLoadDouble), 10u);
+}
+
+TEST(OpMix, EqualityAndDefaultZero) {
+  OpMix a, b;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.total_instructions(), 0u);
+  b.fp_at(FpOp::kDiv) = 1;
+  EXPECT_NE(a, b);
+}
+
+TEST(Ops, Names) {
+  EXPECT_EQ(to_string(FpOp::kSimdFma), "fp_simd_fma");
+  EXPECT_EQ(to_string(LsOp::kLoadQuad), "load_quad");
+  EXPECT_EQ(to_string(IntOp::kBranch), "branch");
+}
+
+}  // namespace
+}  // namespace bgp::isa

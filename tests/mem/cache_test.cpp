@@ -1,0 +1,201 @@
+#include "mem/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+namespace bgp::mem {
+namespace {
+
+CacheParams small_wb() {
+  // 4 sets * 2 ways * 64 B = 512 B write-back cache for easy conflict tests.
+  return CacheParams{.size_bytes = 512,
+                     .line_bytes = 64,
+                     .assoc = 2,
+                     .hit_latency = 3,
+                     .write_through = false,
+                     .write_allocate = true};
+}
+
+TEST(Cache, GeometryValidation) {
+  Backstop mem;
+  CacheParams bad = small_wb();
+  bad.size_bytes = 500;  // not sets*assoc*line
+  EXPECT_THROW(Cache("bad", bad, &mem), std::invalid_argument);
+  EXPECT_EQ(small_wb().num_sets(), 4u);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Backstop mem(100);
+  Cache c("c", small_wb(), &mem);
+  const auto miss = c.access(0x1000, AccessType::kRead, 0, 0);
+  EXPECT_EQ(miss.latency, 103u);  // hit latency + backstop
+  EXPECT_EQ(miss.serviced_by, 4);
+  const auto hit = c.access(0x1000, AccessType::kRead, 0, 0);
+  EXPECT_EQ(hit.latency, 3u);
+  EXPECT_EQ(hit.serviced_by, 1);
+  EXPECT_EQ(c.stats().read_access, 2u);
+  EXPECT_EQ(c.stats().read_miss, 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit) {
+  Backstop mem;
+  Cache c("c", small_wb(), &mem);
+  c.access(0x1000, AccessType::kRead, 0, 0);
+  EXPECT_EQ(c.access(0x103F, AccessType::kRead, 0, 0).latency, 3u);
+  EXPECT_EQ(c.stats().read_miss, 1u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Backstop mem;
+  Cache c("c", small_wb(), &mem);
+  // Three lines mapping to the same set (set stride = 4 lines * 64 B = 256).
+  const addr_t a = 0x0000, b = 0x0100, d = 0x0200;
+  c.access(a, AccessType::kRead, 0, 0);
+  c.access(b, AccessType::kRead, 0, 0);
+  c.access(a, AccessType::kRead, 0, 0);  // a is now MRU
+  c.access(d, AccessType::kRead, 0, 0);  // evicts b (LRU)
+  EXPECT_TRUE(c.probe(a));
+  EXPECT_FALSE(c.probe(b));
+  EXPECT_TRUE(c.probe(d));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, WritebackOfDirtyVictim) {
+  Backstop mem;
+  Cache c("c", small_wb(), &mem);
+  const addr_t a = 0x0000, b = 0x0100, d = 0x0200;
+  c.access(a, AccessType::kWrite, 0, 0);  // allocate dirty
+  c.access(b, AccessType::kRead, 0, 0);
+  c.access(d, AccessType::kRead, 0, 0);  // evicts dirty a -> writeback
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  EXPECT_EQ(mem.writes(), 1u);
+}
+
+TEST(Cache, CleanVictimNoWriteback) {
+  Backstop mem;
+  Cache c("c", small_wb(), &mem);
+  const addr_t a = 0x0000, b = 0x0100, d = 0x0200;
+  c.access(a, AccessType::kRead, 0, 0);
+  c.access(b, AccessType::kRead, 0, 0);
+  c.access(d, AccessType::kRead, 0, 0);
+  EXPECT_EQ(c.stats().writebacks, 0u);
+  EXPECT_EQ(mem.writes(), 0u);
+}
+
+TEST(Cache, WriteThroughForwardsEveryWrite) {
+  Backstop mem;
+  CacheParams wt = small_wb();
+  wt.write_through = true;
+  wt.write_allocate = false;
+  Cache c("c", wt, &mem);
+  c.access(0x1000, AccessType::kRead, 0, 0);   // fill
+  c.access(0x1000, AccessType::kWrite, 0, 0);  // write hit: forwarded
+  c.access(0x2000, AccessType::kWrite, 0, 0);  // write miss: forwarded, no allocate
+  EXPECT_EQ(mem.writes(), 2u);
+  EXPECT_FALSE(c.probe(0x2000));
+  EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(Cache, WriteBackAbsorbsWriteHits) {
+  Backstop mem;
+  Cache c("c", small_wb(), &mem);
+  c.access(0x1000, AccessType::kRead, 0, 0);
+  for (int i = 0; i < 100; ++i) c.access(0x1000, AccessType::kWrite, 0, 0);
+  EXPECT_EQ(mem.writes(), 0u);  // dirty line stays until eviction
+}
+
+TEST(Cache, InstallDoesNotDoubleInsert) {
+  Backstop mem;
+  Cache c("c", small_wb(), &mem);
+  EXPECT_TRUE(c.install(0x1000, 0, 0));
+  EXPECT_FALSE(c.install(0x1000, 0, 0));
+  EXPECT_TRUE(c.probe(0x1000));
+  EXPECT_EQ(c.access(0x1000, AccessType::kRead, 0, 0).latency, 3u);
+}
+
+TEST(Cache, FlushWritesBackDirtyLines) {
+  Backstop mem;
+  Cache c("c", small_wb(), &mem);
+  c.access(0x0000, AccessType::kWrite, 0, 0);
+  c.access(0x1000, AccessType::kRead, 0, 0);
+  c.flush(0, 0);
+  EXPECT_EQ(mem.writes(), 1u);
+  EXPECT_EQ(c.resident_lines(), 0u);
+  EXPECT_FALSE(c.probe(0x0000));
+}
+
+TEST(Cache, CapacityBehaviour) {
+  // Working set of exactly the cache size must fit after one pass.
+  Backstop mem;
+  Cache c("c", small_wb(), &mem);
+  for (addr_t a = 0; a < 512; a += 64) c.access(a, AccessType::kRead, 0, 0);
+  const u64 misses_after_fill = c.stats().read_miss;
+  for (addr_t a = 0; a < 512; a += 64) c.access(a, AccessType::kRead, 0, 0);
+  EXPECT_EQ(c.stats().read_miss, misses_after_fill);
+  EXPECT_EQ(c.resident_lines(), 8u);
+}
+
+TEST(Cache, ThrashingBeyondCapacity) {
+  // A working set of 2x the cache size in the same sets must keep missing.
+  Backstop mem;
+  Cache c("c", small_wb(), &mem);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (addr_t a = 0; a < 1024; a += 64) c.access(a, AccessType::kRead, 0, 0);
+  }
+  // LRU on a cyclic pattern of 4 lines/set into 2 ways: every access misses.
+  EXPECT_EQ(c.stats().read_miss, c.stats().read_access);
+}
+
+TEST(Cache, EventsEmittedToSink) {
+  class Recorder final : public EventSink {
+   public:
+    void event(isa::EventId id, u64 count) override { counts[id] += count; }
+    std::map<isa::EventId, u64> counts;
+  } rec;
+
+  Backstop mem;
+  CacheEventIds ids;
+  ids.read_access = 7;
+  ids.read_miss = 8;
+  Cache c("c", small_wb(), &mem, &rec, ids);
+  c.access(0x0, AccessType::kRead, 0, 0);
+  c.access(0x0, AccessType::kRead, 0, 0);
+  EXPECT_EQ(rec.counts[7], 2u);
+  EXPECT_EQ(rec.counts[8], 1u);
+}
+
+TEST(Cache, MissWithNoNextLevelIsWiringBug) {
+  Cache c("c", small_wb(), nullptr);
+  EXPECT_THROW(c.access(0x0, AccessType::kRead, 0, 0), std::logic_error);
+}
+
+class CacheSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CacheSweep, MissRateNeverExceedsOneAndFitsWhenSized) {
+  const auto [size_kb, assoc] = GetParam();
+  Backstop mem;
+  CacheParams p{.size_bytes = static_cast<u64>(size_kb) * KiB,
+                .line_bytes = 64,
+                .assoc = static_cast<u32>(assoc),
+                .hit_latency = 3,
+                .write_through = false,
+                .write_allocate = true};
+  Cache c("c", p, &mem);
+  // Stream half the capacity twice: second pass must be all hits.
+  const addr_t span = p.size_bytes / 2;
+  for (addr_t a = 0; a < span; a += 64) c.access(a, AccessType::kRead, 0, 0);
+  const u64 m1 = c.stats().read_miss;
+  for (addr_t a = 0; a < span; a += 64) c.access(a, AccessType::kRead, 0, 0);
+  EXPECT_EQ(c.stats().read_miss, m1);
+  EXPECT_LE(c.stats().miss_rate(), 1.0);
+  EXPECT_EQ(m1, span / 64);  // cold misses exactly once per line
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheSweep,
+                         ::testing::Combine(::testing::Values(4, 32, 256),
+                                            ::testing::Values(1, 2, 8, 16)));
+
+}  // namespace
+}  // namespace bgp::mem

@@ -1,0 +1,88 @@
+// Robustness of the dump-file loader against real directory contents:
+// junk files, other applications' dumps, unsorted node numbering.
+#include "postproc/loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/binio.hpp"
+#include "common/strfmt.hpp"
+#include "core/node_monitor.hpp"
+
+namespace bgp::post {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LoaderDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "bgpc_loader_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write_dump(const std::string& app, u32 node) {
+    pc::NodeDump d;
+    d.node_id = node;
+    d.card_id = node / 2;
+    d.counter_mode = node % 2;
+    d.app_name = app;
+    pc::SetDump s;
+    s.set_id = 0;
+    s.pairs = 1;
+    s.last_stop_cycle = 100;
+    d.sets.push_back(s);
+    const auto bytes = pc::NodeMonitor::serialize(d);
+    std::ofstream out(dir_ / strfmt("%s.node%04u.bgpc", app.c_str(), node),
+                      std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(LoaderDir, LoadsOnlyMatchingAppAndSortsByNode) {
+  write_dump("FT", 3);
+  write_dump("FT", 0);
+  write_dump("FT", 12);
+  write_dump("CG", 1);  // other app: ignored
+  std::ofstream(dir_ / "notes.txt") << "junk";
+  std::ofstream(dir_ / "FT.node0003.bgpc.bak") << "junk";
+
+  const auto dumps = load_dumps(dir_, "FT");
+  ASSERT_EQ(dumps.size(), 3u);
+  EXPECT_EQ(dumps[0].node_id, 0u);
+  EXPECT_EQ(dumps[1].node_id, 3u);
+  EXPECT_EQ(dumps[2].node_id, 12u);
+  for (const auto& d : dumps) EXPECT_EQ(d.app_name, "FT");
+}
+
+TEST_F(LoaderDir, EmptyDirectoryGivesEmptyVector) {
+  EXPECT_TRUE(load_dumps(dir_, "FT").empty());
+}
+
+TEST_F(LoaderDir, CorruptFileThrows) {
+  std::ofstream(dir_ / "FT.node0000.bgpc") << "this is not a dump";
+  EXPECT_THROW((void)load_dumps(dir_, "FT"), BinIoError);
+}
+
+TEST_F(LoaderDir, ExplicitFileListRoundTrip) {
+  write_dump("IS", 5);
+  const auto dumps =
+      load_dumps(std::vector<fs::path>{dir_ / "IS.node0005.bgpc"});
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_EQ(dumps[0].node_id, 5u);
+  EXPECT_EQ(dumps[0].counter_mode, 1u);
+}
+
+TEST_F(LoaderDir, MissingExplicitFileThrows) {
+  EXPECT_THROW((void)load_dumps(std::vector<fs::path>{dir_ / "nope.bgpc"}),
+               BinIoError);
+}
+
+}  // namespace
+}  // namespace bgp::post

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/capi.hpp"
+#include "core/session.hpp"
+#include "postproc/loader.hpp"
+#include "postproc/report.hpp"
+#include "postproc/sanity.hpp"
+
+namespace bgp::post {
+namespace {
+
+using pc::NodeDump;
+using pc::SetDump;
+
+/// Hand-built dumps: two nodes in mode 0 (per-core events), two in mode 1
+/// (memory events).
+std::vector<NodeDump> synthetic_dumps() {
+  std::vector<NodeDump> dumps;
+  for (u32 node = 0; node < 4; ++node) {
+    NodeDump d;
+    d.node_id = node;
+    d.card_id = node / 2;
+    d.counter_mode = (node / 2) % 2;
+    d.app_name = "synth";
+    SetDump s;
+    s.set_id = 0;
+    s.pairs = 1;
+    s.first_start_cycle = 1000;
+    s.last_stop_cycle = 101000;  // 100k cycle window
+    if (d.counter_mode == 0) {
+      for (unsigned core = 0; core < 4; ++core) {
+        s.deltas[isa::event_counter(isa::ev::fpu_op(core, isa::FpOp::kFma))] =
+            1000;
+        s.deltas[isa::event_counter(
+            isa::ev::fpu_op(core, isa::FpOp::kSimdFma))] = 500;
+        s.deltas[isa::event_counter(isa::ev::cycle_count(core))] =
+            100000 + core;  // core 3 is the slowest
+      }
+    } else {
+      s.deltas[isa::event_counter(
+          isa::ev::ddr(0, isa::DdrEvent::kBytesRead16B))] = 1000;
+      s.deltas[isa::event_counter(
+          isa::ev::ddr(1, isa::DdrEvent::kBytesWritten16B))] = 500;
+      s.deltas[isa::event_counter(isa::ev::l3(isa::L3Event::kReadAccess))] =
+          10000;
+      s.deltas[isa::event_counter(isa::ev::l3(isa::L3Event::kReadMiss))] =
+          1000;
+    }
+    d.sets.push_back(s);
+    dumps.push_back(d);
+  }
+  return dumps;
+}
+
+TEST(Sanity, CleanDumpsPass) {
+  const auto rep = check(synthetic_dumps());
+  EXPECT_TRUE(rep.ok()) << (rep.problems.empty() ? "" : rep.problems[0]);
+}
+
+TEST(Sanity, DetectsProblems) {
+  auto dumps = synthetic_dumps();
+  dumps[1].node_id = 0;  // duplicate
+  EXPECT_FALSE(check(dumps).ok());
+
+  dumps = synthetic_dumps();
+  dumps[2].sets[0].pairs = 0;
+  EXPECT_FALSE(check(dumps).ok());
+
+  dumps = synthetic_dumps();
+  dumps[0].sets[0].deltas[7] = u64{1} << 61;
+  EXPECT_FALSE(check(dumps).ok());
+
+  dumps = synthetic_dumps();
+  dumps[3].app_name = "other";
+  EXPECT_FALSE(check(dumps).ok());
+
+  dumps = synthetic_dumps();
+  dumps[1].sets[0].last_stop_cycle = 0;
+  EXPECT_FALSE(check(dumps).ok());
+
+  EXPECT_FALSE(check({}).ok());
+}
+
+TEST(Aggregate, MergesEvenAndOddCardViews) {
+  const Aggregate agg(synthetic_dumps(), 0);
+  // FPU events: 2 mode-0 nodes report.
+  const auto fma = isa::ev::fpu_op(0, isa::FpOp::kFma);
+  EXPECT_EQ(agg.nodes_reporting(fma), 2u);
+  EXPECT_DOUBLE_EQ(agg.mean(fma), 1000.0);
+  // Memory events: the other 2 nodes.
+  const auto l3 = isa::ev::l3(isa::L3Event::kReadAccess);
+  EXPECT_EQ(agg.nodes_reporting(l3), 2u);
+  EXPECT_DOUBLE_EQ(agg.mean(l3), 10000.0);
+  EXPECT_EQ(agg.dumps_in_mode(0).size(), 2u);
+  EXPECT_EQ(agg.dumps_in_mode(1).size(), 2u);
+}
+
+TEST(Metrics, FpProfile) {
+  const Aggregate agg(synthetic_dumps(), 0);
+  const FpProfile p = fp_profile(agg);
+  // Per node: 4 cores * 1000 FMA + 4 * 500 SIMD FMA.
+  EXPECT_DOUBLE_EQ(p.counts[static_cast<int>(isa::FpOp::kFma)], 4000.0);
+  EXPECT_DOUBLE_EQ(p.counts[static_cast<int>(isa::FpOp::kSimdFma)], 2000.0);
+  EXPECT_DOUBLE_EQ(p.total(), 6000.0);
+  EXPECT_DOUBLE_EQ(p.fraction(isa::FpOp::kFma), 4000.0 / 6000.0);
+  // flops: 4000*2 + 2000*4.
+  EXPECT_DOUBLE_EQ(p.flops(), 16000.0);
+  EXPECT_DOUBLE_EQ(p.simd_instructions(), 2000.0);
+}
+
+TEST(Metrics, ExecCyclesUsesSlowestCore) {
+  const Aggregate agg(synthetic_dumps(), 0);
+  EXPECT_DOUBLE_EQ(mean_exec_cycles(agg), 100003.0);
+}
+
+TEST(Metrics, MflopsConversion) {
+  const Aggregate agg(synthetic_dumps(), 0);
+  const double expected =
+      16000.0 / (100003.0 / kCoreClockHz) / 1e6;
+  EXPECT_NEAR(mean_mflops_per_node(agg), expected, 1e-9);
+}
+
+TEST(Metrics, DdrTrafficAndBandwidth) {
+  const Aggregate agg(synthetic_dumps(), 0);
+  EXPECT_DOUBLE_EQ(mean_ddr_traffic_bytes(agg), 1500.0 * 16.0);
+  EXPECT_DOUBLE_EQ(mean_ddr_bandwidth(agg), 1500.0 * 16.0 / 100000.0);
+}
+
+TEST(Metrics, L3MissRatio) {
+  const Aggregate agg(synthetic_dumps(), 0);
+  EXPECT_DOUBLE_EQ(l3_read_miss_ratio(agg), 0.1);
+}
+
+TEST(Report, MetricsCsvHasOneRowPerApp) {
+  const Aggregate agg(synthetic_dumps(), 0);
+  CsvWriter csv;
+  write_metrics_csv(csv, {make_record("synth", agg)});
+  EXPECT_EQ(csv.rows(), 2u);  // header + 1 record
+  EXPECT_NE(csv.text().find("synth"), std::string::npos);
+  EXPECT_NE(csv.text().find("fp_simd_fma"), std::string::npos);
+}
+
+TEST(Report, CounterStatsCsvListsMonitoredEvents) {
+  const Aggregate agg(synthetic_dumps(), 0);
+  CsvWriter csv;
+  write_counter_stats_csv(csv, agg);
+  EXPECT_NE(csv.text().find("CORE0_fp_fma"), std::string::npos);
+  EXPECT_NE(csv.text().find("DDR0_BYTES_READ_16B"), std::string::npos);
+  EXPECT_GT(csv.rows(), 10u);
+}
+
+TEST(Report, FullCsvHasPerNodeRows) {
+  CsvWriter csv;
+  write_full_csv(csv, synthetic_dumps(), 0);
+  // 4 nodes, each with its non-zero counters listed individually.
+  EXPECT_NE(csv.text().find("CORE3_CYCLE_COUNT"), std::string::npos);
+  EXPECT_NE(csv.text().find("L3_READ_MISS"), std::string::npos);
+}
+
+TEST(EndToEnd, InstrumentedRunThroughDumpFilesToMetrics) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "bgpc_postproc_e2e";
+  std::filesystem::create_directories(dir);
+
+  rt::MachineConfig mc;
+  mc.num_nodes = 4;
+  mc.mode = sys::OpMode::kVnm;
+  rt::Machine m(mc);
+  pc::Options opts;
+  opts.app_name = "e2e";
+  opts.dump_dir = dir;
+  pc::Session session(m, opts);
+  session.link_with_mpi();
+
+  m.run([&](rt::RankCtx& ctx) {
+    ctx.mpi_init();
+    isa::LoopDesc d;
+    d.name = "axpy";
+    d.trip = 2000;
+    d.body.fp_at(isa::FpOp::kFma) = 1;
+    d.body.ls_at(isa::LsOp::kLoadDouble) = 2;
+    d.vectorizable = 1.0;
+    auto x = ctx.alloc<double>(4096);
+    ctx.loop(d, {rt::MemRange{x.addr(), x.bytes(), false}});
+    ctx.mpi_finalize();
+  });
+
+  const auto dumps = load_dumps(dir, "e2e");
+  ASSERT_EQ(dumps.size(), 4u);
+  EXPECT_TRUE(check(dumps).ok());
+
+  const Aggregate agg(dumps, 0);
+  const auto rec = make_record("e2e", agg);
+  // Default opt is -O5 -qarch440d and the loop is fully vectorizable:
+  // the mix must be SIMD FMA dominated.
+  EXPECT_GT(rec.fp.counts[static_cast<int>(isa::FpOp::kSimdFma)], 0.0);
+  EXPECT_EQ(rec.fp.counts[static_cast<int>(isa::FpOp::kFma)], 0.0);
+  EXPECT_GT(rec.mflops_per_node, 0.0);
+  EXPECT_GT(rec.exec_cycles, 0.0);
+  // Mode-1 nodes saw the DDR traffic of the cold array walk.
+  EXPECT_GT(rec.ddr_traffic_bytes, 0.0);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bgp::post

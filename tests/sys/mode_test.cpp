@@ -1,0 +1,45 @@
+#include "sys/mode.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgp::sys {
+namespace {
+
+TEST(Mode, PaperFig3Table) {
+  // Fig 3: processes and threads per node in each operating mode.
+  EXPECT_EQ(processes_per_node(OpMode::kSmp1), 1u);
+  EXPECT_EQ(threads_per_process(OpMode::kSmp1), 1u);
+  EXPECT_EQ(processes_per_node(OpMode::kSmp4), 1u);
+  EXPECT_EQ(threads_per_process(OpMode::kSmp4), 4u);
+  EXPECT_EQ(processes_per_node(OpMode::kDual), 2u);
+  EXPECT_EQ(threads_per_process(OpMode::kDual), 2u);
+  EXPECT_EQ(processes_per_node(OpMode::kVnm), 4u);
+  EXPECT_EQ(threads_per_process(OpMode::kVnm), 1u);
+}
+
+TEST(Mode, EveryModeUsesAtMostFourCores) {
+  for (OpMode m : {OpMode::kSmp1, OpMode::kSmp4, OpMode::kDual, OpMode::kVnm}) {
+    EXPECT_LE(processes_per_node(m) * threads_per_process(m), 4u);
+  }
+}
+
+TEST(Mode, ProcessCorePacking) {
+  EXPECT_EQ(first_core_of_process(OpMode::kVnm, 0), 0u);
+  EXPECT_EQ(first_core_of_process(OpMode::kVnm, 3), 3u);
+  EXPECT_EQ(first_core_of_process(OpMode::kDual, 1), 2u);
+  EXPECT_EQ(first_core_of_process(OpMode::kSmp4, 0), 0u);
+}
+
+TEST(Mode, ParseAndPrint) {
+  EXPECT_EQ(parse_mode("vnm"), OpMode::kVnm);
+  EXPECT_EQ(parse_mode("smp1"), OpMode::kSmp1);
+  EXPECT_EQ(parse_mode("smp"), OpMode::kSmp1);
+  EXPECT_EQ(parse_mode("dual"), OpMode::kDual);
+  EXPECT_EQ(parse_mode("smp4"), OpMode::kSmp4);
+  EXPECT_THROW((void)parse_mode("quad"), std::invalid_argument);
+  EXPECT_EQ(to_string(OpMode::kVnm), "VNM");
+  EXPECT_EQ(to_string(OpMode::kSmp1), "SMP/1");
+}
+
+}  // namespace
+}  // namespace bgp::sys

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "upc/upc_unit.hpp"
+
+namespace bgp::upc {
+namespace {
+
+namespace ev = isa::ev;
+
+TEST(UpcMmio, CounterReadWrite) {
+  UpcUnit u;
+  const addr_t base = u.mmio_base();
+  u.mmio_write64(base + 8 * 42, 777);
+  EXPECT_EQ(u.read(42), 777u);
+  EXPECT_EQ(u.mmio_read64(base + 8 * 42), 777u);
+}
+
+TEST(UpcMmio, AllCountersAddressable) {
+  UpcUnit u;
+  const addr_t base = u.mmio_base();
+  for (unsigned i = 0; i < UpcUnit::kNumCounters; ++i) {
+    u.mmio_write64(base + 8 * i, i * 3);
+  }
+  for (unsigned i = 0; i < UpcUnit::kNumCounters; ++i) {
+    EXPECT_EQ(u.mmio_read64(base + 8 * i), i * 3);
+  }
+}
+
+TEST(UpcMmio, ConfigReadWrite) {
+  UpcUnit u;
+  const addr_t cfg_addr = u.mmio_base() + UpcUnit::kConfigOffset + 4 * 10;
+  CounterConfig cfg;
+  cfg.signal = SignalMode::kEdgeFall;
+  cfg.interrupt_enable = true;
+  u.mmio_write32(cfg_addr, cfg.encode());
+  EXPECT_EQ(u.config(10).signal, SignalMode::kEdgeFall);
+  EXPECT_TRUE(u.config(10).interrupt_enable);
+  EXPECT_EQ(u.mmio_read32(cfg_addr), cfg.encode());
+}
+
+TEST(UpcMmio, ConfigWritePreservesThreshold) {
+  UpcUnit u;
+  const addr_t thr_addr = u.mmio_base() + UpcUnit::kThresholdOffset + 8 * 5;
+  const addr_t cfg_addr = u.mmio_base() + UpcUnit::kConfigOffset + 4 * 5;
+  u.mmio_write64(thr_addr, 12345);
+  u.mmio_write32(cfg_addr, 0b0101);
+  EXPECT_EQ(u.config(5).threshold, 12345u);
+  EXPECT_EQ(u.mmio_read64(thr_addr), 12345u);
+}
+
+TEST(UpcMmio, SingleMonitoringThreadCanReadEverything) {
+  // Paper: global accessibility of configuration and count values allows a
+  // single monitoring thread to read the performance counters. Emulate by
+  // walking the whole MMIO window.
+  UpcUnit u;
+  u.start();
+  u.set_mode(0);
+  u.signal(ev::fpu_op(0, isa::FpOp::kSimdFma), 9);
+  u64 total = 0;
+  for (unsigned i = 0; i < UpcUnit::kNumCounters; ++i) {
+    total += u.mmio_read64(u.mmio_base() + 8 * i);
+  }
+  EXPECT_EQ(total, 9u);
+}
+
+TEST(UpcMmio, OutOfWindowThrows) {
+  UpcUnit u;
+  EXPECT_THROW((void)u.mmio_read64(u.mmio_base() - 8), UpcError);
+  EXPECT_THROW((void)u.mmio_read64(u.mmio_base() + UpcUnit::kMmioSpan), UpcError);
+  EXPECT_THROW(u.mmio_write64(u.mmio_base() + UpcUnit::kMmioSpan, 1), UpcError);
+}
+
+TEST(UpcMmio, UnalignedAccessThrows) {
+  UpcUnit u;
+  EXPECT_THROW((void)u.mmio_read64(u.mmio_base() + 4), UpcError);
+  EXPECT_THROW(
+      u.mmio_write32(u.mmio_base() + UpcUnit::kConfigOffset + 2, 0),
+      UpcError);
+}
+
+TEST(UpcMmio, WrongWidthInConfigRegionThrows) {
+  UpcUnit u;
+  EXPECT_THROW((void)u.mmio_read64(u.mmio_base() + UpcUnit::kConfigOffset), UpcError);
+  EXPECT_THROW((void)u.mmio_read32(u.mmio_base()), UpcError);
+}
+
+}  // namespace
+}  // namespace bgp::upc

@@ -1,0 +1,127 @@
+// bgpc_mine — the post-processing / data-mining tool of the paper's §IV as
+// a command-line program: reads the per-node binary dumps an instrumented
+// application wrote, validates them, aggregates the counters across nodes
+// and emits the metrics / statistics / full-counter .csv files usable "with
+// Microsoft Excel or Open office calc".
+//
+//   bgpc_mine <dump_dir> <app_name> [options]
+//     --set=N           instrumentation set to mine (default 0)
+//     --metrics=FILE    write the per-application metrics record
+//     --stats=FILE      write min/max/mean of all monitored counters
+//     --full=FILE       write every counter value read on every node
+//     --quiet           suppress the stdout summary
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/strfmt.hpp"
+#include "postproc/loader.hpp"
+#include "postproc/report.hpp"
+#include "postproc/sanity.hpp"
+
+using namespace bgp;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <dump_dir> <app_name> [--set=N] [--metrics=FILE] "
+               "[--stats=FILE] [--full=FILE] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::filesystem::path dir = argv[1];
+  const std::string app = argv[2];
+  unsigned set = 0;
+  std::string metrics_file, stats_file, full_file;
+  bool quiet = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--set=", 6) == 0) {
+      set = static_cast<unsigned>(std::atoi(argv[i] + 6));
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_file = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--stats=", 8) == 0) {
+      stats_file = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--full=", 7) == 0) {
+      full_file = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::vector<pc::NodeDump> dumps;
+  try {
+    dumps = post::load_dumps(dir, app);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error loading dumps: %s\n", e.what());
+    return 1;
+  }
+  if (dumps.empty()) {
+    std::fprintf(stderr, "no %s.node*.bgpc files in %s\n", app.c_str(),
+                 dir.string().c_str());
+    return 1;
+  }
+
+  const post::SanityReport sanity = post::check(dumps);
+  if (!sanity.ok()) {
+    std::fprintf(stderr, "sanity check FAILED:\n");
+    for (const auto& p : sanity.problems) {
+      std::fprintf(stderr, "  %s\n", p.c_str());
+    }
+    return 1;
+  }
+
+  const post::Aggregate agg(dumps, set);
+  const post::AppRecord rec = post::make_record(app, agg);
+
+  if (!quiet) {
+    std::printf("%zu node dumps, set %u, sanity OK\n", dumps.size(), set);
+    std::printf("  mode-0 nodes (per-core events): %zu\n",
+                agg.dumps_in_mode(0).size());
+    std::printf("  mode-1 nodes (memory events):   %zu\n",
+                agg.dumps_in_mode(1).size());
+    std::printf("  exec cycles (mean node max): %.0f (%.3f ms at 850 MHz)\n",
+                rec.exec_cycles,
+                1e3 * rec.exec_cycles / kCoreClockHz);
+    std::printf("  MFLOPS/node:                 %.2f\n", rec.mflops_per_node);
+    std::printf("  L3<->DDR traffic/node:       %s\n",
+                human_bytes(rec.ddr_traffic_bytes).c_str());
+    std::printf("  L3 read miss ratio:          %.2f%%\n",
+                100.0 * rec.l3_read_miss_ratio);
+    std::printf("  dynamic FP mix:");
+    for (unsigned i = 0; i < isa::kNumFpOps; ++i) {
+      const auto op = static_cast<isa::FpOp>(i);
+      if (rec.fp.fraction(op) < 0.005) continue;
+      std::printf(" %s=%.1f%%", std::string(isa::to_string(op)).c_str(),
+                  100.0 * rec.fp.fraction(op));
+    }
+    std::printf("\n");
+  }
+
+  if (!metrics_file.empty()) {
+    CsvWriter csv;
+    post::write_metrics_csv(csv, {rec});
+    csv.write_file(metrics_file);
+    if (!quiet) std::printf("wrote %s\n", metrics_file.c_str());
+  }
+  if (!stats_file.empty()) {
+    CsvWriter csv;
+    post::write_counter_stats_csv(csv, agg);
+    csv.write_file(stats_file);
+    if (!quiet) std::printf("wrote %s\n", stats_file.c_str());
+  }
+  if (!full_file.empty()) {
+    CsvWriter csv;
+    post::write_full_csv(csv, dumps, set);
+    csv.write_file(full_file);
+    if (!quiet) std::printf("wrote %s\n", full_file.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+// bgpc_run — launch an instrumented NAS benchmark on a simulated Blue
+// Gene/P partition (the moral equivalent of the paper's job submission):
+// pick the benchmark, partition size, operating mode, problem class, boot
+// options and compiler option set; the interface library is linked into
+// MPI and per-node dump files are written for bgpc_mine.
+//
+//   bgpc_run BENCH [options]
+//     --nodes=N         partition size (default 4)
+//     --mode=M          smp1|smp4|dual|vnm (default vnm)
+//     --class=C         S|W|A (default W)
+//     --l3=MB           L3 size in MiB, 0 disables (default 8)
+//     --prefetch=D      L2 prefetch depth, 0 disables (default 2)
+//     --opt=FLAGS       e.g. "-O5 -qarch440d" (default)
+//     --ranks=N         use fewer ranks than the partition hosts
+//     --dumps=DIR       dump directory (default bgpc_dumps)
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/strfmt.hpp"
+#include "nas/kernel.hpp"
+#include "core/session.hpp"
+#include "postproc/report.hpp"
+#include "postproc/sanity.hpp"
+
+using namespace bgp;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BENCH [--nodes=N] [--mode=smp1|smp4|dual|vnm] "
+               "[--class=S|W|A] [--l3=MB] [--prefetch=D] [--opt=FLAGS] "
+               "[--ranks=N] [--dumps=DIR]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+
+  nas::Benchmark bench;
+  unsigned nodes = 4, ranks = 0;
+  sys::OpMode mode = sys::OpMode::kVnm;
+  nas::ProblemClass cls = nas::ProblemClass::kW;
+  sys::BootOptions boot;
+  opt::OptConfig optcfg{opt::OptLevel::kO5, false, true};
+  std::filesystem::path dump_dir = "bgpc_dumps";
+
+  try {
+    bench = nas::parse_benchmark(argv[1]);
+    for (int i = 2; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
+        nodes = static_cast<unsigned>(std::atoi(argv[i] + 8));
+      } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+        mode = sys::parse_mode(argv[i] + 7);
+      } else if (std::strncmp(argv[i], "--class=", 8) == 0) {
+        cls = nas::parse_class(argv[i] + 8);
+      } else if (std::strncmp(argv[i], "--l3=", 5) == 0) {
+        boot.l3_size_bytes = static_cast<u64>(std::atoi(argv[i] + 5)) * MiB;
+      } else if (std::strncmp(argv[i], "--prefetch=", 11) == 0) {
+        const int d = std::atoi(argv[i] + 11);
+        boot.prefetch.enabled = d > 0;
+        boot.prefetch.depth = static_cast<unsigned>(d);
+      } else if (std::strncmp(argv[i], "--opt=", 6) == 0) {
+        optcfg = opt::OptConfig::parse(argv[i] + 6);
+      } else if (std::strncmp(argv[i], "--ranks=", 8) == 0) {
+        ranks = static_cast<unsigned>(std::atoi(argv[i] + 8));
+      } else if (std::strncmp(argv[i], "--dumps=", 8) == 0) {
+        dump_dir = argv[i] + 8;
+      } else {
+        return usage(argv[0]);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage(argv[0]);
+  }
+
+  std::filesystem::create_directories(dump_dir);
+
+  rt::MachineConfig mc;
+  mc.num_nodes = nodes;
+  mc.mode = mode;
+  mc.boot = boot;
+  mc.opt = optcfg;
+  mc.num_ranks_override = ranks;
+  rt::Machine machine(mc);
+
+  pc::Options opts;
+  opts.app_name = std::string(nas::name(bench));
+  opts.dump_dir = dump_dir;
+  pc::Session session(machine, opts);
+  session.link_with_mpi();
+
+  std::printf("%s class %s | %u nodes %s (%u ranks) | L3 %s | prefetch %s | "
+              "%s\n",
+              opts.app_name.c_str(), std::string(nas::name(cls)).c_str(),
+              nodes, std::string(sys::to_string(mode)).c_str(),
+              machine.num_ranks(),
+              boot.l3_size_bytes ? human_bytes((double)boot.l3_size_bytes).c_str()
+                                 : "off",
+              boot.prefetch.enabled
+                  ? strfmt("depth %u", boot.prefetch.depth).c_str()
+                  : "off",
+              optcfg.name().c_str());
+
+  auto kernel = nas::make_kernel(bench, cls);
+  machine.run([&](rt::RankCtx& ctx) {
+    ctx.mpi_init();
+    kernel->run(ctx);
+    ctx.mpi_finalize();
+  });
+
+  std::printf("verification: %s (%s)\n",
+              kernel->result().verified ? "PASSED" : "FAILED",
+              kernel->result().detail.c_str());
+  std::printf("simulated time: %.3f ms (%llu cycles on the slowest node)\n",
+              1e3 * cycles_to_seconds(machine.elapsed()),
+              static_cast<unsigned long long>(machine.elapsed()));
+  std::printf("wrote %zu dump files to %s — mine them with:\n"
+              "  bgpc_mine %s %s --metrics=metrics.csv\n",
+              session.dump_files().size(), dump_dir.string().c_str(),
+              dump_dir.string().c_str(), opts.app_name.c_str());
+  return kernel->result().verified ? 0 : 1;
+}
