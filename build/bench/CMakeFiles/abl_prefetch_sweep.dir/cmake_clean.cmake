@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_prefetch_sweep.dir/abl_prefetch_sweep.cpp.o"
+  "CMakeFiles/abl_prefetch_sweep.dir/abl_prefetch_sweep.cpp.o.d"
+  "abl_prefetch_sweep"
+  "abl_prefetch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_prefetch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_modes.dir/fig03_modes.cpp.o"
+  "CMakeFiles/fig03_modes.dir/fig03_modes.cpp.o.d"
+  "fig03_modes"
+  "fig03_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ft_simd.dir/fig07_ft_simd.cpp.o"
+  "CMakeFiles/fig07_ft_simd.dir/fig07_ft_simd.cpp.o.d"
+  "fig07_ft_simd"
+  "fig07_ft_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ft_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

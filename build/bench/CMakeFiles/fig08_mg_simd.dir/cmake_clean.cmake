@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_mg_simd.dir/fig08_mg_simd.cpp.o"
+  "CMakeFiles/fig08_mg_simd.dir/fig08_mg_simd.cpp.o.d"
+  "fig08_mg_simd"
+  "fig08_mg_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_mg_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

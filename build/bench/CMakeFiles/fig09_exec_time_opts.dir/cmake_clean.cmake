@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_exec_time_opts.dir/fig09_exec_time_opts.cpp.o"
+  "CMakeFiles/fig09_exec_time_opts.dir/fig09_exec_time_opts.cpp.o.d"
+  "fig09_exec_time_opts"
+  "fig09_exec_time_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_exec_time_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

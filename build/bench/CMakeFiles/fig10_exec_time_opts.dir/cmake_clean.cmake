@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_exec_time_opts.dir/fig10_exec_time_opts.cpp.o"
+  "CMakeFiles/fig10_exec_time_opts.dir/fig10_exec_time_opts.cpp.o.d"
+  "fig10_exec_time_opts"
+  "fig10_exec_time_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_exec_time_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ddr_traffic_ratio.dir/fig12_ddr_traffic_ratio.cpp.o"
+  "CMakeFiles/fig12_ddr_traffic_ratio.dir/fig12_ddr_traffic_ratio.cpp.o.d"
+  "fig12_ddr_traffic_ratio"
+  "fig12_ddr_traffic_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ddr_traffic_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

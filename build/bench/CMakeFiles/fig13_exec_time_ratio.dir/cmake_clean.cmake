@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_exec_time_ratio.dir/fig13_exec_time_ratio.cpp.o"
+  "CMakeFiles/fig13_exec_time_ratio.dir/fig13_exec_time_ratio.cpp.o.d"
+  "fig13_exec_time_ratio"
+  "fig13_exec_time_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_exec_time_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

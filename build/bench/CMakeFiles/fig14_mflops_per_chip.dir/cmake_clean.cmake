@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_mflops_per_chip.dir/fig14_mflops_per_chip.cpp.o"
+  "CMakeFiles/fig14_mflops_per_chip.dir/fig14_mflops_per_chip.cpp.o.d"
+  "fig14_mflops_per_chip"
+  "fig14_mflops_per_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mflops_per_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

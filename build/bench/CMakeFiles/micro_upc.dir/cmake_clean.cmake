@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_upc.dir/micro_upc.cpp.o"
+  "CMakeFiles/micro_upc.dir/micro_upc.cpp.o.d"
+  "micro_upc"
+  "micro_upc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_upc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

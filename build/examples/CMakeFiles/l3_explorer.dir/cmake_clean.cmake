@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l3_explorer.dir/l3_explorer.cpp.o"
+  "CMakeFiles/l3_explorer.dir/l3_explorer.cpp.o.d"
+  "l3_explorer"
+  "l3_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l3_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

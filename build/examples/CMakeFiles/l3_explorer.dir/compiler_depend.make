@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for l3_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for l3_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modes_demo.dir/modes_demo.cpp.o"
+  "CMakeFiles/modes_demo.dir/modes_demo.cpp.o.d"
+  "modes_demo"
+  "modes_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modes_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_profile.dir/nas_profile.cpp.o"
+  "CMakeFiles/nas_profile.dir/nas_profile.cpp.o.d"
+  "nas_profile"
+  "nas_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

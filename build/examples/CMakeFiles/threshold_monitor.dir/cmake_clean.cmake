@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_monitor.dir/threshold_monitor.cpp.o"
+  "CMakeFiles/threshold_monitor.dir/threshold_monitor.cpp.o.d"
+  "threshold_monitor"
+  "threshold_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

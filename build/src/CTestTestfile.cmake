@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("upc")
+subdirs("mem")
+subdirs("cpu")
+subdirs("net")
+subdirs("sys")
+subdirs("compiler")
+subdirs("runtime")
+subdirs("core")
+subdirs("postproc")
+subdirs("nas")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_common.dir/binio.cpp.o"
+  "CMakeFiles/bgp_common.dir/binio.cpp.o.d"
+  "CMakeFiles/bgp_common.dir/csv.cpp.o"
+  "CMakeFiles/bgp_common.dir/csv.cpp.o.d"
+  "CMakeFiles/bgp_common.dir/log.cpp.o"
+  "CMakeFiles/bgp_common.dir/log.cpp.o.d"
+  "CMakeFiles/bgp_common.dir/rng.cpp.o"
+  "CMakeFiles/bgp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bgp_common.dir/strfmt.cpp.o"
+  "CMakeFiles/bgp_common.dir/strfmt.cpp.o.d"
+  "libbgp_common.a"
+  "libbgp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

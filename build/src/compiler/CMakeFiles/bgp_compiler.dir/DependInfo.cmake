@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/compiler.cpp" "src/compiler/CMakeFiles/bgp_compiler.dir/compiler.cpp.o" "gcc" "src/compiler/CMakeFiles/bgp_compiler.dir/compiler.cpp.o.d"
+  "/root/repo/src/compiler/optconfig.cpp" "src/compiler/CMakeFiles/bgp_compiler.dir/optconfig.cpp.o" "gcc" "src/compiler/CMakeFiles/bgp_compiler.dir/optconfig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/bgp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bgp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

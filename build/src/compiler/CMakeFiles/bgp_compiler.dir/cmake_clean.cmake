@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_compiler.dir/compiler.cpp.o"
+  "CMakeFiles/bgp_compiler.dir/compiler.cpp.o.d"
+  "CMakeFiles/bgp_compiler.dir/optconfig.cpp.o"
+  "CMakeFiles/bgp_compiler.dir/optconfig.cpp.o.d"
+  "libbgp_compiler.a"
+  "libbgp_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

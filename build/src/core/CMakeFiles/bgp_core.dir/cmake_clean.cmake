@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_core.dir/capi.cpp.o"
+  "CMakeFiles/bgp_core.dir/capi.cpp.o.d"
+  "CMakeFiles/bgp_core.dir/node_monitor.cpp.o"
+  "CMakeFiles/bgp_core.dir/node_monitor.cpp.o.d"
+  "CMakeFiles/bgp_core.dir/sampler.cpp.o"
+  "CMakeFiles/bgp_core.dir/sampler.cpp.o.d"
+  "CMakeFiles/bgp_core.dir/session.cpp.o"
+  "CMakeFiles/bgp_core.dir/session.cpp.o.d"
+  "libbgp_core.a"
+  "libbgp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

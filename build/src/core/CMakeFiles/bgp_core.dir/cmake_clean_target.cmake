@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgp_core.a"
+)

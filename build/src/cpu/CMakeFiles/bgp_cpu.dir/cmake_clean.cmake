@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_cpu.dir/core.cpp.o"
+  "CMakeFiles/bgp_cpu.dir/core.cpp.o.d"
+  "libbgp_cpu.a"
+  "libbgp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

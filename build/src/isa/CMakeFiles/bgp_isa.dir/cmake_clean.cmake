@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_isa.dir/events.cpp.o"
+  "CMakeFiles/bgp_isa.dir/events.cpp.o.d"
+  "CMakeFiles/bgp_isa.dir/ops.cpp.o"
+  "CMakeFiles/bgp_isa.dir/ops.cpp.o.d"
+  "libbgp_isa.a"
+  "libbgp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

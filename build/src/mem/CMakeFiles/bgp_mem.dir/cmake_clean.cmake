@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_mem.dir/cache.cpp.o"
+  "CMakeFiles/bgp_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/bgp_mem.dir/ddr.cpp.o"
+  "CMakeFiles/bgp_mem.dir/ddr.cpp.o.d"
+  "CMakeFiles/bgp_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/bgp_mem.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/bgp_mem.dir/prefetch.cpp.o"
+  "CMakeFiles/bgp_mem.dir/prefetch.cpp.o.d"
+  "CMakeFiles/bgp_mem.dir/snoop.cpp.o"
+  "CMakeFiles/bgp_mem.dir/snoop.cpp.o.d"
+  "libbgp_mem.a"
+  "libbgp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

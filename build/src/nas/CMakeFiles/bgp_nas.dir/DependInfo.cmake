@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/bt.cpp" "src/nas/CMakeFiles/bgp_nas.dir/bt.cpp.o" "gcc" "src/nas/CMakeFiles/bgp_nas.dir/bt.cpp.o.d"
+  "/root/repo/src/nas/cg.cpp" "src/nas/CMakeFiles/bgp_nas.dir/cg.cpp.o" "gcc" "src/nas/CMakeFiles/bgp_nas.dir/cg.cpp.o.d"
+  "/root/repo/src/nas/ep.cpp" "src/nas/CMakeFiles/bgp_nas.dir/ep.cpp.o" "gcc" "src/nas/CMakeFiles/bgp_nas.dir/ep.cpp.o.d"
+  "/root/repo/src/nas/ft.cpp" "src/nas/CMakeFiles/bgp_nas.dir/ft.cpp.o" "gcc" "src/nas/CMakeFiles/bgp_nas.dir/ft.cpp.o.d"
+  "/root/repo/src/nas/is.cpp" "src/nas/CMakeFiles/bgp_nas.dir/is.cpp.o" "gcc" "src/nas/CMakeFiles/bgp_nas.dir/is.cpp.o.d"
+  "/root/repo/src/nas/kernel.cpp" "src/nas/CMakeFiles/bgp_nas.dir/kernel.cpp.o" "gcc" "src/nas/CMakeFiles/bgp_nas.dir/kernel.cpp.o.d"
+  "/root/repo/src/nas/lu.cpp" "src/nas/CMakeFiles/bgp_nas.dir/lu.cpp.o" "gcc" "src/nas/CMakeFiles/bgp_nas.dir/lu.cpp.o.d"
+  "/root/repo/src/nas/mg.cpp" "src/nas/CMakeFiles/bgp_nas.dir/mg.cpp.o" "gcc" "src/nas/CMakeFiles/bgp_nas.dir/mg.cpp.o.d"
+  "/root/repo/src/nas/runner.cpp" "src/nas/CMakeFiles/bgp_nas.dir/runner.cpp.o" "gcc" "src/nas/CMakeFiles/bgp_nas.dir/runner.cpp.o.d"
+  "/root/repo/src/nas/solvers.cpp" "src/nas/CMakeFiles/bgp_nas.dir/solvers.cpp.o" "gcc" "src/nas/CMakeFiles/bgp_nas.dir/solvers.cpp.o.d"
+  "/root/repo/src/nas/sp.cpp" "src/nas/CMakeFiles/bgp_nas.dir/sp.cpp.o" "gcc" "src/nas/CMakeFiles/bgp_nas.dir/sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/bgp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/postproc/CMakeFiles/bgp_postproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/bgp_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/bgp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bgp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/upc/CMakeFiles/bgp_upc.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/bgp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bgp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bgp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

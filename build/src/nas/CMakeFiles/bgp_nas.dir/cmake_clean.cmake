@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_nas.dir/bt.cpp.o"
+  "CMakeFiles/bgp_nas.dir/bt.cpp.o.d"
+  "CMakeFiles/bgp_nas.dir/cg.cpp.o"
+  "CMakeFiles/bgp_nas.dir/cg.cpp.o.d"
+  "CMakeFiles/bgp_nas.dir/ep.cpp.o"
+  "CMakeFiles/bgp_nas.dir/ep.cpp.o.d"
+  "CMakeFiles/bgp_nas.dir/ft.cpp.o"
+  "CMakeFiles/bgp_nas.dir/ft.cpp.o.d"
+  "CMakeFiles/bgp_nas.dir/is.cpp.o"
+  "CMakeFiles/bgp_nas.dir/is.cpp.o.d"
+  "CMakeFiles/bgp_nas.dir/kernel.cpp.o"
+  "CMakeFiles/bgp_nas.dir/kernel.cpp.o.d"
+  "CMakeFiles/bgp_nas.dir/lu.cpp.o"
+  "CMakeFiles/bgp_nas.dir/lu.cpp.o.d"
+  "CMakeFiles/bgp_nas.dir/mg.cpp.o"
+  "CMakeFiles/bgp_nas.dir/mg.cpp.o.d"
+  "CMakeFiles/bgp_nas.dir/runner.cpp.o"
+  "CMakeFiles/bgp_nas.dir/runner.cpp.o.d"
+  "CMakeFiles/bgp_nas.dir/solvers.cpp.o"
+  "CMakeFiles/bgp_nas.dir/solvers.cpp.o.d"
+  "CMakeFiles/bgp_nas.dir/sp.cpp.o"
+  "CMakeFiles/bgp_nas.dir/sp.cpp.o.d"
+  "libbgp_nas.a"
+  "libbgp_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_net.dir/collective.cpp.o"
+  "CMakeFiles/bgp_net.dir/collective.cpp.o.d"
+  "CMakeFiles/bgp_net.dir/torus.cpp.o"
+  "CMakeFiles/bgp_net.dir/torus.cpp.o.d"
+  "libbgp_net.a"
+  "libbgp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

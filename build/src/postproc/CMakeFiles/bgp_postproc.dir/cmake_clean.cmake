@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_postproc.dir/aggregate.cpp.o"
+  "CMakeFiles/bgp_postproc.dir/aggregate.cpp.o.d"
+  "CMakeFiles/bgp_postproc.dir/loader.cpp.o"
+  "CMakeFiles/bgp_postproc.dir/loader.cpp.o.d"
+  "CMakeFiles/bgp_postproc.dir/metrics.cpp.o"
+  "CMakeFiles/bgp_postproc.dir/metrics.cpp.o.d"
+  "CMakeFiles/bgp_postproc.dir/report.cpp.o"
+  "CMakeFiles/bgp_postproc.dir/report.cpp.o.d"
+  "CMakeFiles/bgp_postproc.dir/sanity.cpp.o"
+  "CMakeFiles/bgp_postproc.dir/sanity.cpp.o.d"
+  "libbgp_postproc.a"
+  "libbgp_postproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_postproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

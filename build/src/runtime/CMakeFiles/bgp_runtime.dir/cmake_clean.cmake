@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_runtime.dir/machine.cpp.o"
+  "CMakeFiles/bgp_runtime.dir/machine.cpp.o.d"
+  "CMakeFiles/bgp_runtime.dir/rankctx.cpp.o"
+  "CMakeFiles/bgp_runtime.dir/rankctx.cpp.o.d"
+  "libbgp_runtime.a"
+  "libbgp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

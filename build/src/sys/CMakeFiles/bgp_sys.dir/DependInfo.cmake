@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/mode.cpp" "src/sys/CMakeFiles/bgp_sys.dir/mode.cpp.o" "gcc" "src/sys/CMakeFiles/bgp_sys.dir/mode.cpp.o.d"
+  "/root/repo/src/sys/node.cpp" "src/sys/CMakeFiles/bgp_sys.dir/node.cpp.o" "gcc" "src/sys/CMakeFiles/bgp_sys.dir/node.cpp.o.d"
+  "/root/repo/src/sys/partition.cpp" "src/sys/CMakeFiles/bgp_sys.dir/partition.cpp.o" "gcc" "src/sys/CMakeFiles/bgp_sys.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/bgp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bgp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/upc/CMakeFiles/bgp_upc.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bgp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bgp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_sys.dir/mode.cpp.o"
+  "CMakeFiles/bgp_sys.dir/mode.cpp.o.d"
+  "CMakeFiles/bgp_sys.dir/node.cpp.o"
+  "CMakeFiles/bgp_sys.dir/node.cpp.o.d"
+  "CMakeFiles/bgp_sys.dir/partition.cpp.o"
+  "CMakeFiles/bgp_sys.dir/partition.cpp.o.d"
+  "libbgp_sys.a"
+  "libbgp_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

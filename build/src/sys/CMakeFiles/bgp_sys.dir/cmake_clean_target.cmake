@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgp_sys.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_upc.dir/upc_unit.cpp.o"
+  "CMakeFiles/bgp_upc.dir/upc_unit.cpp.o.d"
+  "libbgp_upc.a"
+  "libbgp_upc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_upc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

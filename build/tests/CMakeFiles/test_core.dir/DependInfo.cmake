@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/sampler_test.cpp" "tests/CMakeFiles/test_core.dir/core/sampler_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sampler_test.cpp.o.d"
+  "/root/repo/tests/core/session_test.cpp" "tests/CMakeFiles/test_core.dir/core/session_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/session_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bgp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/bgp_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/bgp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bgp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/upc/CMakeFiles/bgp_upc.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/bgp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bgp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bgp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/cache_test.cpp" "tests/CMakeFiles/test_mem.dir/mem/cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/cache_test.cpp.o.d"
+  "/root/repo/tests/mem/ddr_test.cpp" "tests/CMakeFiles/test_mem.dir/mem/ddr_test.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/ddr_test.cpp.o.d"
+  "/root/repo/tests/mem/hierarchy_test.cpp" "tests/CMakeFiles/test_mem.dir/mem/hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/hierarchy_test.cpp.o.d"
+  "/root/repo/tests/mem/prefetch_test.cpp" "tests/CMakeFiles/test_mem.dir/mem/prefetch_test.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/prefetch_test.cpp.o.d"
+  "/root/repo/tests/mem/snoop_test.cpp" "tests/CMakeFiles/test_mem.dir/mem/snoop_test.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/snoop_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/bgp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/upc/CMakeFiles/bgp_upc.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bgp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bgp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

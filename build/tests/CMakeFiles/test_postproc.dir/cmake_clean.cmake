@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postproc.dir/postproc/loader_test.cpp.o"
+  "CMakeFiles/test_postproc.dir/postproc/loader_test.cpp.o.d"
+  "CMakeFiles/test_postproc.dir/postproc/postproc_test.cpp.o"
+  "CMakeFiles/test_postproc.dir/postproc/postproc_test.cpp.o.d"
+  "test_postproc"
+  "test_postproc.pdb"
+  "test_postproc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upc.dir/upc/upc_mmio_test.cpp.o"
+  "CMakeFiles/test_upc.dir/upc/upc_mmio_test.cpp.o.d"
+  "CMakeFiles/test_upc.dir/upc/upc_property_test.cpp.o"
+  "CMakeFiles/test_upc.dir/upc/upc_property_test.cpp.o.d"
+  "CMakeFiles/test_upc.dir/upc/upc_unit_test.cpp.o"
+  "CMakeFiles/test_upc.dir/upc/upc_unit_test.cpp.o.d"
+  "test_upc"
+  "test_upc.pdb"
+  "test_upc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

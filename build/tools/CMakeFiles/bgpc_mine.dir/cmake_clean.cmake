@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpc_mine.dir/bgpc_mine.cpp.o"
+  "CMakeFiles/bgpc_mine.dir/bgpc_mine.cpp.o.d"
+  "bgpc_mine"
+  "bgpc_mine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpc_mine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/bgpc_run.cpp" "tools/CMakeFiles/bgpc_run.dir/bgpc_run.cpp.o" "gcc" "tools/CMakeFiles/bgpc_run.dir/bgpc_run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nas/CMakeFiles/bgp_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/postproc/CMakeFiles/bgp_postproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bgp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/bgp_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/bgp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bgp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/upc/CMakeFiles/bgp_upc.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/bgp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bgp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bgp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

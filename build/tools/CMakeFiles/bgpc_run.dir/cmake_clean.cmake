@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpc_run.dir/bgpc_run.cpp.o"
+  "CMakeFiles/bgpc_run.dir/bgpc_run.cpp.o.d"
+  "bgpc_run"
+  "bgpc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
