@@ -59,7 +59,8 @@ int main(int argc, char** argv) {
               dump_dir.string().c_str());
   const auto sanity = post::check(dumps);
   if (!sanity.ok()) {
-    for (const auto& p : sanity.problems) std::printf("sanity: %s\n", p.c_str());
+    for (const auto& p : sanity.problems)
+      std::printf("sanity: %s\n", p.text.c_str());
     return 1;
   }
 

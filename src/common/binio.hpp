@@ -84,6 +84,14 @@ class BinaryReader {
   [[nodiscard]] std::size_t remaining() const noexcept {
     return data_.size() - pos_;
   }
+  /// Raw input bytes [begin, end) — e.g. to checksum an already-read span.
+  [[nodiscard]] std::span<const std::byte> window(std::size_t begin,
+                                                  std::size_t end) const {
+    if (begin > end || end > data_.size()) {
+      throw BinIoError("binary input window out of range");
+    }
+    return data_.subspan(begin, end - begin);
+  }
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }
   [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
 

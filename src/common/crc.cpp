@@ -1,0 +1,33 @@
+#include "common/crc.hpp"
+
+#include <array>
+
+namespace bgp {
+
+namespace {
+
+constexpr std::array<u32, 256> make_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<u32, 256> kTable = make_table();
+
+}  // namespace
+
+u32 crc32(std::span<const std::byte> data, u32 prior) noexcept {
+  u32 c = ~prior;
+  for (const std::byte b : data) {
+    c = kTable[(c ^ static_cast<u32>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace bgp

@@ -1,0 +1,17 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to checksum the
+// sections of the on-disk dump format so bit rot and torn writes are
+// detected at load time instead of silently skewing the mined statistics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace bgp {
+
+/// CRC32 of `data`. Pass a previous return value as `prior` to continue a
+/// checksum across multiple buffers: crc32(ab) == crc32(b, crc32(a)).
+[[nodiscard]] u32 crc32(std::span<const std::byte> data, u32 prior = 0) noexcept;
+
+}  // namespace bgp

@@ -3,10 +3,14 @@
 //
 //   header:  magic "BGPC" (u32) | version (u32) | node id (u32)
 //            | card id (u32) | counter mode (u32) | app name (string)
-//            | set count (u32)
+//            | set count (u32) | [v2: header CRC32 (u32)]
 //   per set: set id (u32) | start/stop pair count (u32)
 //            | first start cycle (u64) | last stop cycle (u64)
-//            | 256 counter deltas (u64 each)
+//            | 256 counter deltas (u64 each) | [v2: set CRC32 (u32)]
+//
+// Version 2 adds a CRC32 after each section (header and every set),
+// computed over that section's bytes (the header CRC excludes the
+// magic/version words). Readers accept both versions; writers emit v2.
 #pragma once
 
 #include <array>
@@ -19,7 +23,8 @@
 namespace bgp::pc {
 
 inline constexpr u32 kDumpMagic = 0x43504742;  // "BGPC" little-endian
-inline constexpr u32 kDumpVersion = 1;
+inline constexpr u32 kDumpVersionLegacy = 1;   ///< no section checksums
+inline constexpr u32 kDumpVersion = 2;         ///< per-section CRC32
 
 struct SetDump {
   u32 set_id = 0;

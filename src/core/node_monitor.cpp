@@ -3,7 +3,9 @@
 #include <stdexcept>
 
 #include "common/binio.hpp"
+#include "common/crc.hpp"
 #include "common/strfmt.hpp"
+#include "fault/fault.hpp"
 
 namespace bgp::pc {
 
@@ -31,6 +33,16 @@ void NodeMonitor::initialize() {
     upc.configure(static_cast<u8>(c), cfg);
   }
   upc.reset_counters();
+  if (options_.fault != nullptr) {
+    // Injected hardware defect: the victim counters are 32-bit wide and
+    // preloaded just below the wrap boundary, so mid-run they overflow and
+    // the dump carries a wildly implausible delta for sanity to catch.
+    for (const auto& w : options_.fault->counter_wraps(node_.id())) {
+      if (w.counter >= upc::UpcUnit::kNumCounters) continue;
+      upc.set_counter_width(static_cast<u8>(w.counter), 32);
+      upc.write(static_cast<u8>(w.counter), w.preload);
+    }
+  }
   initialized_ = true;
 }
 
@@ -89,21 +101,41 @@ NodeDump NodeMonitor::finalize() {
   return dump;
 }
 
-std::vector<std::byte> NodeMonitor::serialize(const NodeDump& dump) {
+namespace {
+
+/// Serialized size of one set record, excluding the v2 CRC word.
+constexpr std::size_t kSetRecordBytes =
+    sizeof(u32) * 2 + sizeof(u64) * 2 + sizeof(u64) * isa::kCountersPerUnit;
+
+}  // namespace
+
+std::vector<std::byte> NodeMonitor::serialize(const NodeDump& dump,
+                                              u32 version) {
+  if (version != kDumpVersionLegacy && version != kDumpVersion) {
+    throw BinIoError(strfmt("cannot write BGPC dump version %u", version));
+  }
   BinaryWriter w;
   w.put<u32>(kDumpMagic);
-  w.put<u32>(kDumpVersion);
+  w.put<u32>(version);
+  const std::size_t header_begin = w.size();
   w.put<u32>(dump.node_id);
   w.put<u32>(dump.card_id);
   w.put<u32>(dump.counter_mode);
   w.put_string(dump.app_name);
   w.put<u32>(static_cast<u32>(dump.sets.size()));
+  if (version >= 2) {
+    w.put<u32>(crc32(std::span(w.buffer()).subspan(header_begin)));
+  }
   for (const SetDump& s : dump.sets) {
+    const std::size_t set_begin = w.size();
     w.put<u32>(s.set_id);
     w.put<u32>(s.pairs);
     w.put<u64>(s.first_start_cycle);
     w.put<u64>(s.last_stop_cycle);
     for (u64 d : s.deltas) w.put<u64>(d);
+    if (version >= 2) {
+      w.put<u32>(crc32(std::span(w.buffer()).subspan(set_begin)));
+    }
   }
   return w.buffer();
 }
@@ -114,10 +146,24 @@ NodeDump NodeMonitor::parse(std::span<const std::byte> bytes) {
     throw BinIoError("not a BGPC dump (bad magic)");
   }
   const u32 version = r.get<u32>();
-  if (version != kDumpVersion) {
+  if (version != kDumpVersionLegacy && version != kDumpVersion) {
     throw BinIoError(strfmt("unsupported BGPC dump version %u", version));
   }
+  const bool checksummed = version >= 2;
+  const auto verify_crc = [&r](const char* what, std::size_t begin) {
+    const u32 computed = crc32(r.window(begin, r.position()));
+    const std::size_t crc_at = r.position();
+    const u32 stored = r.get<u32>();
+    if (stored != computed) {
+      throw BinIoError(
+          strfmt("%s CRC mismatch over bytes %zu..%zu (stored %08X, "
+                 "computed %08X)",
+                 what, begin, crc_at, stored, computed));
+    }
+  };
+
   NodeDump dump;
+  const std::size_t header_begin = r.position();
   dump.node_id = r.get<u32>();
   dump.card_id = r.get<u32>();
   dump.counter_mode = r.get<u32>();
@@ -126,13 +172,26 @@ NodeDump NodeMonitor::parse(std::span<const std::byte> bytes) {
   }
   dump.app_name = r.get_string();
   const u32 nsets = r.get<u32>();
+  if (checksummed) verify_crc("header", header_begin);
+
+  const std::size_t per_set =
+      kSetRecordBytes + (checksummed ? sizeof(u32) : 0);
+  if (static_cast<u64>(nsets) * per_set > r.remaining()) {
+    throw BinIoError(
+        strfmt("corrupt dump: header claims %u sets (%llu bytes) but only "
+               "%zu bytes remain",
+               nsets, static_cast<unsigned long long>(u64{nsets} * per_set),
+               r.remaining()));
+  }
   dump.sets.resize(nsets);
   for (SetDump& s : dump.sets) {
+    const std::size_t set_begin = r.position();
     s.set_id = r.get<u32>();
     s.pairs = r.get<u32>();
     s.first_start_cycle = r.get<u64>();
     s.last_stop_cycle = r.get<u64>();
     for (u64& d : s.deltas) d = r.get<u64>();
+    if (checksummed) verify_crc("set", set_begin);
   }
   if (!r.at_end()) {
     throw BinIoError("corrupt dump: trailing bytes");

@@ -34,8 +34,10 @@ class NodeMonitor {
   /// Write (or just assemble) the dump record. Returns the dump contents.
   [[nodiscard]] NodeDump finalize();
 
-  /// Serialize/parse the on-disk format.
-  [[nodiscard]] static std::vector<std::byte> serialize(const NodeDump& dump);
+  /// Serialize/parse the on-disk format. Writers default to the current
+  /// (checksummed) version; readers accept v1 and v2.
+  [[nodiscard]] static std::vector<std::byte> serialize(
+      const NodeDump& dump, u32 version = kDumpVersion);
   [[nodiscard]] static NodeDump parse(std::span<const std::byte> bytes);
 
   [[nodiscard]] bool initialized() const noexcept { return initialized_; }

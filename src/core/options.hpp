@@ -6,6 +6,10 @@
 
 #include "common/types.hpp"
 
+namespace bgp::fault {
+class FaultInjector;
+}
+
 namespace bgp::pc {
 
 struct Options {
@@ -38,6 +42,15 @@ struct Options {
 
   /// Skip writing dump files (counters stay queryable in memory).
   bool write_dumps = true;
+
+  /// Extra attempts after a failed dump write before the node's dump is
+  /// declared lost (writes are atomic: temp file + rename, so a failed
+  /// attempt never leaves a half-written .bgpc behind).
+  unsigned dump_write_retries = 3;
+
+  /// Optional fault-injection oracle (not owned). When set, the interface
+  /// library consults it for counter-wrap defects and dump-write faults.
+  fault::FaultInjector* fault = nullptr;
 };
 
 /// Combined instrumentation overhead on the measurement path (§IV).

@@ -1,9 +1,11 @@
 #include "core/session.hpp"
 
 #include <algorithm>
+#include <system_error>
 
 #include "common/binio.hpp"
 #include "common/strfmt.hpp"
+#include "fault/fault.hpp"
 
 namespace bgp::pc {
 
@@ -61,15 +63,51 @@ void Session::BGP_Finalize(rt::RankCtx& ctx) {
   }
   NodeDump dump = monitors_[node]->finalize();
   dumps_.push_back(dump);
-  if (options_.write_dumps) {
-    const auto path =
-        options_.dump_dir /
-        strfmt("%s.node%04u.bgpc", options_.app_name.c_str(), node);
-    const auto bytes = NodeMonitor::serialize(dump);
-    BinaryWriter w;
-    w.put_bytes(bytes);
-    w.write_file(path);
-    dump_files_.push_back(path);
+  if (!options_.write_dumps) {
+    return;
+  }
+
+  auto bytes = NodeMonitor::serialize(dump);
+  DumpWriteOutcome outcome;
+  outcome.node = node;
+  outcome.path = options_.dump_dir /
+                 strfmt("%s.node%04u.bgpc", options_.app_name.c_str(), node);
+  if (options_.fault != nullptr) {
+    // Silent data corruption (torn write / bit rot) mutates the bytes but
+    // reports success — exactly the case the v2 section CRCs exist for.
+    outcome.injected = options_.fault->corrupt_dump(node, bytes);
+  }
+
+  // Atomic publication: write a temp file, then rename over the final name,
+  // so readers never observe a half-written .bgpc. Injected I/O errors are
+  // retried with a bounded budget; a node whose budget runs out loses its
+  // dump and the run continues (the miner handles the gap).
+  std::filesystem::path tmp = outcome.path;
+  tmp += ".tmp";
+  for (unsigned attempt = 1; attempt <= options_.dump_write_retries + 1;
+       ++attempt) {
+    outcome.attempts = attempt;
+    try {
+      if (options_.fault != nullptr && options_.fault->next_write_fails(node)) {
+        throw BinIoError(
+            strfmt("injected I/O error writing %s", tmp.string().c_str()));
+      }
+      BinaryWriter w;
+      w.put_bytes(bytes);
+      w.write_file(tmp);
+      std::filesystem::rename(tmp, outcome.path);
+      outcome.ok = true;
+      outcome.error.clear();
+      break;
+    } catch (const std::exception& e) {
+      outcome.error = e.what();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+    }
+  }
+  write_outcomes_.push_back(outcome);
+  if (outcome.ok) {
+    dump_files_.push_back(outcome.path);
     std::sort(dump_files_.begin(), dump_files_.end());
   }
 }

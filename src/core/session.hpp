@@ -13,6 +13,19 @@
 
 namespace bgp::pc {
 
+/// What happened when a node's dump was written (one record per node that
+/// reached BGP_Finalize with write_dumps on). Injected I/O errors are
+/// retried up to Options::dump_write_retries times; `ok == false` means the
+/// node's data is lost and the miner must run degraded.
+struct DumpWriteOutcome {
+  unsigned node = 0;
+  std::filesystem::path path;
+  unsigned attempts = 0;
+  bool ok = false;
+  std::string error;                  ///< last failure (empty when clean)
+  std::vector<std::string> injected;  ///< silent corruption applied, if any
+};
+
 class Session {
  public:
   /// One session per Machine run. `options.app_name` names the dump files.
@@ -56,6 +69,12 @@ class Session {
   [[nodiscard]] const std::vector<NodeDump>& dumps() const noexcept {
     return dumps_;
   }
+  /// Per-node write results, in finalize order (empty when write_dumps is
+  /// off). Nodes that died before finalizing have no entry.
+  [[nodiscard]] const std::vector<DumpWriteOutcome>& write_outcomes()
+      const noexcept {
+    return write_outcomes_;
+  }
 
  private:
   rt::Machine& machine_;
@@ -64,6 +83,7 @@ class Session {
   std::vector<unsigned> finalize_calls_;  ///< per node
   std::vector<NodeDump> dumps_;
   std::vector<std::filesystem::path> dump_files_;
+  std::vector<DumpWriteOutcome> write_outcomes_;
 };
 
 }  // namespace bgp::pc

@@ -1,0 +1,186 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/strfmt.hpp"
+
+namespace bgp::fault {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNodeDeath: return "node-death";
+    case FaultKind::kDumpWriteError: return "dump-write-error";
+    case FaultKind::kDumpTruncate: return "dump-truncate";
+    case FaultKind::kDumpBitFlip: return "dump-bit-flip";
+    case FaultKind::kCounterWrap: return "counter-wrap";
+  }
+  return "unknown";
+}
+
+std::string describe(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kNodeDeath:
+      return strfmt("node-death: node %u at cycle %llu", e.node,
+                    static_cast<unsigned long long>(e.cycle));
+    case FaultKind::kDumpWriteError:
+      return e.attempts == kAlwaysFail
+                 ? strfmt("dump-write-error: node %u, every attempt", e.node)
+                 : strfmt("dump-write-error: node %u, %u attempts", e.node,
+                          e.attempts);
+    case FaultKind::kDumpTruncate:
+      return strfmt("dump-truncate: node %u, keep %u bytes", e.node,
+                    e.keep_bytes);
+    case FaultKind::kDumpBitFlip:
+      return strfmt("dump-bit-flip: node %u, byte %u bit %u", e.node,
+                    e.byte_offset, e.bit);
+    case FaultKind::kCounterWrap:
+      return strfmt("counter-wrap: node %u, counter %u, margin %u", e.node,
+                    e.counter, e.margin);
+  }
+  return "unknown fault";
+}
+
+FaultPlan FaultPlan::random(u64 seed, unsigned num_nodes,
+                            const FaultSpec& spec) {
+  FaultPlan plan;
+  if (num_nodes == 0) return plan;
+  Xoshiro256pp rng(seed ^ 0xB1CEC0DEF4017ull);
+
+  // Deaths first: distinct victims, so the dump faults below can target
+  // nodes that will actually write a dump.
+  std::vector<u32> dead;
+  const unsigned deaths = std::min(spec.node_deaths, num_nodes);
+  while (dead.size() < deaths) {
+    const u32 victim = static_cast<u32>(rng.next_below(num_nodes));
+    if (std::find(dead.begin(), dead.end(), victim) != dead.end()) continue;
+    dead.push_back(victim);
+    FaultEvent e;
+    e.kind = FaultKind::kNodeDeath;
+    e.node = victim;
+    e.cycle = 1 + rng.next_below(std::max<cycles_t>(spec.death_window, 1));
+    plan.add(e);
+  }
+
+  std::vector<u32> survivors;
+  for (u32 n = 0; n < num_nodes; ++n) {
+    if (std::find(dead.begin(), dead.end(), n) == dead.end()) {
+      survivors.push_back(n);
+    }
+  }
+  auto survivor = [&]() -> u32 {
+    return survivors.empty()
+               ? static_cast<u32>(rng.next_below(num_nodes))
+               : survivors[rng.next_below(survivors.size())];
+  };
+
+  for (unsigned i = 0; i < spec.dump_truncates; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kDumpTruncate;
+    e.node = survivor();
+    // Keep a plausible prefix; the apply step clamps to the real size.
+    e.keep_bytes = static_cast<u32>(8 + rng.next_below(2048));
+    plan.add(e);
+  }
+  for (unsigned i = 0; i < spec.dump_bit_flips; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kDumpBitFlip;
+    e.node = survivor();
+    e.byte_offset = static_cast<u32>(rng.next_below(1u << 20));
+    e.bit = static_cast<u8>(rng.next_below(8));
+    plan.add(e);
+  }
+  for (unsigned i = 0; i < spec.transient_write_errors; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kDumpWriteError;
+    e.node = survivor();
+    e.attempts = static_cast<u32>(1 + rng.next_below(2));
+    plan.add(e);
+  }
+  for (unsigned i = 0; i < spec.lost_dumps; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kDumpWriteError;
+    e.node = survivor();
+    e.attempts = kAlwaysFail;
+    plan.add(e);
+  }
+  for (unsigned i = 0; i < spec.counter_wraps; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kCounterWrap;
+    e.node = survivor();
+    e.counter = spec.wrap_counter == FaultSpec::kAnyCounter
+                    ? static_cast<u32>(rng.next_below(256))
+                    : spec.wrap_counter;
+    e.margin = static_cast<u32>(1 + rng.next_below(4096));
+    plan.add(e);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind != FaultKind::kDumpWriteError) continue;
+    u64& left = write_failures_left_[e.node];
+    if (e.attempts == kAlwaysFail || left == kAlwaysFail) {
+      left = kAlwaysFail;
+    } else {
+      left += e.attempts;
+    }
+  }
+}
+
+std::optional<cycles_t> FaultInjector::death_cycle(u32 node) const {
+  std::optional<cycles_t> first;
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind != FaultKind::kNodeDeath || e.node != node) continue;
+    if (!first || e.cycle < *first) first = e.cycle;
+  }
+  return first;
+}
+
+std::vector<FaultInjector::CounterWrap> FaultInjector::counter_wraps(
+    u32 node) const {
+  std::vector<CounterWrap> wraps;
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind != FaultKind::kCounterWrap || e.node != node) continue;
+    CounterWrap w;
+    w.counter = e.counter;
+    w.preload = (u64{1} << 32) - std::max<u64>(e.margin, 1);
+    wraps.push_back(w);
+  }
+  return wraps;
+}
+
+std::vector<std::string> FaultInjector::corrupt_dump(
+    u32 node, std::vector<std::byte>& bytes) {
+  std::vector<std::string> applied;
+  if (bytes.empty()) return applied;
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.node != node) continue;
+    if (e.kind == FaultKind::kDumpTruncate) {
+      const std::size_t keep =
+          std::min<std::size_t>(e.keep_bytes, bytes.size());
+      applied.push_back(strfmt("truncated node %u dump to %zu of %zu bytes",
+                               node, keep, bytes.size()));
+      bytes.resize(keep);
+      if (bytes.empty()) break;
+    } else if (e.kind == FaultKind::kDumpBitFlip) {
+      const std::size_t off = e.byte_offset % bytes.size();
+      bytes[off] ^= std::byte{static_cast<unsigned char>(1u << (e.bit % 8))};
+      applied.push_back(strfmt("flipped bit %u of byte %zu in node %u dump",
+                               e.bit % 8, off, node));
+    }
+  }
+  log_.insert(log_.end(), applied.begin(), applied.end());
+  return applied;
+}
+
+bool FaultInjector::next_write_fails(u32 node) {
+  const auto it = write_failures_left_.find(node);
+  if (it == write_failures_left_.end() || it->second == 0) return false;
+  if (it->second != kAlwaysFail) --it->second;
+  log_.push_back(strfmt("failed a dump write attempt on node %u", node));
+  return true;
+}
+
+}  // namespace bgp::fault

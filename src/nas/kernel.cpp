@@ -66,7 +66,9 @@ void alltoallv_padded(rt::RankCtx& ctx,
   for (unsigned d = 0; d < p; ++d) {
     const u64 len = send[d].size();
     std::memcpy(sbuf.data() + d * chunk, &len, sizeof(u64));
-    std::memcpy(sbuf.data() + d * chunk + sizeof(u64), send[d].data(), len);
+    if (len > 0) {  // an empty block has no data() to copy from
+      std::memcpy(sbuf.data() + d * chunk + sizeof(u64), send[d].data(), len);
+    }
   }
   ctx.alltoall(sbuf, rbuf, chunk);
   recv.assign(p, {});

@@ -105,7 +105,9 @@ void alltoallv_values(rt::RankCtx& ctx,
   recv.assign(rraw.size(), {});
   for (std::size_t i = 0; i < rraw.size(); ++i) {
     recv[i].resize(rraw[i].size() / sizeof(T));
-    std::memcpy(recv[i].data(), rraw[i].data(), rraw[i].size());
+    if (!rraw[i].empty()) {  // empty blocks have no buffer to copy
+      std::memcpy(recv[i].data(), rraw[i].data(), rraw[i].size());
+    }
   }
 }
 

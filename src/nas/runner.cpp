@@ -42,7 +42,7 @@ RunOutput run_benchmark(const RunConfig& config) {
   const auto sanity = post::check(out.dumps);
   if (!sanity.ok()) {
     throw std::runtime_error("counter dump sanity check failed: " +
-                             sanity.problems.front());
+                             sanity.problems.front().text);
   }
   const post::Aggregate agg(out.dumps, 0);
   out.record = post::make_record(opts.app_name, agg);

@@ -3,17 +3,33 @@
 #include <algorithm>
 
 #include "common/binio.hpp"
+#include "common/strfmt.hpp"
 #include "core/node_monitor.hpp"
 
 namespace bgp::post {
+
+namespace {
+
+void sort_by_node(std::vector<pc::NodeDump>& dumps) {
+  std::sort(dumps.begin(), dumps.end(),
+            [](const pc::NodeDump& a, const pc::NodeDump& b) {
+              return a.node_id < b.node_id;
+            });
+}
+
+}  // namespace
 
 pc::NodeDump load_dump(const std::filesystem::path& file) {
   const auto bytes = read_file_bytes(file);
   return pc::NodeMonitor::parse(bytes);
 }
 
-std::vector<pc::NodeDump> load_dumps(const std::filesystem::path& dir,
-                                     const std::string& app) {
+std::vector<std::filesystem::path> list_dump_files(
+    const std::filesystem::path& dir, const std::string& app) {
+  if (!std::filesystem::is_directory(dir)) {
+    throw BinIoError(
+        strfmt("dump directory %s does not exist", dir.string().c_str()));
+  }
   std::vector<std::filesystem::path> files;
   const std::string prefix = app + ".node";
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
@@ -24,6 +40,16 @@ std::vector<pc::NodeDump> load_dumps(const std::filesystem::path& dir,
     }
   }
   std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<pc::NodeDump> load_dumps(const std::filesystem::path& dir,
+                                     const std::string& app) {
+  const auto files = list_dump_files(dir, app);
+  if (files.empty()) {
+    throw BinIoError(strfmt("no %s.node*.bgpc dump files in %s", app.c_str(),
+                            dir.string().c_str()));
+  }
   return load_dumps(files);
 }
 
@@ -34,11 +60,41 @@ std::vector<pc::NodeDump> load_dumps(
   for (const auto& f : files) {
     dumps.push_back(load_dump(f));
   }
-  std::sort(dumps.begin(), dumps.end(),
-            [](const pc::NodeDump& a, const pc::NodeDump& b) {
-              return a.node_id < b.node_id;
-            });
+  sort_by_node(dumps);
   return dumps;
+}
+
+LoadReport load_dumps_tolerant(const std::filesystem::path& dir,
+                               const std::string& app) {
+  LoadReport rep;
+  std::vector<std::filesystem::path> files;
+  try {
+    files = list_dump_files(dir, app);
+  } catch (const std::exception& e) {
+    rep.errors.push_back({dir, e.what()});
+    return rep;
+  }
+  if (files.empty()) {
+    rep.errors.push_back(
+        {dir, strfmt("no %s.node*.bgpc dump files", app.c_str())});
+    return rep;
+  }
+  return load_dumps_tolerant(files);
+}
+
+LoadReport load_dumps_tolerant(
+    const std::vector<std::filesystem::path>& files) {
+  LoadReport rep;
+  rep.dumps.reserve(files.size());
+  for (const auto& f : files) {
+    try {
+      rep.dumps.push_back(load_dump(f));
+    } catch (const std::exception& e) {
+      rep.errors.push_back({f, e.what()});
+    }
+  }
+  sort_by_node(rep.dumps);
+  return rep;
 }
 
 }  // namespace bgp::post

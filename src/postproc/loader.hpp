@@ -1,5 +1,10 @@
 // Loading of per-node binary dump files (the post-processing tools "read
 // all the files dumped by each node", paper §IV).
+//
+// Two flavours: the strict loaders throw on the first unreadable file (the
+// original behaviour), while the tolerant loader skips bad files and
+// reports them, so one corrupt or truncated dump does not abort mining a
+// whole batch (degraded-mode operation after injected faults).
 #pragma once
 
 #include <filesystem>
@@ -10,15 +15,46 @@
 
 namespace bgp::post {
 
-/// Parse one dump file.
+/// One dump file that could not be loaded, and why.
+struct LoadError {
+  std::filesystem::path file;
+  std::string reason;
+};
+
+/// Result of a tolerant batch load: the dumps that parsed cleanly (sorted
+/// by node id) plus an error record per file that did not.
+struct LoadReport {
+  std::vector<pc::NodeDump> dumps;
+  std::vector<LoadError> errors;
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Parse one dump file. Throws BinIoError on any corruption.
 [[nodiscard]] pc::NodeDump load_dump(const std::filesystem::path& file);
 
-/// Load every `<app>.node*.bgpc` in `dir`, sorted by node id.
+/// List every `<app>.node*.bgpc` in `dir`, sorted by path. Throws
+/// BinIoError when `dir` does not exist.
+[[nodiscard]] std::vector<std::filesystem::path> list_dump_files(
+    const std::filesystem::path& dir, const std::string& app);
+
+/// Load every `<app>.node*.bgpc` in `dir`, sorted by node id. Throws
+/// BinIoError when no matching file exists (a silent empty result used to
+/// mask typo'd app names and missing runs) or when any file is corrupt.
 [[nodiscard]] std::vector<pc::NodeDump> load_dumps(
     const std::filesystem::path& dir, const std::string& app);
 
-/// Load an explicit file list.
+/// Load an explicit file list. Throws on the first unreadable file.
 [[nodiscard]] std::vector<pc::NodeDump> load_dumps(
+    const std::vector<std::filesystem::path>& files);
+
+/// Tolerant variant of load_dumps(dir, app): unreadable or corrupt files
+/// (including "no files at all") become LoadReport::errors entries instead
+/// of exceptions, and every cleanly-parsed dump is still returned.
+[[nodiscard]] LoadReport load_dumps_tolerant(const std::filesystem::path& dir,
+                                             const std::string& app);
+
+/// Tolerant variant of load_dumps(files).
+[[nodiscard]] LoadReport load_dumps_tolerant(
     const std::vector<std::filesystem::path>& files);
 
 }  // namespace bgp::post

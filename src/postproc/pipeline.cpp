@@ -1,0 +1,114 @@
+#include "postproc/pipeline.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strfmt.hpp"
+#include "postproc/aggregate.hpp"
+
+namespace bgp::post {
+
+std::string Coverage::to_string() const {
+  return strfmt("%u/%u nodes (%.1f%%)", mined, expected,
+                100.0 * fraction());
+}
+
+namespace {
+
+unsigned infer_expected(const std::vector<pc::NodeDump>& dumps) {
+  unsigned max_id = 0;
+  for (const pc::NodeDump& d : dumps) max_id = std::max(max_id, d.node_id);
+  return dumps.empty() ? 0 : max_id + 1;
+}
+
+}  // namespace
+
+MineResult mine(const std::filesystem::path& dir, const std::string& app,
+                const MineOptions& opts) {
+  MineResult res;
+
+  LoadReport loaded = load_dumps_tolerant(dir, app);
+  res.load_errors = loaded.errors;
+  for (const LoadError& e : loaded.errors) {
+    res.problems.push_back(
+        strfmt("load %s: %s", e.file.string().c_str(), e.reason.c_str()));
+  }
+
+  res.coverage.expected = opts.expected_nodes != 0
+                              ? opts.expected_nodes
+                              : infer_expected(loaded.dumps);
+  res.coverage.loaded = static_cast<unsigned>(loaded.dumps.size());
+
+  res.sanity = check(loaded.dumps);
+  // Disqualify nodes with error-severity findings; batch-level errors
+  // (mixed apps, empty batch) poison the whole result.
+  std::set<u32> bad_nodes;
+  bool batch_error = false;
+  for (const Problem& p : res.sanity.problems) {
+    if (p.severity != Severity::kError) continue;
+    if (p.node == Problem::kNoNode) {
+      batch_error = true;
+    } else {
+      bad_nodes.insert(p.node);
+    }
+    res.problems.push_back("sanity: " + p.text);
+  }
+
+  std::set<u32> mined_ids;
+  for (const pc::NodeDump& d : loaded.dumps) {
+    if (bad_nodes.contains(d.node_id)) continue;
+    mined_ids.insert(d.node_id);
+    res.dumps.push_back(d);
+  }
+  res.coverage.mined = static_cast<unsigned>(res.dumps.size());
+
+  // Nodes the run owed us but that never produced a minable dump: node
+  // death before BGP_Finalize, an exhausted write-retry budget, or a dump
+  // disqualified above.
+  for (unsigned n = 0; n < res.coverage.expected; ++n) {
+    if (mined_ids.contains(n)) continue;
+    if (bad_nodes.contains(n)) continue;  // already reported via sanity
+    bool load_failed = false;
+    for (const LoadError& e : res.load_errors) {
+      if (e.file.filename().string().find(strfmt("node%04u", n)) !=
+          std::string::npos) {
+        load_failed = true;  // already reported via the load error
+        break;
+      }
+    }
+    if (!load_failed) {
+      res.problems.push_back(
+          strfmt("node %u: dump missing (node death or lost write)", n));
+    }
+  }
+
+  if (opts.strict) {
+    // All-or-nothing: any problem at all (every one is already listed in
+    // res.problems) refuses the mine.
+    res.ok = res.problems.empty() && res.coverage.full();
+    if (!res.coverage.full() && res.problems.empty()) {
+      res.problems.push_back(
+          strfmt("coverage %s below required 100%%",
+                 res.coverage.to_string().c_str()));
+    }
+  } else {
+    res.ok = !batch_error && res.coverage.mined > 0 &&
+             res.coverage.fraction() >= opts.min_coverage;
+    if (!res.ok && !batch_error && res.coverage.fraction() < opts.min_coverage) {
+      res.problems.push_back(
+          strfmt("coverage %s below quorum (%.1f%% required)",
+                 res.coverage.to_string().c_str(),
+                 100.0 * opts.min_coverage));
+    }
+  }
+
+  if (res.ok) {
+    const Aggregate agg(res.dumps, opts.set);
+    res.record = make_record(app, agg);
+    res.record.nodes_expected = res.coverage.expected;
+    res.record.nodes_mined = res.coverage.mined;
+  }
+  return res;
+}
+
+}  // namespace bgp::post

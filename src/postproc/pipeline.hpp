@@ -1,0 +1,67 @@
+// End-to-end mining pipeline with degraded-mode support: load every dump
+// that survives (skipping corrupt files), sanity-check, drop disqualified
+// nodes, and mine the remaining quorum — annotating every result with how
+// much of the partition it actually covers. Strict mode inverts this: any
+// missing node, load failure or sanity error refuses to mine and reports
+// the full problem list.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "postproc/loader.hpp"
+#include "postproc/report.hpp"
+#include "postproc/sanity.hpp"
+
+namespace bgp::post {
+
+struct MineOptions {
+  unsigned set = 0;
+  /// Refuse to mine unless every expected node contributed a clean dump.
+  bool strict = false;
+  /// Degraded mode: smallest acceptable fraction of expected nodes.
+  double min_coverage = 0.9;
+  /// Number of nodes the run was supposed to produce. 0 = infer as
+  /// max(node_id) + 1 over the dumps that loaded (a lower bound: trailing
+  /// dead nodes are invisible to inference).
+  unsigned expected_nodes = 0;
+};
+
+/// How much of the partition a mining result is based on.
+struct Coverage {
+  unsigned expected = 0;  ///< nodes the run should have produced
+  unsigned loaded = 0;    ///< dump files that parsed cleanly
+  unsigned mined = 0;     ///< dumps surviving sanity disqualification
+  [[nodiscard]] double fraction() const noexcept {
+    return expected == 0 ? 0.0
+                         : static_cast<double>(mined) / expected;
+  }
+  [[nodiscard]] bool full() const noexcept {
+    return expected > 0 && mined == expected;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct MineResult {
+  /// Mining produced a usable record (always coverage-annotated).
+  bool ok = false;
+  Coverage coverage;
+  /// Everything wrong with the batch, human-readable: load failures (file
+  /// and CRC byte ranges), sanity findings, and missing nodes.
+  std::vector<std::string> problems;
+  /// The dumps actually mined (sanity survivors), sorted by node id.
+  std::vector<pc::NodeDump> dumps;
+  /// Metrics over the mined quorum; meaningful only when ok.
+  AppRecord record;
+  SanityReport sanity;            ///< full report over the loaded dumps
+  std::vector<LoadError> load_errors;
+};
+
+/// Mine `<app>.node*.bgpc` under `dir`. Never throws on bad data — every
+/// failure mode is reported through MineResult.
+[[nodiscard]] MineResult mine(const std::filesystem::path& dir,
+                              const std::string& app,
+                              const MineOptions& opts = {});
+
+}  // namespace bgp::post

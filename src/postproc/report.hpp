@@ -11,7 +11,10 @@
 
 namespace bgp::post {
 
-/// The standard per-application metrics record.
+/// The standard per-application metrics record. The coverage pair records
+/// how much of the partition the record is based on: `nodes_mined <
+/// nodes_expected` means the miner ran degraded (node deaths, lost or
+/// corrupt dumps) and the averages come from the surviving quorum only.
 struct AppRecord {
   std::string app;
   double exec_cycles = 0;
@@ -20,6 +23,8 @@ struct AppRecord {
   double ddr_bandwidth_bytes_per_cycle = 0;
   double l3_read_miss_ratio = 0;
   FpProfile fp;
+  unsigned nodes_expected = 0;
+  unsigned nodes_mined = 0;
 };
 
 /// Compute the standard record from aggregated dumps.

@@ -1,15 +1,70 @@
 #include "postproc/sanity.hpp"
 
+#include <algorithm>
+#include <map>
 #include <set>
 
 #include "common/strfmt.hpp"
 
 namespace bgp::post {
 
+namespace {
+
+void add(SanityReport& rep, ProblemKind kind, Severity sev, u32 node,
+         std::string text) {
+  rep.problems.push_back(Problem{kind, sev, node, std::move(text)});
+}
+
+/// Cross-node comparison: within one (mode, set, counter) population, a
+/// value wildly above the median points at single-node corruption (e.g. a
+/// bit flip in the high bytes of one delta). Warning severity: genuine
+/// workload imbalance can also trip this, so it never disqualifies data by
+/// itself.
+void flag_outliers(SanityReport& rep, const std::vector<pc::NodeDump>& dumps) {
+  struct Sample {
+    u32 node;
+    u64 value;
+  };
+  std::map<std::tuple<u32, u32, unsigned>, std::vector<Sample>> groups;
+  for (const pc::NodeDump& d : dumps) {
+    for (const pc::SetDump& s : d.sets) {
+      for (unsigned c = 0; c < isa::kCountersPerUnit; ++c) {
+        groups[{d.counter_mode, s.set_id, c}].push_back(
+            {d.node_id, s.deltas[c]});
+      }
+    }
+  }
+  constexpr std::size_t kMinSamples = 4;
+  constexpr u64 kRatio = 64;
+  constexpr u64 kFloor = 1'000'000;  // ignore noise in tiny counters
+  for (auto& [key, samples] : groups) {
+    if (samples.size() < kMinSamples) continue;
+    std::vector<u64> values;
+    values.reserve(samples.size());
+    for (const Sample& s : samples) values.push_back(s.value);
+    std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                     values.end());
+    const u64 median = values[values.size() / 2];
+    for (const Sample& s : samples) {
+      if (s.value > median * kRatio + kFloor) {
+        add(rep, ProblemKind::kOutlier, Severity::kWarning, s.node,
+            strfmt("node %u set %u counter %u: value %llu is an outlier "
+                   "(cross-node median %llu)",
+                   s.node, std::get<1>(key), std::get<2>(key),
+                   static_cast<unsigned long long>(s.value),
+                   static_cast<unsigned long long>(median)));
+      }
+    }
+  }
+}
+
+}  // namespace
+
 SanityReport check(const std::vector<pc::NodeDump>& dumps) {
   SanityReport rep;
   if (dumps.empty()) {
-    rep.problems.push_back("no dump records");
+    add(rep, ProblemKind::kNoDumps, Severity::kError, Problem::kNoNode,
+        "no dump records");
     return rep;
   }
 
@@ -22,11 +77,12 @@ SanityReport check(const std::vector<pc::NodeDump>& dumps) {
 
   for (const pc::NodeDump& d : dumps) {
     if (!node_ids.insert(d.node_id).second) {
-      rep.problems.push_back(strfmt("duplicate node id %u", d.node_id));
+      add(rep, ProblemKind::kDuplicateNode, Severity::kError, d.node_id,
+          strfmt("duplicate node id %u", d.node_id));
     }
     apps.insert(d.app_name);
     if (d.counter_mode >= isa::kNumCounterModes) {
-      rep.problems.push_back(
+      add(rep, ProblemKind::kBadMode, Severity::kError, d.node_id,
           strfmt("node %u: counter mode %u out of range", d.node_id,
                  d.counter_mode));
     }
@@ -34,17 +90,28 @@ SanityReport check(const std::vector<pc::NodeDump>& dumps) {
     for (const pc::SetDump& s : d.sets) {
       sets.insert(s.set_id);
       if (s.pairs == 0) {
-        rep.problems.push_back(
+        add(rep, ProblemKind::kZeroPairs, Severity::kError, d.node_id,
             strfmt("node %u set %u: zero start/stop pairs", d.node_id,
                    s.set_id));
       }
       if (s.last_stop_cycle < s.first_start_cycle) {
-        rep.problems.push_back(
+        add(rep, ProblemKind::kTimeInversion, Severity::kError, d.node_id,
             strfmt("node %u set %u: stop before start", d.node_id, s.set_id));
       }
       for (unsigned c = 0; c < isa::kCountersPerUnit; ++c) {
+        // A counter that wrapped between snapshots leaves stop - start in
+        // the top half of the u64 range; anything >= 2^60 without that
+        // signature is corruption of another kind.
+        if (s.deltas[c] >= (u64{1} << 63)) {
+          add(rep, ProblemKind::kCounterWrap, Severity::kError, d.node_id,
+              strfmt("node %u set %u counter %u: wraparound suspected "
+                     "(delta %llu)",
+                     d.node_id, s.set_id, c,
+                     static_cast<unsigned long long>(s.deltas[c])));
+          break;
+        }
         if (s.deltas[c] >= (u64{1} << 60)) {
-          rep.problems.push_back(
+          add(rep, ProblemKind::kImplausible, Severity::kError, d.node_id,
               strfmt("node %u set %u counter %u: implausible value",
                      d.node_id, s.set_id, c));
           break;
@@ -52,14 +119,16 @@ SanityReport check(const std::vector<pc::NodeDump>& dumps) {
       }
     }
     if (sets != reference_sets) {
-      rep.problems.push_back(
+      add(rep, ProblemKind::kSetMismatch, Severity::kError, d.node_id,
           strfmt("node %u: set list differs from node %u", d.node_id,
                  dumps.front().node_id));
     }
   }
   if (apps.size() > 1) {
-    rep.problems.push_back("dumps from more than one application");
+    add(rep, ProblemKind::kMixedApps, Severity::kError, Problem::kNoNode,
+        "dumps from more than one application");
   }
+  flag_outliers(rep, dumps);
   return rep;
 }
 

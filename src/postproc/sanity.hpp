@@ -11,17 +11,65 @@
 
 namespace bgp::post {
 
+/// How bad a sanity problem is. Errors disqualify the affected node's data
+/// (or the whole batch, for structural problems); warnings are advisory
+/// and do not fail the report.
+enum class Severity : u8 { kError, kWarning };
+
+/// What kind of problem was found, so tools can react programmatically
+/// instead of parsing message strings.
+enum class ProblemKind : u8 {
+  kNoDumps,          ///< empty batch
+  kDuplicateNode,    ///< two dumps claim the same node id
+  kMixedApps,        ///< dumps from more than one application
+  kBadMode,          ///< counter mode outside [0, kNumCounterModes)
+  kSetMismatch,      ///< node's set list differs from the reference node
+  kZeroPairs,        ///< a set with no start/stop pairs
+  kTimeInversion,    ///< last stop before first start
+  kCounterWrap,      ///< delta in the top half of u64: wraparound suspected
+  kImplausible,      ///< delta >= 2^60 without the wrap signature
+  kOutlier,          ///< one node's counter far from the cross-node median
+};
+
+struct Problem {
+  ProblemKind kind = ProblemKind::kNoDumps;
+  Severity severity = Severity::kError;
+  /// Affected node id, or kNoNode for batch-level problems.
+  u32 node = kNoNode;
+  std::string text;
+
+  static constexpr u32 kNoNode = ~u32{0};
+};
+
 struct SanityReport {
-  std::vector<std::string> problems;
-  [[nodiscard]] bool ok() const noexcept { return problems.empty(); }
+  std::vector<Problem> problems;
+  /// Clean or warnings only. Errors make the report not-ok.
+  [[nodiscard]] bool ok() const noexcept {
+    for (const Problem& p : problems) {
+      if (p.severity == Severity::kError) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::size_t num_errors() const noexcept {
+    std::size_t n = 0;
+    for (const Problem& p : problems) {
+      if (p.severity == Severity::kError) ++n;
+    }
+    return n;
+  }
 };
 
 /// Checks applied:
 ///  * at least one dump, unique node ids, one application name
 ///  * every node reports the same set ids with pair counts > 0
 ///  * counter modes within [0,4)
+///  * counter wraparound signature (delta >= 2^63: subtracting a snapshot
+///    taken just below a narrow counter's wrap boundary from one taken
+///    after the wrap yields a huge two's-complement difference)
 ///  * counter values within a plausibility range (< 2^60)
 ///  * set time windows are ordered (first start <= last stop)
+///  * cross-node outliers (warning): a counter more than ~64x the median
+///    of its (mode, set, counter) peers suggests single-node corruption
 [[nodiscard]] SanityReport check(const std::vector<pc::NodeDump>& dumps);
 
 }  // namespace bgp::post

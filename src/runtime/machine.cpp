@@ -1,9 +1,11 @@
 #include "runtime/machine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/log.hpp"
 #include "common/strfmt.hpp"
+#include "fault/fault.hpp"
 #include "runtime/rankctx.hpp"
 
 namespace bgp::rt {
@@ -44,6 +46,16 @@ int Machine::pick_next() const {
   return best;
 }
 
+void Machine::check_fault(unsigned rank) {
+  if (fault_ == nullptr) return;
+  Rank& self = *ranks_[rank];
+  const unsigned node = self.ctx->node_id();
+  const auto death = fault_->death_cycle(node);
+  if (death.has_value() && self.ctx->core().now() >= *death) {
+    throw NodeDeathFault{node};
+  }
+}
+
 void Machine::thread_main(unsigned rank, const RankFn& program) {
   Rank& self = *ranks_[rank];
   self.go.acquire();  // wait for the first dispatch
@@ -53,6 +65,11 @@ void Machine::thread_main(unsigned rank, const RankFn& program) {
     self.status = Status::kFinished;
   } catch (const AbortRun&) {
     self.status = Status::kFailed;
+  } catch (const NodeDeathFault&) {
+    // Only one rank thread runs at a time, so this push is unsynchronized
+    // but race-free.
+    self.status = Status::kDied;
+    dead_ranks_.push_back(rank);
   } catch (...) {
     self.status = Status::kFailed;
     self.error = std::current_exception();
@@ -81,14 +98,52 @@ void Machine::run(const RankFn& program) {
     if (next < 0) {
       bool all_done = true;
       bool any_failed = false;
+      unsigned nonterminal = 0;
+      unsigned coll_blocked = 0;
       for (const auto& rank : ranks_) {
         if (rank->status == Status::kFailed) any_failed = true;
         if (rank->status != Status::kFinished &&
-            rank->status != Status::kFailed) {
+            rank->status != Status::kFailed &&
+            rank->status != Status::kDied) {
           all_done = false;
+          ++nonterminal;
+          if (rank->status == Status::kBlockedCollective) ++coll_blocked;
         }
       }
       if (all_done) break;
+      if (!any_failed && !dead_ranks_.empty()) {
+        // Node deaths leave survivors stuck in wait structures the dead
+        // ranks can no longer satisfy. Resolve, in order:
+        // 1. Receivers waiting specifically on a dead rank inherit the
+        //    death (they unwind via NodeDeathFault on resume).
+        bool progressed = false;
+        for (auto& rank : ranks_) {
+          if (rank->status != Status::kBlockedRecv) continue;
+          if (rank->recv_src == RankCtx::kAnySource) continue;
+          if (ranks_[rank->recv_src]->status != Status::kDied) continue;
+          rank->peer_dead = true;
+          rank->status = Status::kReady;
+          progressed = true;
+        }
+        if (progressed) continue;
+        // 2. Every surviving rank reached the collective: the dead ranks
+        //    will never arrive, so complete it over the members present.
+        if (coll_blocked > 0 && coll_blocked == nonterminal) {
+          finish_collective();
+          continue;
+        }
+        // 3. Remaining receivers (any-source, or waiting on a live rank
+        //    that is itself stuck) can never be satisfied — no rank is
+        //    runnable to send to them. The death cascades.
+        for (auto& rank : ranks_) {
+          if (rank->status == Status::kBlockedRecv) {
+            rank->peer_dead = true;
+            rank->status = Status::kReady;
+            progressed = true;
+          }
+        }
+        if (progressed) continue;
+      }
       if (!any_failed) {
         // Nobody is ready, nobody finished everything: deadlock. Build a
         // diagnostic before unwinding.
@@ -140,6 +195,24 @@ void Machine::run(const RankFn& program) {
   if (aborting_) {
     throw std::runtime_error("run aborted");
   }
+  if (!dead_ranks_.empty()) {
+    std::string who;
+    for (unsigned n : dead_nodes()) who += strfmt(" node%u", n);
+    log_warn("run completed degraded: %zu rank(s) lost to node death on%s",
+             dead_ranks_.size(), who.c_str());
+  }
+}
+
+std::vector<unsigned> Machine::dead_nodes() const {
+  std::vector<unsigned> nodes;
+  for (const unsigned r : dead_ranks_) {
+    const unsigned n = ranks_[r]->ctx->node_id();
+    if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
+      nodes.push_back(n);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
 }
 
 void Machine::yield_from(unsigned rank) {
@@ -147,6 +220,10 @@ void Machine::yield_from(unsigned rank) {
   sched_sem_.release();
   self.go.acquire();
   if (aborting_) throw AbortRun{};
+  if (self.peer_dead) {
+    self.peer_dead = false;
+    throw NodeDeathFault{self.ctx->node_id()};
+  }
 }
 
 void Machine::deposit(Message msg, unsigned dst) {
@@ -179,6 +256,7 @@ void Machine::enter_collective(
     unsigned rank, int kind, u64 bytes, unsigned root,
     std::span<const std::byte> send, std::span<std::byte> recv,
     const std::function<void(Collective&)>& combine, cycles_t op_latency) {
+  check_fault(rank);  // a dead rank must never register as an arrival
   Rank& self = *ranks_[rank];
   Collective& coll = collective_;
 
@@ -187,6 +265,8 @@ void Machine::enter_collective(
     coll.bytes = bytes;
     coll.root = root;
     coll.max_arrival = 0;
+    coll.combine = combine;
+    coll.op_latency = op_latency;
     for (auto& m : coll.members) m = Collective::Member{};
   } else if (coll.kind != kind || coll.root != root) {
     throw std::logic_error(
@@ -209,16 +289,26 @@ void Machine::enter_collective(
   }
 
   // Last arrival: perform the data movement and release everyone.
-  combine(coll);
-  const cycles_t done = coll.max_arrival + op_latency;
+  finish_collective();
+}
+
+void Machine::finish_collective() {
+  Collective& coll = collective_;
+  if (coll.combine) coll.combine(coll);
+  const cycles_t done = coll.max_arrival + coll.op_latency;
   for (unsigned r = 0; r < num_ranks_; ++r) {
-    ranks_[r]->ctx->core().sync_to(done);
-    if (ranks_[r]->status == Status::kBlockedCollective) {
-      ranks_[r]->status = Status::kReady;
+    Rank& rk = *ranks_[r];
+    if (rk.status == Status::kDied || rk.status == Status::kFailed) {
+      continue;  // do not advance clocks of dead ranks' cores
+    }
+    rk.ctx->core().sync_to(done);
+    if (rk.status == Status::kBlockedCollective) {
+      rk.status = Status::kReady;
     }
   }
   coll.arrived = 0;
   coll.kind = -1;
+  coll.combine = nullptr;  // release references captured by the lambda
 }
 
 cycles_t Machine::node_time(unsigned node) const {

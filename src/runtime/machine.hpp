@@ -22,6 +22,10 @@
 #include "compiler/compiler.hpp"
 #include "sys/partition.hpp"
 
+namespace bgp::fault {
+class FaultInjector;
+}
+
 namespace bgp::rt {
 
 class RankCtx;
@@ -73,7 +77,24 @@ class Machine {
 
   /// Run `program` on every rank to completion. A Machine runs one program
   /// in its lifetime; failures in any rank abort the run and rethrow here.
+  /// Injected node deaths do NOT abort: the dead node's ranks unwind, any
+  /// rank blocked on them inherits the death, and run() returns normally
+  /// once the survivors finish (consult dead_ranks()/dead_nodes()).
   void run(const RankFn& program);
+
+  /// Attach a fault-injection oracle (not owned; may be nullptr). Must be
+  /// set before run().
+  void set_fault_injector(fault::FaultInjector* fault) noexcept {
+    fault_ = fault;
+  }
+
+  /// Ranks lost to injected node deaths (including cascades), death order.
+  [[nodiscard]] const std::vector<unsigned>& dead_ranks() const noexcept {
+    return dead_ranks_;
+  }
+  /// Nodes that lost at least one rank, ascending. A node listed here never
+  /// reaches BGP_Finalize, so its dump file is missing.
+  [[nodiscard]] std::vector<unsigned> dead_nodes() const;
 
   /// Longest per-node execution time (max over cores), after run().
   [[nodiscard]] cycles_t node_time(unsigned node) const;
@@ -89,6 +110,7 @@ class Machine {
     kBlockedCollective,
     kFinished,
     kFailed,
+    kDied,  ///< lost to an injected node death (terminal, not an error)
   };
 
   struct Message {
@@ -109,6 +131,9 @@ class Machine {
     int recv_tag = 0;
     std::deque<Message> mailbox;
     std::exception_ptr error;
+    /// Set by the scheduler when the rank is blocked on a dead peer; the
+    /// next resume throws NodeDeathFault so the rank unwinds too.
+    bool peer_dead = false;
   };
 
   /// In-flight collective rendezvous.
@@ -124,6 +149,10 @@ class Machine {
       bool present = false;
     };
     std::vector<Member> members;
+    /// Stored from the first arrival so the scheduler can complete the
+    /// operation over the surviving members when dead ranks never show up.
+    std::function<void(Collective&)> combine;
+    cycles_t op_latency = 0;
   };
 
   // -- scheduler internals (called from rank threads via RankCtx) ---------
@@ -141,6 +170,14 @@ class Machine {
                         const std::function<void(Collective&)>& combine,
                         cycles_t op_latency);
 
+  /// Run the pending collective's combine over the members that arrived,
+  /// sync live cores to the completion time and release the waiters.
+  void finish_collective();
+  /// Throw NodeDeathFault if `rank`'s node is past its injected death
+  /// cycle. Called before a rank registers in any wait structure, so a
+  /// dead rank is never counted as a collective arrival or left blocked.
+  void check_fault(unsigned rank);
+
   void thread_main(unsigned rank, const RankFn& program);
   [[nodiscard]] int pick_next() const;
 
@@ -152,11 +189,19 @@ class Machine {
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::binary_semaphore sched_sem_{0};
   Collective collective_;
+  fault::FaultInjector* fault_ = nullptr;
+  std::vector<unsigned> dead_ranks_;
   bool aborting_ = false;
   bool ran_ = false;
 };
 
 /// Thrown inside rank threads to unwind them when another rank failed.
 struct AbortRun {};
+
+/// Thrown inside a rank thread when its node suffers an injected death (or
+/// when the rank is blocked on a dead peer and inherits the death).
+struct NodeDeathFault {
+  unsigned node = 0;
+};
 
 }  // namespace bgp::rt

@@ -85,6 +85,7 @@ void RankCtx::loop(const isa::LoopDesc& desc,
 
 void RankCtx::loop(const isa::LoopDesc& desc,
                    std::span<const MemRange> ranges) {
+  machine_.check_fault(rank_);
   const opt::CompiledLoop cl = machine_.compiler().compile(desc);
   core().execute(cl.ops);
   for (const MemRange& r : ranges) {
@@ -118,6 +119,7 @@ void RankCtx::parallel_loop(const isa::LoopDesc& desc,
     loop(desc, ranges);
     return;
   }
+  machine_.check_fault(rank_);
 
   /// Fork/join overhead per parallel region (thread wake + barrier).
   constexpr cycles_t kForkJoin = 800;
@@ -188,12 +190,14 @@ void RankCtx::touch_no_yield(const MemRange& r, double overlap) {
 }
 
 void RankCtx::touch(const MemRange& range, double overlap) {
+  machine_.check_fault(rank_);
   touch_no_yield(range, overlap);
   yield();
 }
 
 void RankCtx::gather(addr_t base, std::span<const u32> indices, u32 elem_bytes,
                      bool write) {
+  machine_.check_fault(rank_);
   auto& memory = node().memory();
   const cycles_t l1_hit = memory.params().l1d.hit_latency;
   cycles_t stall = 0;
@@ -223,6 +227,7 @@ void RankCtx::send(unsigned dst, std::span<const std::byte> data, int tag) {
   if (dst >= size()) {
     throw std::out_of_range(strfmt("send to invalid rank %u", dst));
   }
+  machine_.check_fault(rank_);
   sys_event(isa::SysEvent::kMpiSends);
   const auto peer = machine_.partition().placement(dst);
 
@@ -244,6 +249,7 @@ void RankCtx::send(unsigned dst, std::span<const std::byte> data, int tag) {
 }
 
 void RankCtx::recv(unsigned src, std::span<std::byte> out, int tag) {
+  machine_.check_fault(rank_);
   sys_event(isa::SysEvent::kMpiRecvs);
   core().advance(machine_.partition().torus().params().sw_overhead);
   for (;;) {
@@ -304,9 +310,13 @@ void RankCtx::bcast(std::span<std::byte> data, unsigned root) {
       data,
       [&part, root, latency](Machine::Collective& coll) {
         const auto& src = coll.members[root];
-        for (auto& m : coll.members) {
-          if (!m.present || m.recv.data() == src.send.data()) continue;
-          std::memcpy(m.recv.data(), src.send.data(), coll.bytes);
+        // A dead root has no buffer to broadcast; survivors keep their
+        // local contents (the network op still happened).
+        if (src.present) {
+          for (auto& m : coll.members) {
+            if (!m.present || m.recv.data() == src.send.data()) continue;
+            std::memcpy(m.recv.data(), src.send.data(), coll.bytes);
+          }
         }
         part.collective().record_operation(coll.bytes, latency);
       },

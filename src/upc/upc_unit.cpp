@@ -19,7 +19,23 @@ CounterConfig CounterConfig::decode(u32 word) noexcept {
   return cfg;
 }
 
-UpcUnit::UpcUnit(addr_t mmio_base) noexcept : mmio_base_(mmio_base) {}
+UpcUnit::UpcUnit(addr_t mmio_base) noexcept : mmio_base_(mmio_base) {
+  masks_.fill(~u64{0});
+}
+
+void UpcUnit::set_counter_width(u8 counter, unsigned bits) {
+  if (bits == 0 || bits > 64) {
+    throw UpcError(strfmt("invalid counter width %u", bits));
+  }
+  const u64 mask = bits == 64 ? ~u64{0} : (u64{1} << bits) - 1;
+  const u8 c = check_counter(counter);
+  masks_[c] = mask;
+  counters_[c] &= mask;
+}
+
+u64 UpcUnit::counter_mask(u8 counter) const {
+  return masks_[check_counter(counter)];
+}
 
 void UpcUnit::set_mode(u8 mode) {
   if (mode >= isa::kNumCounterModes) {
@@ -53,7 +69,9 @@ void UpcUnit::bump(u8 counter, u64 amount) {
   if (amount == 0) return;
   const CounterConfig& cfg = configs_[counter];
   const u64 before = counters_[counter];
-  counters_[counter] = before + amount;  // 64-bit counters; wrap is benign
+  // Full-width counters wrap (benignly) at 2^64; a narrowed counter wraps
+  // at its injected width and the loss is visible to the dump consumers.
+  counters_[counter] = (before + amount) & masks_[counter];
   if (cfg.interrupt_enable && cfg.threshold != 0 && before < cfg.threshold &&
       counters_[counter] >= cfg.threshold) {
     ++threshold_interrupts_;
@@ -100,7 +118,8 @@ void UpcUnit::signal_level(isa::EventId id, u64 cycles_high, u64 window) {
 u64 UpcUnit::read(u8 counter) const { return counters_[check_counter(counter)]; }
 
 void UpcUnit::write(u8 counter, u64 value) {
-  counters_[check_counter(counter)] = value;
+  const u8 c = check_counter(counter);
+  counters_[c] = value & masks_[c];
 }
 
 u64 UpcUnit::mmio_read64(addr_t addr) const {

@@ -109,6 +109,12 @@ class UpcUnit {
   [[nodiscard]] u64 read(u8 counter) const;
   void write(u8 counter, u64 value);
 
+  /// Narrow a counter to `bits` wide (1..64): it wraps at 2^bits instead of
+  /// 2^64. Models a defective/misconfigured counter for fault injection;
+  /// reset_counters()/reset_config() do not undo it (the defect persists).
+  void set_counter_width(u8 counter, unsigned bits);
+  [[nodiscard]] u64 counter_mask(u8 counter) const;
+
   /// Snapshot of all 256 counters.
   [[nodiscard]] std::array<u64, kNumCounters> snapshot() const noexcept {
     return counters_;
@@ -132,6 +138,7 @@ class UpcUnit {
   u8 mode_ = 0;
   bool running_ = false;
   std::array<u64, kNumCounters> counters_{};
+  std::array<u64, kNumCounters> masks_;  ///< per-counter width mask
   std::array<CounterConfig, kNumCounters> configs_{};
   ThresholdHandler threshold_handler_;
   u64 threshold_interrupts_ = 0;

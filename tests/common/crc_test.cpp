@@ -1,0 +1,50 @@
+// CRC32 (IEEE 802.3 reflected) used by the v2 dump format's per-section
+// checksums.
+#include "common/crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace bgp {
+namespace {
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> v(std::strlen(s));
+  std::memcpy(v.data(), s, v.size());
+  return v;
+}
+
+TEST(Crc32, KnownVectors) {
+  // The standard check value for this polynomial/reflection combination.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  auto data = bytes_of("the quick brown fox jumps over the lazy dog");
+  const u32 clean = crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); byte += 7) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      data[byte] ^= std::byte{static_cast<unsigned char>(1u << bit)};
+      EXPECT_NE(crc32(data), clean) << "byte " << byte << " bit " << bit;
+      data[byte] ^= std::byte{static_cast<unsigned char>(1u << bit)};
+    }
+  }
+  EXPECT_EQ(crc32(data), clean);
+}
+
+TEST(Crc32, ChainsAcrossSplits) {
+  const auto data = bytes_of("split me anywhere, the result must not change");
+  const u32 whole = crc32(data);
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    const std::span<const std::byte> all(data);
+    const u32 chained = crc32(all.subspan(cut), crc32(all.first(cut)));
+    EXPECT_EQ(chained, whole) << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace bgp

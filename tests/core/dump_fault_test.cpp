@@ -1,0 +1,179 @@
+// The crash-safe dump pipeline under injected faults: atomic writes with
+// bounded retry, lost dumps, silent corruption caught by the v2 CRCs, and
+// counter-wrap defects surfacing in the sanity report.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/binio.hpp"
+#include "core/session.hpp"
+#include "fault/fault.hpp"
+#include "postproc/loader.hpp"
+#include "postproc/sanity.hpp"
+
+namespace bgp::pc {
+namespace {
+
+namespace fs = std::filesystem;
+
+isa::LoopDesc fma_loop(u64 trip) {
+  isa::LoopDesc d;
+  d.name = "fma";
+  d.trip = trip;
+  d.body.fp_at(isa::FpOp::kFma) = 2;
+  d.body.int_at(isa::IntOp::kAlu) = 1;
+  return d;
+}
+
+class DumpFault : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "bgpc_dump_fault_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Run a 2-node SMP session with `inj` attached and return it.
+  void run_session(fault::FaultInjector& inj, Session*& out) {
+    rt::MachineConfig mc;
+    mc.num_nodes = 2;
+    mc.mode = sys::OpMode::kSmp1;
+    machine_ = std::make_unique<rt::Machine>(mc);
+    machine_->set_fault_injector(&inj);
+    Options o;
+    o.app_name = "faulty";
+    o.dump_dir = dir_;
+    o.fault = &inj;
+    session_ = std::make_unique<Session>(*machine_, o);
+    session_->link_with_mpi();
+    machine_->run([&](rt::RankCtx& ctx) {
+      ctx.mpi_init();
+      ctx.loop(fma_loop(200), {});
+      ctx.mpi_finalize();
+    });
+    out = session_.get();
+  }
+
+  static const DumpWriteOutcome& outcome_for(const Session& s, unsigned node) {
+    for (const auto& o : s.write_outcomes()) {
+      if (o.node == node) return o;
+    }
+    throw std::logic_error("no outcome for node");
+  }
+
+  fs::path dir_;
+  std::unique_ptr<rt::Machine> machine_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(DumpFault, TransientWriteErrorIsRetriedToSuccess) {
+  fault::FaultPlan plan;
+  plan.add({.kind = fault::FaultKind::kDumpWriteError,
+            .node = 0,
+            .attempts = 2});
+  fault::FaultInjector inj(std::move(plan));
+  Session* s = nullptr;
+  run_session(inj, s);
+
+  ASSERT_EQ(s->write_outcomes().size(), 2u);
+  const auto& hit = outcome_for(*s, 0);
+  EXPECT_TRUE(hit.ok);
+  EXPECT_EQ(hit.attempts, 3u);  // two injected failures, then success
+  const auto& clean = outcome_for(*s, 1);
+  EXPECT_TRUE(clean.ok);
+  EXPECT_EQ(clean.attempts, 1u);
+  EXPECT_EQ(s->dump_files().size(), 2u);
+  // The retried dump parses cleanly — no torn state left behind.
+  EXPECT_NO_THROW((void)post::load_dump(hit.path));
+  EXPECT_FALSE(fs::exists(hit.path.string() + ".tmp"));
+}
+
+TEST_F(DumpFault, ExhaustedRetryBudgetLosesOnlyThatDump) {
+  fault::FaultPlan plan;
+  plan.add({.kind = fault::FaultKind::kDumpWriteError,
+            .node = 1,
+            .attempts = fault::kAlwaysFail});
+  fault::FaultInjector inj(std::move(plan));
+  Session* s = nullptr;
+  run_session(inj, s);
+
+  ASSERT_EQ(s->write_outcomes().size(), 2u);
+  const auto& lost = outcome_for(*s, 1);
+  EXPECT_FALSE(lost.ok);
+  EXPECT_EQ(lost.attempts, Options{}.dump_write_retries + 1);
+  EXPECT_NE(lost.error.find("injected I/O error"), std::string::npos);
+  EXPECT_FALSE(fs::exists(lost.path));
+  EXPECT_FALSE(fs::exists(lost.path.string() + ".tmp"));
+
+  // Node 0's dump survived and is minable.
+  ASSERT_EQ(s->dump_files().size(), 1u);
+  EXPECT_EQ(post::load_dump(s->dump_files()[0]).node_id, 0u);
+}
+
+TEST_F(DumpFault, SilentCorruptionIsRecordedAndCaughtByCrc) {
+  fault::FaultPlan plan;
+  plan.add({.kind = fault::FaultKind::kDumpBitFlip,
+            .node = 0,
+            .byte_offset = 200,
+            .bit = 5});
+  fault::FaultInjector inj(std::move(plan));
+  Session* s = nullptr;
+  run_session(inj, s);
+
+  const auto& hit = outcome_for(*s, 0);
+  EXPECT_TRUE(hit.ok);  // the write itself "succeeded" — that's the point
+  ASSERT_EQ(hit.injected.size(), 1u);
+  EXPECT_NE(hit.injected[0].find("flipped bit"), std::string::npos);
+  try {
+    (void)post::load_dump(hit.path);
+    FAIL() << "expected the CRC to catch the flip";
+  } catch (const BinIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(DumpFault, TruncatedDumpFailsToParse) {
+  fault::FaultPlan plan;
+  plan.add({.kind = fault::FaultKind::kDumpTruncate,
+            .node = 1,
+            .keep_bytes = 64});
+  fault::FaultInjector inj(std::move(plan));
+  Session* s = nullptr;
+  run_session(inj, s);
+
+  const auto& hit = outcome_for(*s, 1);
+  ASSERT_EQ(hit.injected.size(), 1u);
+  EXPECT_THROW((void)post::load_dump(hit.path), BinIoError);
+  // And node 0 still parses.
+  EXPECT_NO_THROW((void)post::load_dump(outcome_for(*s, 0).path));
+}
+
+TEST_F(DumpFault, CounterWrapSurfacesInSanity) {
+  // Narrow the cycle counter of core 0 (mode-0 event, counter 0 region)
+  // with a margin smaller than the measured interval, so it wraps mid-run.
+  fault::FaultPlan plan;
+  plan.add({.kind = fault::FaultKind::kCounterWrap,
+            .node = 0,
+            .counter = isa::event_counter(isa::ev::fpu_op(0, isa::FpOp::kFma)),
+            .margin = 10});
+  fault::FaultInjector inj(std::move(plan));
+  Session* s = nullptr;
+  run_session(inj, s);
+
+  const auto dumps = post::load_dumps(dir_, "faulty");
+  const auto rep = post::check(dumps);
+  EXPECT_FALSE(rep.ok());
+  bool wrap_found = false;
+  for (const auto& p : rep.problems) {
+    if (p.kind == post::ProblemKind::kCounterWrap) {
+      wrap_found = true;
+      EXPECT_EQ(p.node, 0u);
+      EXPECT_NE(p.text.find("wraparound suspected"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(wrap_found);
+}
+
+}  // namespace
+}  // namespace bgp::pc

@@ -1,0 +1,131 @@
+// The fault-injection plan generator and runtime oracle: determinism,
+// victim selection, corruption application, write-failure budgets.
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bgp::fault {
+namespace {
+
+FaultSpec busy_spec() {
+  FaultSpec spec;
+  spec.node_deaths = 2;
+  spec.dump_truncates = 1;
+  spec.dump_bit_flips = 2;
+  spec.transient_write_errors = 1;
+  spec.lost_dumps = 1;
+  spec.counter_wraps = 1;
+  return spec;
+}
+
+TEST(FaultPlan, SameSeedSamePlan) {
+  const FaultPlan a = FaultPlan::random(42, 16, busy_spec());
+  const FaultPlan b = FaultPlan::random(42, 16, busy_spec());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(describe(a.events()[i]), describe(b.events()[i])) << i;
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDiffer) {
+  const FaultPlan a = FaultPlan::random(1, 16, busy_spec());
+  const FaultPlan b = FaultPlan::random(2, 16, busy_spec());
+  std::string sa, sb;
+  for (const auto& e : a.events()) sa += describe(e) + "\n";
+  for (const auto& e : b.events()) sb += describe(e) + "\n";
+  EXPECT_NE(sa, sb);
+}
+
+TEST(FaultPlan, DeathVictimsAreDistinctAndDumpFaultsHitSurvivors) {
+  FaultSpec spec = busy_spec();
+  spec.node_deaths = 5;
+  const FaultPlan plan = FaultPlan::random(7, 8, spec);
+  std::set<u32> dead;
+  for (const auto& e : plan.events()) {
+    if (e.kind == FaultKind::kNodeDeath) {
+      EXPECT_TRUE(dead.insert(e.node).second) << "duplicate victim";
+      EXPECT_GE(e.cycle, 1u);
+      EXPECT_LE(e.cycle, spec.death_window);
+    } else {
+      EXPECT_FALSE(dead.contains(e.node))
+          << describe(e) << " targets a dead node";
+    }
+  }
+  EXPECT_EQ(dead.size(), 5u);
+}
+
+TEST(FaultPlan, DeathCountClampedToNodeCount) {
+  FaultSpec spec;
+  spec.node_deaths = 99;
+  const FaultPlan plan = FaultPlan::random(3, 4, spec);
+  EXPECT_EQ(plan.events().size(), 4u);
+}
+
+TEST(FaultInjector, DeathCycleReportsEarliest) {
+  FaultPlan plan;
+  plan.add({.kind = FaultKind::kNodeDeath, .node = 2, .cycle = 900});
+  plan.add({.kind = FaultKind::kNodeDeath, .node = 2, .cycle = 300});
+  FaultInjector inj(std::move(plan));
+  ASSERT_TRUE(inj.death_cycle(2).has_value());
+  EXPECT_EQ(*inj.death_cycle(2), 300u);
+  EXPECT_FALSE(inj.death_cycle(0).has_value());
+}
+
+TEST(FaultInjector, WriteFailureBudgetCountsDown) {
+  FaultPlan plan;
+  plan.add({.kind = FaultKind::kDumpWriteError, .node = 1, .attempts = 2});
+  FaultInjector inj(std::move(plan));
+  EXPECT_TRUE(inj.next_write_fails(1));
+  EXPECT_TRUE(inj.next_write_fails(1));
+  EXPECT_FALSE(inj.next_write_fails(1));
+  EXPECT_FALSE(inj.next_write_fails(0));
+}
+
+TEST(FaultInjector, AlwaysFailNeverRecovers) {
+  FaultPlan plan;
+  plan.add(
+      {.kind = FaultKind::kDumpWriteError, .node = 3, .attempts = kAlwaysFail});
+  FaultInjector inj(std::move(plan));
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(inj.next_write_fails(3));
+}
+
+TEST(FaultInjector, CorruptDumpTruncatesAndFlips) {
+  FaultPlan plan;
+  plan.add({.kind = FaultKind::kDumpTruncate, .node = 0, .keep_bytes = 10});
+  plan.add({.kind = FaultKind::kDumpBitFlip,
+            .node = 0,
+            .byte_offset = 4,
+            .bit = 3});
+  FaultInjector inj(std::move(plan));
+
+  std::vector<std::byte> bytes(100, std::byte{0});
+  const auto applied = inj.corrupt_dump(0, bytes);
+  ASSERT_EQ(applied.size(), 2u);
+  EXPECT_EQ(bytes.size(), 10u);
+  EXPECT_EQ(bytes[4], std::byte{0x08});
+  EXPECT_EQ(inj.injected_log().size(), 2u);
+
+  // Other nodes' dumps are untouched.
+  std::vector<std::byte> other(100, std::byte{0});
+  EXPECT_TRUE(inj.corrupt_dump(1, other).empty());
+  EXPECT_EQ(other.size(), 100u);
+}
+
+TEST(FaultInjector, CounterWrapPreloadSitsBelowTheBoundary) {
+  FaultPlan plan;
+  plan.add({.kind = FaultKind::kCounterWrap,
+            .node = 5,
+            .counter = 17,
+            .margin = 1000});
+  FaultInjector inj(std::move(plan));
+  const auto wraps = inj.counter_wraps(5);
+  ASSERT_EQ(wraps.size(), 1u);
+  EXPECT_EQ(wraps[0].counter, 17u);
+  EXPECT_EQ(wraps[0].preload, (u64{1} << 32) - 1000);
+  EXPECT_TRUE(inj.counter_wraps(4).empty());
+}
+
+}  // namespace
+}  // namespace bgp::fault

@@ -1,0 +1,165 @@
+// End-to-end fault-injection run (ISSUE 1 acceptance): a fixed seed kills
+// 2 of 16 nodes mid-run and silently corrupts one survivor's dump. The
+// degraded miner must still produce a coverage-annotated record over the
+// surviving quorum, strict mode must refuse with the full problem list,
+// and the same seed must reproduce byte-identical results.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "core/session.hpp"
+#include "fault/fault.hpp"
+#include "postproc/pipeline.hpp"
+#include "postproc/report.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/rankctx.hpp"
+
+namespace bgp {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr u64 kSeed = 20260806;
+constexpr unsigned kNodes = 16;
+
+isa::LoopDesc stencil(u64 trip) {
+  isa::LoopDesc d;
+  d.name = "stencil";
+  d.trip = trip;
+  d.body.fp_at(isa::FpOp::kFma) = 4;
+  d.body.fp_at(isa::FpOp::kAddSub) = 2;
+  d.body.int_at(isa::IntOp::kAlu) = 2;
+  d.body.ls_at(isa::LsOp::kLoadDouble) = 3;
+  d.body.ls_at(isa::LsOp::kStoreDouble) = 1;
+  return d;
+}
+
+struct RunOutcome {
+  std::vector<unsigned> dead;
+  post::MineResult degraded;
+  post::MineResult strict;
+  std::string metrics_csv;
+};
+
+RunOutcome run_faulted(const fs::path& dir) {
+  fault::FaultSpec spec;
+  spec.node_deaths = 2;
+  spec.dump_bit_flips = 1;
+  spec.death_window = 10'000;  // well inside the run: both deaths fire
+  fault::FaultInjector inj(fault::FaultPlan::random(kSeed, kNodes, spec));
+
+  rt::MachineConfig mc;
+  mc.num_nodes = kNodes;
+  mc.mode = sys::OpMode::kSmp1;
+  rt::Machine m(mc);
+  m.set_fault_injector(&inj);
+  pc::Options o;
+  o.app_name = "faulted";
+  o.dump_dir = dir;
+  o.fault = &inj;
+  pc::Session s(m, o);
+  s.link_with_mpi();
+  m.run([&](rt::RankCtx& ctx) {
+    ctx.mpi_init();
+    for (int i = 0; i < 8; ++i) {
+      ctx.loop(stencil(20'000), {});
+      (void)ctx.allreduce_sum(1.0);
+    }
+    ctx.mpi_finalize();
+  });
+
+  RunOutcome out;
+  out.dead = m.dead_nodes();
+
+  post::MineOptions deg;
+  deg.min_coverage = 0.75;
+  deg.expected_nodes = kNodes;
+  out.degraded = post::mine(dir, "faulted", deg);
+
+  post::MineOptions strict = deg;
+  strict.strict = true;
+  out.strict = post::mine(dir, "faulted", strict);
+
+  CsvWriter csv;
+  post::write_metrics_csv(csv, {out.degraded.record});
+  out.metrics_csv = csv.text();
+  return out;
+}
+
+class FaultInjection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "bgpc_fault_integration";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(FaultInjection, DegradedMineCoversTheSurvivingQuorum) {
+  const RunOutcome out = run_faulted(dir_);
+
+  // The plan kills exactly two nodes; the collectives complete over the
+  // survivors, so nothing cascades.
+  ASSERT_EQ(out.dead.size(), 2u);
+
+  // 14 survivors wrote dumps; the bit-flipped one fails its CRC on load.
+  const auto& res = out.degraded;
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.coverage.expected, kNodes);
+  EXPECT_EQ(res.coverage.loaded, 13u);
+  EXPECT_GE(res.coverage.mined, 13u);
+  EXPECT_GE(res.coverage.fraction(), 13.0 / 16.0);
+  ASSERT_EQ(res.load_errors.size(), 1u);
+  EXPECT_NE(res.load_errors[0].reason.find("CRC"), std::string::npos)
+      << res.load_errors[0].reason;
+
+  // The record itself carries the coverage annotation...
+  EXPECT_EQ(res.record.nodes_expected, kNodes);
+  EXPECT_EQ(res.record.nodes_mined, res.coverage.mined);
+  EXPECT_GT(res.record.fp.flops(), 0.0);
+  // ...and it lands in the CSV.
+  EXPECT_NE(out.metrics_csv.find("nodes_expected"), std::string::npos);
+  EXPECT_NE(out.metrics_csv.find("nodes_mined"), std::string::npos);
+  EXPECT_NE(out.metrics_csv.find("16"), std::string::npos);
+  EXPECT_NE(out.metrics_csv.find("13"), std::string::npos);
+}
+
+TEST_F(FaultInjection, StrictModeRefusesAndListsEveryProblem) {
+  const RunOutcome out = run_faulted(dir_);
+  const auto& res = out.strict;
+
+  EXPECT_FALSE(res.ok);
+  // Two dead nodes' dumps are missing and one survivor's dump is corrupt:
+  // at least three distinct problems, each naming its fault.
+  EXPECT_GE(res.problems.size(), 3u);
+  unsigned missing = 0, corrupt = 0;
+  for (const auto& p : res.problems) {
+    if (p.find("dump missing") != std::string::npos) ++missing;
+    if (p.find("CRC mismatch") != std::string::npos) ++corrupt;
+  }
+  EXPECT_EQ(missing, 2u);
+  EXPECT_EQ(corrupt, 1u);
+}
+
+TEST_F(FaultInjection, SameSeedIsByteIdentical) {
+  const fs::path other = fs::temp_directory_path() / "bgpc_fault_integration2";
+  fs::remove_all(other);
+  fs::create_directories(other);
+
+  const RunOutcome a = run_faulted(dir_);
+  const RunOutcome b = run_faulted(other);
+  fs::remove_all(other);
+
+  EXPECT_EQ(a.dead, b.dead);
+  EXPECT_EQ(a.degraded.coverage.mined, b.degraded.coverage.mined);
+  EXPECT_EQ(a.metrics_csv, b.metrics_csv);
+}
+
+}  // namespace
+}  // namespace bgp

@@ -61,8 +61,19 @@ TEST_F(LoaderDir, LoadsOnlyMatchingAppAndSortsByNode) {
   for (const auto& d : dumps) EXPECT_EQ(d.app_name, "FT");
 }
 
-TEST_F(LoaderDir, EmptyDirectoryGivesEmptyVector) {
-  EXPECT_TRUE(load_dumps(dir_, "FT").empty());
+TEST_F(LoaderDir, EmptyDirectoryThrowsWithClearError) {
+  // A silent empty result used to mask typo'd app names and missing runs.
+  try {
+    (void)load_dumps(dir_, "FT");
+    FAIL() << "expected BinIoError";
+  } catch (const BinIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("FT.node*.bgpc"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(LoaderDir, MissingDirectoryThrows) {
+  EXPECT_THROW((void)load_dumps(dir_ / "nope", "FT"), BinIoError);
 }
 
 TEST_F(LoaderDir, CorruptFileThrows) {
@@ -82,6 +93,150 @@ TEST_F(LoaderDir, ExplicitFileListRoundTrip) {
 TEST_F(LoaderDir, MissingExplicitFileThrows) {
   EXPECT_THROW((void)load_dumps(std::vector<fs::path>{dir_ / "nope.bgpc"}),
                BinIoError);
+}
+
+// ---- malformed-file edge cases ---------------------------------------------
+
+class LoaderEdgeCases : public LoaderDir {
+ protected:
+  fs::path write_bytes(const std::string& name,
+                       const std::vector<std::byte>& bytes) {
+    const fs::path p = dir_ / name;
+    std::ofstream out(p, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return p;
+  }
+
+  static pc::NodeDump sample_dump() {
+    pc::NodeDump d;
+    d.node_id = 7;
+    d.card_id = 3;
+    d.counter_mode = 1;
+    d.app_name = "LU";
+    pc::SetDump s;
+    s.set_id = 0;
+    s.pairs = 2;
+    s.first_start_cycle = 10;
+    s.last_stop_cycle = 500;
+    for (unsigned c = 0; c < isa::kCountersPerUnit; ++c) s.deltas[c] = c * 3;
+    d.sets.push_back(s);
+    return d;
+  }
+};
+
+TEST_F(LoaderEdgeCases, ZeroLengthFileThrows) {
+  const auto p = write_bytes("LU.node0000.bgpc", {});
+  EXPECT_THROW((void)load_dump(p), BinIoError);
+}
+
+TEST_F(LoaderEdgeCases, BadMagicThrows) {
+  auto bytes = pc::NodeMonitor::serialize(sample_dump());
+  bytes[0] ^= std::byte{0xFF};
+  const auto p = write_bytes("LU.node0007.bgpc", bytes);
+  try {
+    (void)load_dump(p);
+    FAIL() << "expected BinIoError";
+  } catch (const BinIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+}
+
+TEST_F(LoaderEdgeCases, UnsupportedVersionThrows) {
+  auto bytes = pc::NodeMonitor::serialize(sample_dump());
+  bytes[4] = std::byte{99};  // version field follows the magic
+  const auto p = write_bytes("LU.node0007.bgpc", bytes);
+  try {
+    (void)load_dump(p);
+    FAIL() << "expected BinIoError";
+  } catch (const BinIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST_F(LoaderEdgeCases, HeaderClaimingMoreSetsThanBytesThrows) {
+  // Corrupting the set count upward must be caught by the plausibility
+  // check before any allocation, not crash or over-read.
+  pc::NodeDump d = sample_dump();
+  auto bytes = pc::NodeMonitor::serialize(d, pc::kDumpVersionLegacy);
+  // v1 header: magic, version, node, card, mode, app string (u32 len +
+  // chars), then the set count.
+  const std::size_t count_at = 4 * 5 + 4 + d.app_name.size();
+  bytes[count_at] = std::byte{0xFF};
+  bytes[count_at + 1] = std::byte{0xFF};
+  const auto p = write_bytes("LU.node0007.bgpc", bytes);
+  try {
+    (void)load_dump(p);
+    FAIL() << "expected BinIoError";
+  } catch (const BinIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("sets"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(LoaderEdgeCases, TruncatedFileThrows) {
+  auto bytes = pc::NodeMonitor::serialize(sample_dump());
+  bytes.resize(bytes.size() / 2);
+  const auto p = write_bytes("LU.node0007.bgpc", bytes);
+  EXPECT_THROW((void)load_dump(p), BinIoError);
+}
+
+TEST_F(LoaderEdgeCases, FlippedByteFailsTheSectionCrc) {
+  auto bytes = pc::NodeMonitor::serialize(sample_dump());
+  bytes[bytes.size() - 40] ^= std::byte{0x10};  // inside the last set record
+  const auto p = write_bytes("LU.node0007.bgpc", bytes);
+  try {
+    (void)load_dump(p);
+    FAIL() << "expected BinIoError";
+  } catch (const BinIoError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(LoaderEdgeCases, LegacyV1RoundTripsThroughV2Reader) {
+  const pc::NodeDump d = sample_dump();
+  const auto v1 = pc::NodeMonitor::serialize(d, pc::kDumpVersionLegacy);
+  const auto v2 = pc::NodeMonitor::serialize(d, pc::kDumpVersion);
+  EXPECT_LT(v1.size(), v2.size());  // v2 carries the CRC words
+
+  const auto p1 = write_bytes("LU.node0007.bgpc", v1);
+  const pc::NodeDump back = load_dump(p1);
+  EXPECT_EQ(back.node_id, d.node_id);
+  EXPECT_EQ(back.card_id, d.card_id);
+  EXPECT_EQ(back.app_name, d.app_name);
+  ASSERT_EQ(back.sets.size(), 1u);
+  EXPECT_EQ(back.sets[0].deltas, d.sets[0].deltas);
+
+  // And a v1 byte flip goes undetected structurally — the motivation for
+  // v2: same flip, but the file still parses (garbage in, garbage out).
+  auto flipped = v1;
+  flipped[flipped.size() - 40] ^= std::byte{0x10};
+  const auto p2 = write_bytes("LU.node0008.bgpc", flipped);
+  EXPECT_NO_THROW((void)load_dump(p2));
+}
+
+TEST_F(LoaderEdgeCases, TolerantLoadSkipsBadFilesAndReports) {
+  write_dump("FT", 0);
+  write_dump("FT", 1);
+  write_dump("FT", 2);
+  auto bytes = pc::NodeMonitor::serialize(sample_dump());
+  bytes[bytes.size() - 8] ^= std::byte{0x01};
+  write_bytes("FT.node0003.bgpc", bytes);
+
+  const LoadReport rep = load_dumps_tolerant(dir_, "FT");
+  EXPECT_FALSE(rep.ok());
+  ASSERT_EQ(rep.dumps.size(), 3u);
+  ASSERT_EQ(rep.errors.size(), 1u);
+  EXPECT_EQ(rep.errors[0].file.filename(), "FT.node0003.bgpc");
+  EXPECT_NE(rep.errors[0].reason.find("CRC"), std::string::npos);
+}
+
+TEST_F(LoaderEdgeCases, TolerantLoadOfEmptyDirectoryIsAnError) {
+  const LoadReport rep = load_dumps_tolerant(dir_, "FT");
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(rep.dumps.empty());
+  ASSERT_EQ(rep.errors.size(), 1u);
 }
 
 }  // namespace

@@ -56,7 +56,7 @@ std::vector<NodeDump> synthetic_dumps() {
 
 TEST(Sanity, CleanDumpsPass) {
   const auto rep = check(synthetic_dumps());
-  EXPECT_TRUE(rep.ok()) << (rep.problems.empty() ? "" : rep.problems[0]);
+  EXPECT_TRUE(rep.ok()) << (rep.problems.empty() ? "" : rep.problems[0].text);
 }
 
 TEST(Sanity, DetectsProblems) {

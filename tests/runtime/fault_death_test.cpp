@@ -1,0 +1,143 @@
+// Node-death injection through the MiniMPI scheduler: a dead node's ranks
+// unwind cleanly, survivors complete their collectives over the remaining
+// members, receivers blocked on dead peers inherit the death, and run()
+// returns normally with the casualties reported.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/rankctx.hpp"
+
+namespace bgp::rt {
+namespace {
+
+MachineConfig smp(unsigned nodes) {
+  MachineConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.mode = sys::OpMode::kSmp1;
+  return cfg;
+}
+
+isa::LoopDesc work(u64 trip) {
+  isa::LoopDesc d;
+  d.name = "work";
+  d.trip = trip;
+  d.body.fp_at(isa::FpOp::kFma) = 4;
+  d.body.int_at(isa::IntOp::kAlu) = 2;
+  return d;
+}
+
+TEST(NodeDeath, SurvivorsFinishAndCasualtiesAreReported) {
+  fault::FaultPlan plan;
+  plan.add({.kind = fault::FaultKind::kNodeDeath, .node = 1, .cycle = 1});
+  fault::FaultInjector inj(std::move(plan));
+
+  Machine m(smp(4));
+  m.set_fault_injector(&inj);
+  std::vector<int> finished(m.num_ranks(), 0);
+  m.run([&](RankCtx& ctx) {
+    for (int i = 0; i < 4; ++i) {
+      ctx.loop(work(500), {});
+      (void)ctx.allreduce_sum(1.0);
+    }
+    finished[ctx.rank()] = 1;
+  });
+
+  EXPECT_EQ(m.dead_nodes(), (std::vector<unsigned>{1}));
+  ASSERT_EQ(m.dead_ranks().size(), 1u);
+  EXPECT_EQ(m.dead_ranks()[0], 1u);
+  EXPECT_EQ(finished[0], 1);
+  EXPECT_EQ(finished[1], 0);
+  EXPECT_EQ(finished[2], 1);
+  EXPECT_EQ(finished[3], 1);
+}
+
+TEST(NodeDeath, CollectiveResultCoversOnlySurvivors) {
+  fault::FaultPlan plan;
+  plan.add({.kind = fault::FaultKind::kNodeDeath, .node = 2, .cycle = 1});
+  fault::FaultInjector inj(std::move(plan));
+
+  Machine m(smp(4));
+  m.set_fault_injector(&inj);
+  std::vector<double> sums(m.num_ranks(), 0.0);
+  m.run([&](RankCtx& ctx) {
+    ctx.loop(work(200), {});  // give the doomed rank a checkpoint to die at
+    sums[ctx.rank()] = ctx.allreduce_sum(1.0);
+  });
+
+  // Three survivors contributed.
+  for (unsigned r : {0u, 1u, 3u}) EXPECT_DOUBLE_EQ(sums[r], 3.0) << r;
+  EXPECT_DOUBLE_EQ(sums[2], 0.0);
+}
+
+TEST(NodeDeath, ReceiverBlockedOnDeadPeerInheritsTheDeath) {
+  fault::FaultPlan plan;
+  plan.add({.kind = fault::FaultKind::kNodeDeath, .node = 0, .cycle = 1});
+  fault::FaultInjector inj(std::move(plan));
+
+  Machine m(smp(2));
+  m.set_fault_injector(&inj);
+  m.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.loop(work(300), {});  // dies here
+      std::array<std::byte, 8> buf{};
+      ctx.send(1, buf);
+    } else {
+      std::array<std::byte, 8> buf{};
+      ctx.recv(0, buf);  // the message never comes
+    }
+  });
+  // Both ranks are gone: node 0 died, rank 1 cascaded.
+  EXPECT_EQ(m.dead_ranks().size(), 2u);
+  EXPECT_EQ(m.dead_nodes(), (std::vector<unsigned>{0, 1}));
+}
+
+TEST(NodeDeath, SameSeedSameCasualties) {
+  const auto casualties = [](u64 seed) {
+    fault::FaultSpec spec;
+    spec.node_deaths = 2;
+    spec.death_window = 5'000;
+    fault::FaultInjector inj(fault::FaultPlan::random(seed, 8, spec));
+    Machine m(smp(8));
+    m.set_fault_injector(&inj);
+    m.run([&](RankCtx& ctx) {
+      for (int i = 0; i < 3; ++i) {
+        ctx.loop(work(400), {});
+        ctx.barrier();
+      }
+    });
+    return m.dead_nodes();
+  };
+  const auto a = casualties(99);
+  const auto b = casualties(99);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(NodeDeath, NoFaultInjectorMeansNoDeaths) {
+  Machine m(smp(2));
+  m.run([](RankCtx& ctx) { ctx.barrier(); });
+  EXPECT_TRUE(m.dead_ranks().empty());
+  EXPECT_TRUE(m.dead_nodes().empty());
+}
+
+TEST(NodeDeath, RealErrorsStillPropagate) {
+  fault::FaultPlan plan;
+  plan.add({.kind = fault::FaultKind::kNodeDeath, .node = 0, .cycle = 1});
+  fault::FaultInjector inj(std::move(plan));
+
+  Machine m(smp(3));
+  m.set_fault_injector(&inj);
+  EXPECT_THROW(m.run([&](RankCtx& ctx) {
+    ctx.loop(work(200), {});
+    if (ctx.rank() == 2) throw std::runtime_error("boom");
+    ctx.barrier();
+  }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bgp::rt

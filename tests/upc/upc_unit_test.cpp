@@ -191,5 +191,40 @@ TEST(CounterConfig, PaperSignalEncodings) {
   EXPECT_EQ(static_cast<u8>(SignalMode::kLevelLow), 0b11);
 }
 
+TEST(UpcUnit, NarrowedCounterWrapsAtItsWidth) {
+  UpcUnit u;
+  u.start();
+  const EventId e = ev::fpu_op(0, isa::FpOp::kFma);
+  const u8 c = isa::event_counter(e);
+  u.set_counter_width(c, 32);
+  EXPECT_EQ(u.counter_mask(c), 0xFFFF'FFFFull);
+
+  // Preload just below the boundary; the next signals wrap around zero —
+  // the fault-injection model for a defective 32-bit counter.
+  u.write(c, (u64{1} << 32) - 3);
+  u.signal(e, 10);
+  EXPECT_EQ(u.read(c), 7u);
+
+  // The snapshot-delta arithmetic the monitor uses then yields a value in
+  // the top half of u64 — the wraparound signature sanity looks for.
+  const u64 delta = u.read(c) - ((u64{1} << 32) - 3);
+  EXPECT_GE(delta, u64{1} << 63);
+}
+
+TEST(UpcUnit, CounterWidthValidatesArguments) {
+  UpcUnit u;
+  EXPECT_THROW(u.set_counter_width(0, 0), UpcError);
+  EXPECT_THROW(u.set_counter_width(0, 65), UpcError);
+  EXPECT_NO_THROW(u.set_counter_width(0, 64));
+  EXPECT_EQ(u.counter_mask(0), ~u64{0});
+}
+
+TEST(UpcUnit, WriteIsMaskedOnNarrowCounter) {
+  UpcUnit u;
+  u.set_counter_width(5, 16);
+  u.write(5, 0x1'2345);
+  EXPECT_EQ(u.read(5), 0x2345u);
+}
+
 }  // namespace
 }  // namespace bgp::upc

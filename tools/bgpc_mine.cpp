@@ -4,20 +4,29 @@
 // and emits the metrics / statistics / full-counter .csv files usable "with
 // Microsoft Excel or Open office calc".
 //
+// By default the miner runs in degraded mode: dumps that are missing,
+// truncated or checksum-corrupt are skipped and reported, and the metrics
+// are mined from the surviving quorum (at least --min-coverage of the
+// expected nodes), with the coverage annotated in the output. --strict
+// inverts this: any problem at all refuses to mine.
+//
 //   bgpc_mine <dump_dir> <app_name> [options]
-//     --set=N           instrumentation set to mine (default 0)
-//     --metrics=FILE    write the per-application metrics record
-//     --stats=FILE      write min/max/mean of all monitored counters
-//     --full=FILE       write every counter value read on every node
-//     --quiet           suppress the stdout summary
+//     --set=N            instrumentation set to mine (default 0)
+//     --metrics=FILE     write the per-application metrics record
+//     --stats=FILE       write min/max/mean of all monitored counters
+//     --full=FILE        write every counter value read on every node
+//     --strict           refuse to mine unless every node's dump is clean
+//     --min-coverage=F   degraded-mode quorum fraction (default 0.9)
+//     --expected-nodes=N nodes the run should have dumped (default: infer)
+//     --quiet            suppress the stdout summary
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "common/strfmt.hpp"
-#include "postproc/loader.hpp"
-#include "postproc/report.hpp"
-#include "postproc/sanity.hpp"
+#include "postproc/aggregate.hpp"
+#include "postproc/pipeline.hpp"
 
 using namespace bgp;
 
@@ -26,7 +35,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <dump_dir> <app_name> [--set=N] [--metrics=FILE] "
-               "[--stats=FILE] [--full=FILE] [--quiet]\n",
+               "[--stats=FILE] [--full=FILE] [--strict] [--min-coverage=F] "
+               "[--expected-nodes=N] [--quiet]\n",
                argv0);
   return 2;
 }
@@ -37,18 +47,30 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage(argv[0]);
   const std::filesystem::path dir = argv[1];
   const std::string app = argv[2];
-  unsigned set = 0;
+  post::MineOptions opts;
   std::string metrics_file, stats_file, full_file;
   bool quiet = false;
   for (int i = 3; i < argc; ++i) {
     if (std::strncmp(argv[i], "--set=", 6) == 0) {
-      set = static_cast<unsigned>(std::atoi(argv[i] + 6));
+      opts.set = static_cast<unsigned>(std::atoi(argv[i] + 6));
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       metrics_file = argv[i] + 10;
     } else if (std::strncmp(argv[i], "--stats=", 8) == 0) {
       stats_file = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--full=", 7) == 0) {
       full_file = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      opts.strict = true;
+    } else if (std::strncmp(argv[i], "--min-coverage=", 15) == 0) {
+      char* end = nullptr;
+      opts.min_coverage = std::strtod(argv[i] + 15, &end);
+      if (end == argv[i] + 15 || *end != '\0' || opts.min_coverage < 0.0 ||
+          opts.min_coverage > 1.0) {
+        std::fprintf(stderr, "--min-coverage needs a fraction in [0,1]\n");
+        return usage(argv[0]);
+      }
+    } else if (std::strncmp(argv[i], "--expected-nodes=", 17) == 0) {
+      opts.expected_nodes = static_cast<unsigned>(std::atoi(argv[i] + 17));
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else {
@@ -56,33 +78,29 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<pc::NodeDump> dumps;
-  try {
-    dumps = post::load_dumps(dir, app);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error loading dumps: %s\n", e.what());
-    return 1;
-  }
-  if (dumps.empty()) {
-    std::fprintf(stderr, "no %s.node*.bgpc files in %s\n", app.c_str(),
-                 dir.string().c_str());
-    return 1;
-  }
+  const post::MineResult res = post::mine(dir, app, opts);
 
-  const post::SanityReport sanity = post::check(dumps);
-  if (!sanity.ok()) {
-    std::fprintf(stderr, "sanity check FAILED:\n");
-    for (const auto& p : sanity.problems) {
+  if (!res.problems.empty()) {
+    std::fprintf(stderr, "%zu problem(s) with the dump batch:\n",
+                 res.problems.size());
+    for (const auto& p : res.problems) {
       std::fprintf(stderr, "  %s\n", p.c_str());
     }
+  }
+  if (!res.ok) {
+    std::fprintf(stderr, "%s: refusing to mine (coverage %s)\n",
+                 opts.strict ? "strict mode" : "below quorum",
+                 res.coverage.to_string().c_str());
     return 1;
   }
 
-  const post::Aggregate agg(dumps, set);
-  const post::AppRecord rec = post::make_record(app, agg);
+  const post::AppRecord& rec = res.record;
+  const post::Aggregate agg(res.dumps, opts.set);
 
   if (!quiet) {
-    std::printf("%zu node dumps, set %u, sanity OK\n", dumps.size(), set);
+    std::printf("coverage %s, set %u%s\n", res.coverage.to_string().c_str(),
+                opts.set,
+                res.coverage.full() ? ", sanity OK" : " — DEGRADED mine");
     std::printf("  mode-0 nodes (per-core events): %zu\n",
                 agg.dumps_in_mode(0).size());
     std::printf("  mode-1 nodes (memory events):   %zu\n",
@@ -119,7 +137,7 @@ int main(int argc, char** argv) {
   }
   if (!full_file.empty()) {
     CsvWriter csv;
-    post::write_full_csv(csv, dumps, set);
+    post::write_full_csv(csv, res.dumps, opts.set);
     csv.write_file(full_file);
     if (!quiet) std::printf("wrote %s\n", full_file.c_str());
   }
