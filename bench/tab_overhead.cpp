@@ -2,10 +2,78 @@
 // cycles for initializing the UPC unit plus one start()/stop() pair,
 // checked against the Time Base register, and argues per-pair costs are far
 // lower since initialization happens once.
+//
+// The tracing rows extend the table to the time-series layer: the modeled
+// cost of one threshold-interrupt sample (snapshot + ring push + re-arm)
+// must stay within the documented 96-cycle budget (docs/tracing.md), i.e.
+// below half the paper's one-time 196-cycle figure even when charged
+// thousands of times per run.
+#include <filesystem>
+
 #include "bench/util.hpp"
 #include "core/session.hpp"
 
 using namespace bgp;
+
+namespace {
+
+/// Per-sample tracing budget (documented in docs/tracing.md).
+constexpr cycles_t kPerSampleBudget = 96;
+
+struct TraceProbe {
+  cycles_t loop_cycles = 0;  ///< instrumented-region wall clock
+  u64 samples = 0;
+  cycles_t modeled_overhead = 0;
+};
+
+/// One single-node run of a fixed loop, traced or not; the cycle difference
+/// between the two is the tracing overhead actually billed to the core.
+TraceProbe probe_loop(bool traced) {
+  rt::MachineConfig mc;
+  mc.num_nodes = 1;
+  mc.mode = sys::OpMode::kSmp1;
+  rt::Machine machine(mc);
+  pc::Options o;
+  o.write_dumps = false;
+  std::filesystem::path tdir;
+  if (traced) {
+    tdir = std::filesystem::temp_directory_path() / "bgpc_tab_overhead_trace";
+    std::filesystem::create_directories(tdir);
+    o.trace.enabled = true;
+    o.trace.interval_cycles = 10'000;
+    o.trace.trace_dir = tdir;
+  }
+  pc::Session session(machine, o);
+
+  TraceProbe p;
+  machine.run([&](rt::RankCtx& ctx) {
+    session.BGP_Initialize(ctx);
+    isa::LoopDesc d;
+    d.name = "traced_payload";
+    d.trip = 5000;
+    d.body.fp_at(isa::FpOp::kFma) = 2;
+    d.body.int_at(isa::IntOp::kAlu) = 2;
+    session.BGP_Start(ctx, 0);
+    const cycles_t t0 = ctx.core().read_timebase();
+    // Many short loop nests rather than one monolith: each crossing of an
+    // interval boundary raises its own threshold interrupt, so the sampler
+    // is exercised dozens of times instead of coalescing the whole region.
+    for (unsigned i = 0; i < 40; ++i) ctx.loop(d);
+    p.loop_cycles = ctx.core().read_timebase() - t0;
+    session.BGP_Stop(ctx, 0);
+    session.BGP_Finalize(ctx);
+  });
+  if (traced) {
+    if (const trace::NodeTracer* t = session.tracer(0)) {
+      p.samples = t->sampler().samples();
+      p.modeled_overhead = t->sampler().overhead_cycles();
+    }
+    std::filesystem::remove_all(tdir);
+  }
+  return p;
+}
+
+}  // namespace
 
 int main() {
   bench::banner("Table (section IV)", "Interface instrumentation overhead",
@@ -53,6 +121,16 @@ int main() {
     app_cycles = ctx.core().read_timebase() - t0;
   });
 
+  // Time-series layer: same loop with and without the threshold-driven
+  // sampler armed; the difference is the overhead tracing actually billed.
+  const TraceProbe plain = probe_loop(false);
+  const TraceProbe traced = probe_loop(true);
+  const cycles_t trace_delta = traced.loop_cycles - plain.loop_cycles;
+  const cycles_t per_sample =
+      traced.samples > 0 ? trace_delta / traced.samples : 0;
+  const cycles_t modeled_per_sample =
+      traced.samples > 0 ? traced.modeled_overhead / traced.samples : 0;
+
   bench::Table t({"quantity", "cycles", "note"});
   t.row({"initialize + start + stop", strfmt("%llu",
           (unsigned long long)init_start_stop),
@@ -64,6 +142,29 @@ int main() {
           (unsigned long long)app_cycles),
          strfmt("overhead = %.5f%% of region",
                 100.0 * (double)per_pair / (double)app_cycles)});
+  t.row({"tracing: one interval sample", strfmt("%llu",
+          (unsigned long long)per_sample),
+         strfmt("billed over %llu samples; budget %llu cycles",
+                (unsigned long long)traced.samples,
+                (unsigned long long)kPerSampleBudget)});
+  t.row({"tracing: loop slowdown", strfmt("%llu",
+          (unsigned long long)trace_delta),
+         strfmt("%.4f%% of the %llu-cycle region",
+                plain.loop_cycles > 0
+                    ? 100.0 * (double)trace_delta / (double)plain.loop_cycles
+                    : 0.0,
+                (unsigned long long)plain.loop_cycles)});
   t.print();
-  return init_start_stop == 196 ? 0 : 1;
+
+  const bool trace_in_budget = traced.samples > 0 &&
+                               per_sample <= kPerSampleBudget &&
+                               modeled_per_sample <= kPerSampleBudget;
+  if (!trace_in_budget) {
+    std::printf("FAIL: per-sample tracing cost exceeds the %llu-cycle "
+                "budget (billed %llu, modeled %llu)\n",
+                (unsigned long long)kPerSampleBudget,
+                (unsigned long long)per_sample,
+                (unsigned long long)modeled_per_sample);
+  }
+  return (init_start_stop == 196 && trace_in_budget) ? 0 : 1;
 }

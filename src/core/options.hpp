@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "trace/tracer.hpp"
 
 namespace bgp::fault {
 class FaultInjector;
@@ -51,6 +52,11 @@ struct Options {
   /// Optional fault-injection oracle (not owned). When set, the interface
   /// library consults it for counter-wrap defects and dump-write faults.
   fault::FaultInjector* fault = nullptr;
+
+  /// Time-series tracing (off by default): when enabled the session attaches
+  /// a threshold-driven sampler to every node and streams per-interval
+  /// counter deltas into <trace.trace_dir>/<app>.node<N>.bgpt files.
+  trace::TraceConfig trace;
 };
 
 /// Combined instrumentation overhead on the measurement path (§IV).

@@ -29,13 +29,28 @@ Session::Session(rt::Machine& machine, Options options)
     monitors_.push_back(std::make_unique<NodeMonitor>(
         machine.partition().node(i), options_));
   }
+  tracers_.resize(n);
   finalize_calls_.assign(n, 0);
   dumps_.reserve(n);
+}
+
+void Session::attach_tracer(unsigned node) {
+  if (!options_.trace.enabled || tracers_[node] != nullptr) return;
+  sys::Node& n = machine_.partition().node(node);
+  tracers_[node] = std::make_unique<trace::NodeTracer>(
+      n, options_.trace, options_.app_name,
+      monitors_[node]->programmed_mode());
+  // The runtime pulses the node at instrumentation points; the hook drains
+  // the ring buffer to disk and returns the modeled sampling overhead for
+  // the runtime to charge to the pulsing core.
+  n.set_pulse_hook(
+      [t = tracers_[node].get()](cycles_t) { return t->pulse(); });
 }
 
 void Session::BGP_Initialize(rt::RankCtx& ctx) {
   charge(ctx, options_.init_overhead);
   monitors_[ctx.node_id()]->initialize();
+  attach_tracer(ctx.node_id());
 }
 
 void Session::BGP_Start(rt::RankCtx& ctx, unsigned set) {
@@ -43,6 +58,9 @@ void Session::BGP_Start(rt::RankCtx& ctx, unsigned set) {
   mem::emit(ctx.node().sink(),
             isa::ev::system(isa::SysEvent::kUpcStartCalls, ctx.core_id()), 1);
   monitors_[ctx.node_id()]->start(set, ctx.now());
+  if (tracers_[ctx.node_id()] != nullptr) {
+    tracers_[ctx.node_id()]->start();
+  }
 }
 
 void Session::BGP_Stop(rt::RankCtx& ctx, unsigned set) {
@@ -63,6 +81,23 @@ void Session::BGP_Finalize(rt::RankCtx& ctx) {
   }
   NodeDump dump = monitors_[node]->finalize();
   dumps_.push_back(dump);
+
+  if (tracers_[node] != nullptr && !tracers_[node]->sealed()) {
+    // Seal the trace (footer + rename) before the dump write; the node
+    // survived to finalize, so its timeline is complete.
+    TraceSealOutcome seal;
+    seal.node = node;
+    try {
+      seal.path = tracers_[node]->seal();
+      seal.ok = true;
+      trace_files_.push_back(seal.path);
+      std::sort(trace_files_.begin(), trace_files_.end());
+    } catch (const std::exception& e) {
+      seal.error = e.what();
+    }
+    trace_outcomes_.push_back(std::move(seal));
+  }
+
   if (!options_.write_dumps) {
     return;
   }

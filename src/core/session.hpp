@@ -10,6 +10,7 @@
 #include "core/node_monitor.hpp"
 #include "runtime/machine.hpp"
 #include "runtime/rankctx.hpp"
+#include "trace/tracer.hpp"
 
 namespace bgp::pc {
 
@@ -24,6 +25,16 @@ struct DumpWriteOutcome {
   bool ok = false;
   std::string error;                  ///< last failure (empty when clean)
   std::vector<std::string> injected;  ///< silent corruption applied, if any
+};
+
+/// What happened when a node's trace was sealed at BGP_Finalize (only with
+/// Options::trace.enabled). A node that dies before finalizing gets no
+/// record — its `.bgpt.partial` stays behind for degraded mining.
+struct TraceSealOutcome {
+  unsigned node = 0;
+  std::filesystem::path path;
+  bool ok = false;
+  std::string error;  ///< why sealing failed (empty when clean)
 };
 
 class Session {
@@ -76,14 +87,35 @@ class Session {
     return write_outcomes_;
   }
 
+  /// Sealed trace files, in node order (empty unless tracing is enabled).
+  [[nodiscard]] const std::vector<std::filesystem::path>& trace_files()
+      const noexcept {
+    return trace_files_;
+  }
+  /// Per-node trace sealing results, in finalize order.
+  [[nodiscard]] const std::vector<TraceSealOutcome>& trace_outcomes()
+      const noexcept {
+    return trace_outcomes_;
+  }
+  /// The node's tracer, or nullptr when tracing is off (or the node never
+  /// reached BGP_Initialize).
+  [[nodiscard]] const trace::NodeTracer* tracer(unsigned node) const {
+    return tracers_.at(node).get();
+  }
+
  private:
+  void attach_tracer(unsigned node);
+
   rt::Machine& machine_;
   Options options_;
   std::vector<std::unique_ptr<NodeMonitor>> monitors_;
+  std::vector<std::unique_ptr<trace::NodeTracer>> tracers_;
   std::vector<unsigned> finalize_calls_;  ///< per node
   std::vector<NodeDump> dumps_;
   std::vector<std::filesystem::path> dump_files_;
   std::vector<DumpWriteOutcome> write_outcomes_;
+  std::vector<std::filesystem::path> trace_files_;
+  std::vector<TraceSealOutcome> trace_outcomes_;
 };
 
 }  // namespace bgp::pc

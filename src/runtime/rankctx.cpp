@@ -48,6 +48,13 @@ addr_t RankCtx::allocate_bytes(u64 bytes) {
   return base;
 }
 
+void RankCtx::pulse_node() {
+  sys::Node& n = node();
+  if (!n.has_pulse_hook()) return;
+  const cycles_t overhead = n.pulse(core().now());
+  if (overhead > 0) core().advance(overhead);
+}
+
 void RankCtx::sys_event(isa::SysEvent e, u64 count) {
   mem::emit(node().sink(), isa::ev::system(e, placement_.local_proc), count);
 }

@@ -126,7 +126,13 @@ class RankCtx {
   friend class Machine;
 
   [[nodiscard]] addr_t allocate_bytes(u64 bytes);
-  void yield() { machine_.yield_from(rank_); }
+  void yield() {
+    pulse_node();
+    machine_.yield_from(rank_);
+  }
+  /// Drive the node's tracing pulse hook (if installed) and charge the
+  /// modeled sampling overhead it reports to this rank's core.
+  void pulse_node();
   /// touch() without the cooperative yield (for use inside loop()/send()).
   void touch_no_yield(const MemRange& range, double overlap);
   /// Emit a per-rank-slot system event.

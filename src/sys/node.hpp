@@ -5,6 +5,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 
 #include "cpu/core.hpp"
@@ -60,6 +61,20 @@ class Node {
   /// by the runtime; TB is globally synchronized on real hardware).
   [[nodiscard]] cycles_t timebase() const noexcept;
 
+  /// Instrumentation pulse hook: monitoring agents (the tracing sampler)
+  /// register here and the runtime pulses the node at instrumentation
+  /// points (loop boundaries). The hook returns the modeled overhead in
+  /// cycles the pulsing core must absorb (0 when nothing was due).
+  using PulseHook = std::function<cycles_t(cycles_t now)>;
+  void set_pulse_hook(PulseHook hook) { pulse_hook_ = std::move(hook); }
+  [[nodiscard]] bool has_pulse_hook() const noexcept {
+    return static_cast<bool>(pulse_hook_);
+  }
+  /// Deliver a pulse; cheap no-op when no hook is installed.
+  cycles_t pulse(cycles_t now) {
+    return pulse_hook_ ? pulse_hook_(now) : 0;
+  }
+
  private:
   /// Forwards hardware events into the UPC unit.
   class UpcSink final : public mem::EventSink {
@@ -75,6 +90,7 @@ class Node {
   BootOptions boot_;
   upc::UpcUnit upc_;
   UpcSink sink_;
+  PulseHook pulse_hook_;
   std::unique_ptr<mem::MemoryHierarchy> mem_;
   std::array<std::unique_ptr<cpu::Core>, isa::kCoresPerNode> cores_;
 };

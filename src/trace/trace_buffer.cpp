@@ -1,0 +1,22 @@
+#include "trace/trace_buffer.hpp"
+
+#include <stdexcept>
+
+namespace bgp::trace {
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("trace buffer capacity must be positive");
+  }
+}
+
+void TraceBuffer::push(IntervalRecord record) {
+  if (records_.size() == capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(std::move(record));
+  ++total_pushed_;
+}
+
+}  // namespace bgp::trace

@@ -1,0 +1,50 @@
+// Bounded per-node ring buffer of sampled intervals. Tracing must never
+// grow without bound on a long run (the paper's 40k-node machine would
+// produce tens of millions of intervals): the buffer holds a fixed number
+// of interval records, evicting the oldest — with drop accounting — when a
+// writer is not draining it fast enough (or at all, in in-memory mode).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "trace/traceformat.hpp"
+
+namespace bgp::trace {
+
+class TraceBuffer {
+ public:
+  /// `capacity` is the hard bound on retained interval records.
+  explicit TraceBuffer(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  /// Append a record; evicts the oldest retained record (counting it as
+  /// dropped) when the buffer is at capacity.
+  void push(IntervalRecord record);
+
+  /// Oldest retained record (drain side).
+  [[nodiscard]] const IntervalRecord& front() const { return records_.front(); }
+  void pop_front() { records_.pop_front(); }
+
+  /// Records ever pushed / records evicted before being drained.
+  [[nodiscard]] u64 total_pushed() const noexcept { return total_pushed_; }
+  [[nodiscard]] u64 dropped() const noexcept { return dropped_; }
+
+  /// Upper bound on the buffer's payload memory for records of `num_events`
+  /// watched events (the configured-bound check of the acceptance criteria).
+  [[nodiscard]] static std::size_t memory_bound_bytes(
+      std::size_t capacity, std::size_t num_events) noexcept {
+    return capacity * (sizeof(IntervalRecord) + num_events * sizeof(u64));
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<IntervalRecord> records_;
+  u64 total_pushed_ = 0;
+  u64 dropped_ = 0;
+};
+
+}  // namespace bgp::trace

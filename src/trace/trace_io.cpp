@@ -1,0 +1,323 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/crc.hpp"
+#include "common/strfmt.hpp"
+
+namespace bgp::trace {
+
+// ---------------------------------------------------------------------------
+// TraceWriter
+
+TraceWriter::TraceWriter(std::filesystem::path base, TraceMeta meta,
+                         std::size_t chunk_records)
+    : meta_(std::move(meta)),
+      chunk_records_(chunk_records == 0 ? 1 : chunk_records),
+      partial_path_(base.string() + kPartialSuffix),
+      final_path_(base.string() + kTraceSuffix) {
+  out_.open(partial_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw BinIoError(
+        strfmt("cannot open trace file %s", partial_path_.string().c_str()));
+  }
+  BinaryWriter w;
+  w.put<u32>(kTraceMagic);
+  w.put<u32>(kTraceVersion);
+  const std::size_t header_begin = w.size();
+  w.put<u32>(meta_.node_id);
+  w.put<u32>(meta_.card_id);
+  w.put<u32>(meta_.counter_mode);
+  w.put_string(meta_.app_name);
+  w.put<u64>(meta_.interval_cycles);
+  w.put<u32>(meta_.pacer_event);
+  w.put<u32>(static_cast<u32>(meta_.events.size()));
+  for (const isa::EventId ev : meta_.events) w.put<u16>(ev);
+  w.put<u32>(crc32(std::span(w.buffer()).subspan(header_begin)));
+  write_bytes(w.buffer());
+  // The header must survive a mid-run node death even though the stream
+  // stays open: flush it now so a .partial is always parseable.
+  out_.flush();
+}
+
+TraceWriter::~TraceWriter() {
+  // Not finalized: leave the .partial behind, complete chunks intact —
+  // exactly what a dead node's trace should look like.
+  if (!finalized_ && out_.is_open()) {
+    try {
+      flush();
+    } catch (...) {
+      // A failing disk (or a record the format cannot express) must not
+      // escalate to std::terminate during unwinding; the trace simply ends
+      // at the last committed chunk, like any other crash.
+    }
+    out_.close();
+  }
+}
+
+void TraceWriter::put_record(BinaryWriter& w,
+                             const IntervalRecord& record) const {
+  w.put<u64>(record.index);
+  w.put<u32>(record.spanned);
+  w.put<u64>(record.t_begin);
+  w.put<u64>(record.t_end);
+  if (record.values.size() != meta_.events.size()) {
+    throw BinIoError(
+        strfmt("interval record has %zu values for %zu traced events",
+               record.values.size(), meta_.events.size()));
+  }
+  for (const u64 v : record.values) w.put<u64>(v);
+}
+
+void TraceWriter::append(const IntervalRecord& record) {
+  if (finalized_) {
+    throw BinIoError("append to finalized trace");
+  }
+  pending_.push_back(record);
+  if (pending_.size() >= chunk_records_) flush();
+}
+
+void TraceWriter::flush() {
+  if (pending_.empty()) return;
+  BinaryWriter w;
+  w.put<u32>(static_cast<u32>(pending_.size()));
+  for (const IntervalRecord& r : pending_) put_record(w, r);
+  w.put<u32>(crc32(std::span(w.buffer())));
+  write_bytes(w.buffer());
+  intervals_written_ += pending_.size();
+  pending_.clear();
+  out_.flush();
+}
+
+std::filesystem::path TraceWriter::finalize(const TraceTotals& totals) {
+  if (finalized_) return final_path_;
+  flush();
+  BinaryWriter w;
+  w.put<u32>(0);  // sentinel: no more chunks
+  w.put<u64>(totals.intervals);
+  w.put<u64>(totals.dropped);
+  w.put<u64>(totals.samples);
+  w.put<u64>(totals.overhead_cycles);
+  w.put<u32>(crc32(std::span(w.buffer())));
+  write_bytes(w.buffer());
+  out_.close();
+  if (!out_) {
+    throw BinIoError(
+        strfmt("error closing trace %s", partial_path_.string().c_str()));
+  }
+  std::error_code ec;
+  std::filesystem::rename(partial_path_, final_path_, ec);
+  if (ec) {
+    throw BinIoError(strfmt("cannot seal trace %s: %s",
+                            final_path_.string().c_str(),
+                            ec.message().c_str()));
+  }
+  finalized_ = true;
+  return final_path_;
+}
+
+void TraceWriter::write_bytes(const std::vector<std::byte>& bytes) {
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!out_) {
+    throw BinIoError(
+        strfmt("short write to trace %s", partial_path_.string().c_str()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceReader
+
+TraceReader::TraceReader(const std::filesystem::path& path) : path_(path) {
+  in_.open(path_, std::ios::binary);
+  if (!in_) {
+    throw BinIoError(strfmt("cannot open trace %s", path_.string().c_str()));
+  }
+  parse_header();
+}
+
+std::size_t TraceReader::read_raw(std::byte* dst, std::size_t n) {
+  in_.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+  return static_cast<std::size_t>(in_.gcount());
+}
+
+void TraceReader::parse_header() {
+  // The fixed prefix through the app-name length, then the variable tail.
+  // Everything after magic+version is covered by the header CRC.
+  auto read_or_throw = [this](std::vector<std::byte>& buf, std::size_t n) {
+    const std::size_t old = buf.size();
+    buf.resize(old + n);
+    if (read_raw(buf.data() + old, n) != n) {
+      throw BinIoError(
+          strfmt("trace %s: truncated header", path_.string().c_str()));
+    }
+  };
+
+  std::vector<std::byte> pre;
+  read_or_throw(pre, 2 * sizeof(u32));
+  {
+    BinaryReader r(pre);
+    if (r.get<u32>() != kTraceMagic) {
+      throw BinIoError(
+          strfmt("%s is not a BGPT trace (bad magic)", path_.string().c_str()));
+    }
+    const u32 version = r.get<u32>();
+    if (version != kTraceVersion) {
+      throw BinIoError(strfmt("trace %s: unsupported version %u",
+                              path_.string().c_str(), version));
+    }
+  }
+
+  std::vector<std::byte> hdr;
+  read_or_throw(hdr, 3 * sizeof(u32) + sizeof(u32));  // ids + app-name length
+  u32 name_len = 0;
+  {
+    BinaryReader r(hdr);
+    meta_.node_id = r.get<u32>();
+    meta_.card_id = r.get<u32>();
+    meta_.counter_mode = r.get<u32>();
+    name_len = r.get<u32>();
+  }
+  if (name_len > (1u << 20)) {
+    throw BinIoError(
+        strfmt("trace %s: implausible header", path_.string().c_str()));
+  }
+  read_or_throw(hdr, name_len + sizeof(u64) + 2 * sizeof(u32));
+  u32 event_count = 0;
+  {
+    BinaryReader r(hdr);
+    r.get<u32>();  // ids already parsed
+    r.get<u32>();
+    r.get<u32>();
+    r.get<u32>();  // name length
+    meta_.app_name.assign(
+        reinterpret_cast<const char*>(hdr.data() + r.position()), name_len);
+    const std::size_t tail = 4 * sizeof(u32) + name_len;
+    BinaryReader t{std::span(hdr).subspan(tail)};
+    meta_.interval_cycles = t.get<u64>();
+    meta_.pacer_event = t.get<u32>();
+    event_count = t.get<u32>();
+  }
+  if (event_count == 0 || event_count > isa::kNumCounterModes * 256u) {
+    throw BinIoError(strfmt("trace %s: implausible event count %u",
+                            path_.string().c_str(), event_count));
+  }
+  read_or_throw(hdr, event_count * sizeof(u16));
+  {
+    BinaryReader r{std::span(hdr).subspan(hdr.size() -
+                                          event_count * sizeof(u16))};
+    meta_.events.reserve(event_count);
+    for (u32 i = 0; i < event_count; ++i) {
+      meta_.events.push_back(r.get<u16>());
+    }
+  }
+  std::byte crc_bytes[sizeof(u32)];
+  if (read_raw(crc_bytes, sizeof(u32)) != sizeof(u32)) {
+    throw BinIoError(
+        strfmt("trace %s: truncated header", path_.string().c_str()));
+  }
+  u32 stored = 0;
+  std::memcpy(&stored, crc_bytes, sizeof(u32));
+  const u32 computed = crc32(std::span(hdr));
+  if (stored != computed) {
+    throw BinIoError(strfmt("trace %s: header CRC mismatch (stored %08X, "
+                            "computed %08X)",
+                            path_.string().c_str(), stored, computed));
+  }
+}
+
+std::size_t TraceReader::record_bytes() const noexcept {
+  return sizeof(u64) + sizeof(u32) + 2 * sizeof(u64) +
+         meta_.events.size() * sizeof(u64);
+}
+
+bool TraceReader::load_chunk() {
+  chunk_.clear();
+  chunk_pos_ = 0;
+  if (done_) return false;
+
+  std::vector<std::byte> buf(sizeof(u32));
+  const std::size_t got = read_raw(buf.data(), sizeof(u32));
+  if (got != sizeof(u32)) {
+    // Tail ends at (or torn inside) a section boundary: clean truncation.
+    truncated_ = true;
+    done_ = true;
+    return false;
+  }
+  u32 count = 0;
+  std::memcpy(&count, buf.data(), sizeof(u32));
+
+  if (count == 0) {
+    // Footer: totals + CRC over sentinel and totals.
+    const std::size_t body = 4 * sizeof(u64);
+    buf.resize(sizeof(u32) + body + sizeof(u32));
+    if (read_raw(buf.data() + sizeof(u32), body + sizeof(u32)) !=
+        body + sizeof(u32)) {
+      truncated_ = true;
+      done_ = true;
+      return false;
+    }
+    const u32 computed = crc32(std::span(buf).first(sizeof(u32) + body));
+    BinaryReader r{std::span(buf).subspan(sizeof(u32))};
+    TraceTotals totals;
+    totals.intervals = r.get<u64>();
+    totals.dropped = r.get<u64>();
+    totals.samples = r.get<u64>();
+    totals.overhead_cycles = r.get<u64>();
+    const u32 stored = r.get<u32>();
+    if (stored != computed) {
+      throw BinIoError(strfmt("trace %s: footer CRC mismatch",
+                              path_.string().c_str()));
+    }
+    totals_ = totals;
+    done_ = true;
+    return false;
+  }
+
+  const std::size_t payload = static_cast<std::size_t>(count) * record_bytes();
+  if (count > (1u << 24)) {
+    throw BinIoError(strfmt("trace %s: implausible chunk of %u records",
+                            path_.string().c_str(), count));
+  }
+  buf.resize(sizeof(u32) + payload + sizeof(u32));
+  if (read_raw(buf.data() + sizeof(u32), payload + sizeof(u32)) !=
+      payload + sizeof(u32)) {
+    // Chunk torn mid-write by a dying node: discard it, end cleanly.
+    truncated_ = true;
+    done_ = true;
+    return false;
+  }
+  const u32 computed = crc32(std::span(buf).first(sizeof(u32) + payload));
+  u32 stored = 0;
+  std::memcpy(&stored, buf.data() + sizeof(u32) + payload, sizeof(u32));
+  if (stored != computed) {
+    throw BinIoError(strfmt("trace %s: chunk CRC mismatch (stored %08X, "
+                            "computed %08X)",
+                            path_.string().c_str(), stored, computed));
+  }
+
+  BinaryReader r{std::span(buf).subspan(sizeof(u32), payload)};
+  chunk_.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    IntervalRecord rec;
+    rec.index = r.get<u64>();
+    rec.spanned = r.get<u32>();
+    rec.t_begin = r.get<u64>();
+    rec.t_end = r.get<u64>();
+    rec.values.resize(meta_.events.size());
+    for (u64& v : rec.values) v = r.get<u64>();
+    chunk_.push_back(std::move(rec));
+  }
+  return true;
+}
+
+std::optional<IntervalRecord> TraceReader::next() {
+  if (chunk_pos_ >= chunk_.size() && !load_chunk()) {
+    return std::nullopt;
+  }
+  ++records_read_;
+  return std::move(chunk_[chunk_pos_++]);
+}
+
+}  // namespace bgp::trace

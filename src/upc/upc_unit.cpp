@@ -58,11 +58,41 @@ u8 UpcUnit::check_counter(unsigned counter) {
 }
 
 void UpcUnit::configure(u8 counter, const CounterConfig& cfg) {
-  configs_[check_counter(counter)] = cfg;
+  const u8 c = check_counter(counter);
+  const CounterConfig old = configs_[c];
+  configs_[c] = cfg;
+  maybe_fire_on_arm(c, old);
 }
 
 const CounterConfig& UpcUnit::config(u8 counter) const {
   return configs_[check_counter(counter)];
+}
+
+void UpcUnit::fire_threshold(u8 counter) {
+  ++threshold_interrupts_;
+  if (threshold_handler_) {
+    threshold_handler_(counter, counters_[counter]);
+  }
+  // Handlers may reconfigure the counter (re-arming writes a new
+  // threshold), so iterate by index: a listener registered mid-delivery is
+  // not called for this interrupt.
+  const std::size_t n = threshold_listeners_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    threshold_listeners_[i](counter, counters_[counter]);
+  }
+}
+
+void UpcUnit::maybe_fire_on_arm(u8 counter, const CounterConfig& old_cfg) {
+  const CounterConfig& cfg = configs_[counter];
+  if (!cfg.interrupt_enable || !cfg.enabled || cfg.threshold == 0) return;
+  if (counters_[counter] < cfg.threshold) return;
+  // Already past the old threshold with interrupts on: that crossing was
+  // delivered when it happened; re-writing the registers must not repeat it.
+  const bool old_observed = old_cfg.interrupt_enable && old_cfg.enabled &&
+                            old_cfg.threshold != 0 &&
+                            counters_[counter] >= old_cfg.threshold;
+  if (old_observed) return;
+  fire_threshold(counter);
 }
 
 void UpcUnit::bump(u8 counter, u64 amount) {
@@ -72,12 +102,13 @@ void UpcUnit::bump(u8 counter, u64 amount) {
   // Full-width counters wrap (benignly) at 2^64; a narrowed counter wraps
   // at its injected width and the loss is visible to the dump consumers.
   counters_[counter] = (before + amount) & masks_[counter];
+  // Crossing detection uses the unwrapped sum: an increment that carries a
+  // narrowed counter across its threshold AND past its wrap point must
+  // still raise the interrupt (the crossing physically happened), while a
+  // wrap that starts above the threshold must not re-raise it.
   if (cfg.interrupt_enable && cfg.threshold != 0 && before < cfg.threshold &&
-      counters_[counter] >= cfg.threshold) {
-    ++threshold_interrupts_;
-    if (threshold_handler_) {
-      threshold_handler_(counter, counters_[counter]);
-    }
+      before + amount >= cfg.threshold) {
+    fire_threshold(counter);
   }
 }
 
@@ -148,7 +179,10 @@ void UpcUnit::mmio_write64(addr_t addr, u64 value) {
   if (off >= kThresholdOffset) {
     const addr_t toff = off - kThresholdOffset;
     if (toff % 8 != 0) throw UpcError("unaligned threshold MMIO write");
-    configs_[check_counter(static_cast<unsigned>(toff / 8))].threshold = value;
+    const u8 counter = check_counter(static_cast<unsigned>(toff / 8));
+    const CounterConfig old = configs_[counter];
+    configs_[counter].threshold = value;
+    maybe_fire_on_arm(counter, old);
     return;
   }
   throw UpcError("64-bit MMIO write in 32-bit config region");
@@ -174,9 +208,10 @@ void UpcUnit::mmio_write32(addr_t addr, u32 value) {
   const addr_t coff = off - kConfigOffset;
   if (coff % 4 != 0) throw UpcError("unaligned config MMIO write");
   const u8 counter = check_counter(static_cast<unsigned>(coff / 4));
-  const u64 threshold = configs_[counter].threshold;
+  const CounterConfig old = configs_[counter];
   configs_[counter] = CounterConfig::decode(value);
-  configs_[counter].threshold = threshold;  // set via threshold registers
+  configs_[counter].threshold = old.threshold;  // set via threshold registers
+  maybe_fire_on_arm(counter, old);
 }
 
 }  // namespace bgp::upc

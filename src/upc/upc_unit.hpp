@@ -8,6 +8,7 @@
 #include <array>
 #include <functional>
 #include <stdexcept>
+#include <vector>
 
 #include "isa/events.hpp"
 
@@ -89,6 +90,12 @@ class UpcUnit {
   void set_threshold_handler(ThresholdHandler handler) {
     threshold_handler_ = std::move(handler);
   }
+  /// Additional interrupt subscribers (the sampling layer taps the same
+  /// line without displacing the user's handler). Listeners fire after the
+  /// handler, in registration order, and persist for the unit's lifetime.
+  void add_threshold_listener(ThresholdHandler listener) {
+    threshold_listeners_.push_back(std::move(listener));
+  }
   [[nodiscard]] u64 threshold_interrupts() const noexcept {
     return threshold_interrupts_;
   }
@@ -132,6 +139,11 @@ class UpcUnit {
 
  private:
   void bump(u8 counter, u64 amount);
+  void fire_threshold(u8 counter);
+  /// A threshold (re)write that lands at or below the current count raises
+  /// the interrupt immediately unless the old configuration had already
+  /// observed that crossing.
+  void maybe_fire_on_arm(u8 counter, const CounterConfig& old_cfg);
   [[nodiscard]] static u8 check_counter(unsigned counter);
 
   addr_t mmio_base_;
@@ -141,6 +153,7 @@ class UpcUnit {
   std::array<u64, kNumCounters> masks_;  ///< per-counter width mask
   std::array<CounterConfig, kNumCounters> configs_{};
   ThresholdHandler threshold_handler_;
+  std::vector<ThresholdHandler> threshold_listeners_;
   u64 threshold_interrupts_ = 0;
 };
 

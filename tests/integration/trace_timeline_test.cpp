@@ -1,0 +1,206 @@
+// End-to-end tracing acceptance (ISSUE 2): a 16-node SMP run with
+// threshold-driven tracing on and two nodes killed mid-run. The surviving
+// traces must seal, the dead nodes' partials must truncate cleanly, the
+// miner must produce a phase report with the correct coverage annotation,
+// and the same seed must reproduce byte-identical trace files.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "fault/fault.hpp"
+#include "postproc/timeline.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/rankctx.hpp"
+
+namespace bgp {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr u64 kSeed = 20260806;
+constexpr unsigned kNodes = 16;
+constexpr cycles_t kInterval = 4'000;
+
+isa::LoopDesc fp_phase(u64 trip) {
+  isa::LoopDesc d;
+  d.name = "fp_phase";
+  d.trip = trip;
+  d.body.fp_at(isa::FpOp::kSimdFma) = 4;
+  d.body.fp_at(isa::FpOp::kAddSub) = 2;
+  d.body.ls_at(isa::LsOp::kLoadQuad) = 2;
+  d.body.int_at(isa::IntOp::kAlu) = 1;
+  return d;
+}
+
+isa::LoopDesc mem_phase(u64 trip) {
+  isa::LoopDesc d;
+  d.name = "mem_phase";
+  d.trip = trip;
+  d.body.ls_at(isa::LsOp::kLoadDouble) = 4;
+  d.body.ls_at(isa::LsOp::kStoreDouble) = 2;
+  d.body.int_at(isa::IntOp::kAlu) = 3;
+  return d;
+}
+
+struct TracedOutcome {
+  std::vector<unsigned> dead;
+  unsigned sealed = 0;
+  unsigned partial = 0;
+  post::TimelineReport report;
+  std::string interval_csv;
+  std::string phase_csv;
+  /// filename → raw bytes of every trace file the run left behind.
+  std::map<std::string, std::string> files;
+};
+
+TracedOutcome run_traced(const fs::path& dir) {
+  fault::FaultSpec spec;
+  spec.node_deaths = 2;
+  spec.death_window = 10'000;  // well inside the run: both deaths fire
+  fault::FaultInjector inj(fault::FaultPlan::random(kSeed, kNodes, spec));
+
+  rt::MachineConfig mc;
+  mc.num_nodes = kNodes;
+  mc.mode = sys::OpMode::kSmp1;
+  rt::Machine m(mc);
+  m.set_fault_injector(&inj);
+
+  {
+    pc::Options o;
+    o.app_name = "traced";
+    o.dump_dir = dir;
+    o.write_dumps = false;  // this run is about the traces
+    o.fault = &inj;
+    o.trace.enabled = true;
+    o.trace.interval_cycles = kInterval;
+    o.trace.trace_dir = dir;
+    pc::Session s(m, o);
+    s.link_with_mpi();
+    m.run([&](rt::RankCtx& ctx) {
+      ctx.mpi_init();
+      // Two workload phases the timeline miner should recover: an
+      // FP/SIMD-heavy stretch, then a load-store-dominated one.
+      for (int i = 0; i < 6; ++i) {
+        ctx.loop(fp_phase(20'000), {});
+        (void)ctx.allreduce_sum(1.0);
+      }
+      for (int i = 0; i < 6; ++i) {
+        ctx.loop(mem_phase(20'000), {});
+        (void)ctx.allreduce_sum(1.0);
+      }
+      ctx.mpi_finalize();
+    });
+    // Session destruction flushes the dead nodes' unflushed tails into
+    // their .partial files (the writers' crash path).
+  }
+
+  TracedOutcome out;
+  out.dead = m.dead_nodes();
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(trace::kPartialSuffix)) {
+      ++out.partial;
+    } else if (name.ends_with(trace::kTraceSuffix)) {
+      ++out.sealed;
+    } else {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    out.files.emplace(name, std::move(bytes));
+  }
+
+  post::TimelineOptions opts;
+  opts.expected_nodes = kNodes;
+  out.report = post::mine_timeline(dir, "traced", opts);
+  out.interval_csv = post::interval_csv(out.report);
+  out.phase_csv = post::phase_csv(out.report);
+  return out;
+}
+
+class TraceTimeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "bgpc_trace_integration";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(TraceTimeline, SurvivingTracesMineToAPhaseReport) {
+  const TracedOutcome out = run_traced(dir_);
+
+  // Two nodes died; every survivor sealed its trace, the dead left
+  // parseable partials behind.
+  ASSERT_EQ(out.dead.size(), 2u);
+  EXPECT_EQ(out.sealed, kNodes - 2);
+  EXPECT_EQ(out.partial, 2u);
+
+  const post::TimelineReport& rep = out.report;
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.coverage.expected, kNodes);
+  EXPECT_EQ(rep.coverage.loaded, kNodes);  // partials still load
+  EXPECT_EQ(rep.coverage.mined, kNodes);
+  EXPECT_EQ(rep.truncated_nodes, out.dead);
+  EXPECT_EQ(rep.interval_cycles, kInterval);
+  EXPECT_GT(rep.overhead_cycles, 0u);
+
+  // The two workload phases show up as a change point: the FP stretch
+  // runs at a higher rate than the load-store stretch.
+  ASSERT_FALSE(rep.intervals.empty());
+  ASSERT_GE(rep.phases.size(), 2u);
+  EXPECT_GT(rep.phases.front().mflops, rep.phases.back().mflops);
+  EXPECT_GT(rep.phases.front().fp_fraction, rep.phases.back().fp_fraction);
+
+  // Interval indexes come out strictly increasing (the merge cannot emit
+  // an interval twice, however the records were coalesced).
+  for (std::size_t i = 1; i < rep.intervals.size(); ++i) {
+    EXPECT_GT(rep.intervals[i].index, rep.intervals[i - 1].index);
+  }
+
+  // CI artifact hand-off: when the workflow exports an artifact directory,
+  // leave the mined CSVs there for upload.
+  if (const char* artifact_dir = std::getenv("BGPC_TRACE_ARTIFACT_DIR")) {
+    fs::create_directories(artifact_dir);
+    std::ofstream(fs::path(artifact_dir) / "trace_intervals.csv")
+        << out.interval_csv;
+    std::ofstream(fs::path(artifact_dir) / "trace_phases.csv")
+        << out.phase_csv;
+  }
+}
+
+TEST_F(TraceTimeline, SameSeedIsByteIdentical) {
+  const fs::path other = fs::temp_directory_path() / "bgpc_trace_integration2";
+  fs::remove_all(other);
+  fs::create_directories(other);
+
+  const TracedOutcome a = run_traced(dir_);
+  const TracedOutcome b = run_traced(other);
+  fs::remove_all(other);
+
+  EXPECT_EQ(a.dead, b.dead);
+  // Same seed, same schedule, same interrupts: every trace file — sealed
+  // and partial alike — is byte-identical, and so is everything mined
+  // from them.
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (const auto& [name, bytes] : a.files) {
+    auto it = b.files.find(name);
+    ASSERT_NE(it, b.files.end()) << name;
+    EXPECT_EQ(bytes, it->second) << name << " differs between runs";
+  }
+  EXPECT_EQ(a.interval_csv, b.interval_csv);
+  EXPECT_EQ(a.phase_csv, b.phase_csv);
+}
+
+}  // namespace
+}  // namespace bgp

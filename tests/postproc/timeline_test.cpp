@@ -1,0 +1,247 @@
+// Timeline mining over synthetic traces: the streaming merge (including
+// the span-consumption cursor a coalesced record must not livelock),
+// span proration, phase change-point detection, coverage/degraded-mode
+// annotations and the CSV renderings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/strfmt.hpp"
+#include "postproc/timeline.hpp"
+
+namespace bgp::post {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr cycles_t kInterval = 4'000;
+constexpr isa::EventId kFma = isa::ev::fpu_op(0, isa::FpOp::kFma);
+constexpr isa::EventId kInstr = isa::ev::instr_completed(0);
+
+trace::TraceMeta meta_for(unsigned node, cycles_t interval = kInterval) {
+  trace::TraceMeta m;
+  m.node_id = node;
+  m.card_id = node / 2;
+  m.counter_mode = 0;
+  m.app_name = "tl";
+  m.interval_cycles = interval;
+  m.pacer_event = isa::ev::cycle_count(0);
+  m.events = {kFma, kInstr};
+  return m;
+}
+
+trace::IntervalRecord rec(u64 index, u32 spanned, u64 fma, u64 instr) {
+  trace::IntervalRecord r;
+  r.index = index;
+  r.spanned = spanned;
+  r.t_begin = index * kInterval;
+  r.t_end = (index + spanned) * kInterval;
+  r.values = {fma, instr};
+  return r;
+}
+
+class Timeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "bgpc_timeline_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path base(unsigned node) const {
+    return dir_ / strfmt("tl.node%04u", node);
+  }
+
+  /// Write one node's trace; seal == false leaves a dead-node .partial.
+  void write_trace(unsigned node,
+                   const std::vector<trace::IntervalRecord>& records,
+                   bool seal = true, cycles_t interval = kInterval) {
+    trace::TraceWriter w(base(node), meta_for(node, interval));
+    for (const auto& r : records) w.append(r);
+    if (seal) {
+      trace::TraceTotals t;
+      t.intervals = records.size();
+      t.samples = records.size();
+      t.overhead_cycles = records.size() * 64;
+      w.finalize(t);
+    }
+  }
+
+  fs::path dir_;
+};
+
+// Regression: a record spanning several intervals must advance the merge
+// cursor through its span. An earlier version pinned the global minimum at
+// the record's first index forever — any multi-span trace hung the miner.
+TEST_F(Timeline, CoalescedRecordTerminatesAndProrates) {
+  write_trace(0, {rec(0, 4, 400, 800)});
+  const TimelineReport rep = mine_timeline(dir_, "tl");
+  ASSERT_TRUE(rep.ok);
+  ASSERT_EQ(rep.intervals.size(), 4u);
+  for (u64 i = 0; i < 4; ++i) {
+    const IntervalMetrics& m = rep.intervals[i];
+    EXPECT_EQ(m.index, i);
+    EXPECT_EQ(m.nodes, 1u);
+    // 400 FMAs over 4 intervals → 100 per interval → 200 flops each.
+    EXPECT_DOUBLE_EQ(m.flops, 200.0);
+    EXPECT_DOUBLE_EQ(m.instructions, 200.0);
+    EXPECT_DOUBLE_EQ(m.fp_fraction, 0.5);
+    EXPECT_GT(m.mflops, 0.0);
+  }
+}
+
+TEST_F(Timeline, MergesNodesWithDifferentRecordGranularity) {
+  // Node 0 sampled every boundary; node 1 coalesced the same range into
+  // one spanned record. Each interval must see BOTH nodes, with node 1's
+  // deltas prorated to match.
+  write_trace(0, {rec(0, 1, 100, 200), rec(1, 1, 100, 200),
+                  rec(2, 1, 100, 200)});
+  write_trace(1, {rec(0, 3, 300, 600)});
+  const TimelineReport rep = mine_timeline(dir_, "tl");
+  ASSERT_TRUE(rep.ok);
+  ASSERT_EQ(rep.intervals.size(), 3u);
+  for (const IntervalMetrics& m : rep.intervals) {
+    EXPECT_EQ(m.nodes, 2u);
+    EXPECT_DOUBLE_EQ(m.flops, 400.0);  // (100 + 100) FMAs × 2 flops
+    EXPECT_DOUBLE_EQ(m.instructions, 400.0);
+  }
+}
+
+TEST_F(Timeline, SparseTracesLeaveGapsNotLivelocks) {
+  // A trace whose records skip indexes (idle node between bursts).
+  write_trace(0, {rec(0, 1, 100, 200), rec(5, 1, 100, 200)});
+  const TimelineReport rep = mine_timeline(dir_, "tl");
+  ASSERT_TRUE(rep.ok);
+  ASSERT_EQ(rep.intervals.size(), 2u);
+  EXPECT_EQ(rep.intervals[0].index, 0u);
+  EXPECT_EQ(rep.intervals[1].index, 5u);
+}
+
+TEST_F(Timeline, DetectsAPhaseChange) {
+  // 6 hot intervals then 6 cold ones: one clean change point.
+  std::vector<trace::IntervalRecord> rs;
+  for (u64 i = 0; i < 6; ++i) rs.push_back(rec(i, 1, 900, 1'000));
+  for (u64 i = 6; i < 12; ++i) rs.push_back(rec(i, 1, 10, 1'000));
+  write_trace(0, rs);
+  const TimelineReport rep = mine_timeline(dir_, "tl");
+  ASSERT_TRUE(rep.ok);
+  ASSERT_EQ(rep.phases.size(), 2u);
+  EXPECT_EQ(rep.phases[0].first_interval, 0u);
+  EXPECT_EQ(rep.phases[0].last_interval, 5u);
+  EXPECT_EQ(rep.phases[1].first_interval, 6u);
+  EXPECT_EQ(rep.phases[1].last_interval, 11u);
+  EXPECT_GT(rep.phases[0].mflops, rep.phases[1].mflops);
+  EXPECT_NEAR(rep.phases[0].fp_fraction, 0.9, 1e-9);
+  EXPECT_NEAR(rep.phases[1].fp_fraction, 0.01, 1e-9);
+}
+
+TEST_F(Timeline, SingleIntervalSpikeIsFoldedIntoThePhase) {
+  // A one-interval excursion shorter than min_phase_intervals must not
+  // fragment the timeline, even though its distance from the running mean
+  // is well above the change threshold when it happens.
+  std::vector<trace::IntervalRecord> rs;
+  for (u64 i = 0; i < 8; ++i) {
+    rs.push_back(i == 2 ? rec(i, 1, 450, 1'000) : rec(i, 1, 900, 1'000));
+  }
+  write_trace(0, rs);
+  const TimelineReport rep = mine_timeline(dir_, "tl");
+  ASSERT_TRUE(rep.ok);
+  EXPECT_EQ(rep.phases.size(), 1u);
+}
+
+TEST_F(Timeline, TruncatedPartialFromADeadNodeIsAnnotated) {
+  write_trace(0, {rec(0, 1, 100, 200), rec(1, 1, 100, 200)});
+  write_trace(1, {rec(0, 1, 100, 200)}, /*seal=*/false);
+  const TimelineReport rep = mine_timeline(dir_, "tl");
+  ASSERT_TRUE(rep.ok);
+  EXPECT_EQ(rep.coverage.loaded, 2u);
+  EXPECT_EQ(rep.coverage.mined, 2u);
+  ASSERT_EQ(rep.truncated_nodes.size(), 1u);
+  EXPECT_EQ(rep.truncated_nodes[0], 1u);
+  // Footer-derived totals come only from the sealed trace.
+  EXPECT_EQ(rep.overhead_cycles, 2u * 64u);
+  // Excluding partials drops the dead node entirely.
+  TimelineOptions no_partial;
+  no_partial.include_partial = false;
+  const TimelineReport strict = mine_timeline(dir_, "tl", no_partial);
+  EXPECT_EQ(strict.coverage.loaded, 1u);
+  EXPECT_TRUE(strict.truncated_nodes.empty());
+}
+
+TEST_F(Timeline, ExpectedNodesDrivesCoverage) {
+  write_trace(0, {rec(0, 1, 100, 200)});
+  write_trace(1, {rec(0, 1, 100, 200)});
+  TimelineOptions opts;
+  opts.expected_nodes = 4;
+  const TimelineReport rep = mine_timeline(dir_, "tl", opts);
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.coverage.expected, 4u);
+  EXPECT_EQ(rep.coverage.loaded, 2u);
+  // Without an explicit expectation it is inferred from the node ids seen.
+  const TimelineReport inferred = mine_timeline(dir_, "tl");
+  EXPECT_EQ(inferred.coverage.expected, 2u);
+}
+
+TEST_F(Timeline, GeometryMismatchSkipsTheOddTraceOut) {
+  write_trace(0, {rec(0, 1, 100, 200)});
+  write_trace(1, {rec(0, 1, 100, 200)}, /*seal=*/true, /*interval=*/8'000);
+  const TimelineReport rep = mine_timeline(dir_, "tl");
+  EXPECT_TRUE(rep.ok);  // the batch survives without the misfit
+  EXPECT_EQ(rep.coverage.loaded, 1u);
+  ASSERT_EQ(rep.problems.size(), 1u);
+  EXPECT_NE(rep.problems[0].find("interval geometry mismatch"),
+            std::string::npos);
+}
+
+TEST_F(Timeline, UnreadableTraceIsReportedNotFatal) {
+  write_trace(0, {rec(0, 1, 100, 200)});
+  std::ofstream(dir_ / "tl.node0001.bgpt") << "garbage";
+  const TimelineReport rep = mine_timeline(dir_, "tl");
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(rep.coverage.loaded, 1u);
+  ASSERT_EQ(rep.problems.size(), 1u);
+}
+
+TEST_F(Timeline, EmptyDirectoryIsNotOk) {
+  const TimelineReport rep = mine_timeline(dir_, "tl");
+  EXPECT_FALSE(rep.ok);
+  EXPECT_TRUE(rep.intervals.empty());
+}
+
+TEST_F(Timeline, ListTraceFilesFiltersByAppAndPartial) {
+  write_trace(0, {rec(0, 1, 1, 2)});
+  write_trace(1, {rec(0, 1, 1, 2)}, /*seal=*/false);
+  std::ofstream(dir_ / "other.node0000.bgpt") << "x";
+  std::ofstream(dir_ / "unrelated.txt") << "x";
+  EXPECT_EQ(list_trace_files(dir_, "tl").size(), 2u);
+  EXPECT_EQ(list_trace_files(dir_, "tl", /*include_partial=*/false).size(),
+            1u);
+  EXPECT_EQ(list_trace_files(dir_, "").size(), 3u);  // any app, any state
+  EXPECT_THROW(list_trace_files(dir_ / "missing", "tl"), BinIoError);
+}
+
+TEST_F(Timeline, CsvAndRenderCarryTheTimeline) {
+  write_trace(0, {rec(0, 1, 100, 200), rec(1, 1, 100, 200),
+                  rec(2, 1, 100, 200), rec(3, 1, 100, 200)});
+  const TimelineReport rep = mine_timeline(dir_, "tl");
+  ASSERT_TRUE(rep.ok);
+  const std::string iv = interval_csv(rep);
+  EXPECT_NE(iv.find("interval,t_begin_cycles"), std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(iv.begin(), iv.end(), '\n')),
+            1 + rep.intervals.size());
+  const std::string ph = phase_csv(rep);
+  EXPECT_NE(ph.find("phase,first_interval"), std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(ph.begin(), ph.end(), '\n')),
+            1 + rep.phases.size());
+  const std::string text = render_timeline(rep);
+  EXPECT_NE(text.find("coverage:"), std::string::npos);
+  EXPECT_NE(text.find("phase  0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgp::post

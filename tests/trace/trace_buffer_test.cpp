@@ -1,0 +1,66 @@
+// The bounded ring buffer between the sampler and the trace writer: hard
+// capacity, oldest-first eviction with drop accounting, and the static
+// memory bound the acceptance criteria pin tracing memory use to.
+#include <gtest/gtest.h>
+
+#include "trace/trace_buffer.hpp"
+
+namespace bgp::trace {
+namespace {
+
+IntervalRecord rec(u64 index) {
+  IntervalRecord r;
+  r.index = index;
+  r.spanned = 1;
+  r.t_begin = index * 100;
+  r.t_end = (index + 1) * 100;
+  r.values = {index};
+  return r;
+}
+
+TEST(TraceBuffer, HoldsUpToCapacity) {
+  TraceBuffer b(4);
+  EXPECT_EQ(b.capacity(), 4u);
+  EXPECT_TRUE(b.empty());
+  for (u64 i = 0; i < 4; ++i) b.push(rec(i));
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.dropped(), 0u);
+  EXPECT_EQ(b.total_pushed(), 4u);
+  EXPECT_EQ(b.front().index, 0u);
+}
+
+TEST(TraceBuffer, EvictsOldestAndCountsDrops) {
+  TraceBuffer b(3);
+  for (u64 i = 0; i < 10; ++i) b.push(rec(i));
+  EXPECT_EQ(b.size(), 3u);       // never exceeds the bound
+  EXPECT_EQ(b.dropped(), 7u);    // 0..6 evicted unflushed
+  EXPECT_EQ(b.total_pushed(), 10u);
+  // The retained window is the newest records, oldest first.
+  EXPECT_EQ(b.front().index, 7u);
+  b.pop_front();
+  EXPECT_EQ(b.front().index, 8u);
+  b.pop_front();
+  EXPECT_EQ(b.front().index, 9u);
+}
+
+TEST(TraceBuffer, DrainingPreventsDrops) {
+  TraceBuffer b(2);
+  for (u64 i = 0; i < 100; ++i) {
+    b.push(rec(i));
+    while (!b.empty()) b.pop_front();  // a keeping-up writer
+  }
+  EXPECT_EQ(b.dropped(), 0u);
+  EXPECT_EQ(b.total_pushed(), 100u);
+}
+
+TEST(TraceBuffer, MemoryBoundScalesWithCapacityAndEvents) {
+  const std::size_t one = TraceBuffer::memory_bound_bytes(1, 16);
+  EXPECT_GE(one, sizeof(IntervalRecord) + 16 * sizeof(u64));
+  EXPECT_EQ(TraceBuffer::memory_bound_bytes(4096, 16), 4096 * one);
+  // The default session configuration stays under a megabyte per node for
+  // a 16-event set — the "configured bound" of the acceptance criteria.
+  EXPECT_LT(TraceBuffer::memory_bound_bytes(4096, 16), 2u << 20);
+}
+
+}  // namespace
+}  // namespace bgp::trace

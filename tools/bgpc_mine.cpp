@@ -24,6 +24,7 @@
 #include <cstring>
 #include <string>
 
+#include "cli.hpp"
 #include "common/strfmt.hpp"
 #include "postproc/aggregate.hpp"
 #include "postproc/pipeline.hpp"
@@ -50,32 +51,33 @@ int main(int argc, char** argv) {
   post::MineOptions opts;
   std::string metrics_file, stats_file, full_file;
   bool quiet = false;
-  for (int i = 3; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--set=", 6) == 0) {
-      opts.set = static_cast<unsigned>(std::atoi(argv[i] + 6));
-    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
-      metrics_file = argv[i] + 10;
-    } else if (std::strncmp(argv[i], "--stats=", 8) == 0) {
-      stats_file = argv[i] + 8;
-    } else if (std::strncmp(argv[i], "--full=", 7) == 0) {
-      full_file = argv[i] + 7;
-    } else if (std::strcmp(argv[i], "--strict") == 0) {
-      opts.strict = true;
-    } else if (std::strncmp(argv[i], "--min-coverage=", 15) == 0) {
-      char* end = nullptr;
-      opts.min_coverage = std::strtod(argv[i] + 15, &end);
-      if (end == argv[i] + 15 || *end != '\0' || opts.min_coverage < 0.0 ||
-          opts.min_coverage > 1.0) {
-        std::fprintf(stderr, "--min-coverage needs a fraction in [0,1]\n");
+  try {
+    for (int i = 3; i < argc; ++i) {
+      const char* v = nullptr;
+      if (cli::match_value(argv[i], "set", &v)) {
+        opts.set = cli::parse_unsigned("--set", v);
+      } else if (cli::match_value(argv[i], "metrics", &v)) {
+        metrics_file = v;
+      } else if (cli::match_value(argv[i], "stats", &v)) {
+        stats_file = v;
+      } else if (cli::match_value(argv[i], "full", &v)) {
+        full_file = v;
+      } else if (cli::match_flag(argv[i], "strict")) {
+        opts.strict = true;
+      } else if (cli::match_value(argv[i], "min-coverage", &v)) {
+        opts.min_coverage = cli::parse_double("--min-coverage", v, 0.0, 1.0);
+      } else if (cli::match_value(argv[i], "expected-nodes", &v)) {
+        opts.expected_nodes = cli::parse_unsigned("--expected-nodes", v);
+      } else if (cli::match_flag(argv[i], "quiet")) {
+        quiet = true;
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", argv[i]);
         return usage(argv[0]);
       }
-    } else if (std::strncmp(argv[i], "--expected-nodes=", 17) == 0) {
-      opts.expected_nodes = static_cast<unsigned>(std::atoi(argv[i] + 17));
-    } else if (std::strcmp(argv[i], "--quiet") == 0) {
-      quiet = true;
-    } else {
-      return usage(argv[0]);
     }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage(argv[0]);
   }
 
   const post::MineResult res = post::mine(dir, app, opts);

@@ -2,21 +2,28 @@
 // Gene/P partition (the moral equivalent of the paper's job submission):
 // pick the benchmark, partition size, operating mode, problem class, boot
 // options and compiler option set; the interface library is linked into
-// MPI and per-node dump files are written for bgpc_mine.
+// MPI and per-node dump files are written for bgpc_mine. --trace
+// additionally attaches the time-series sampler and writes .bgpt trace
+// files for bgpc_trace --mine-only.
 //
 //   bgpc_run BENCH [options]
-//     --nodes=N         partition size (default 4)
-//     --mode=M          smp1|smp4|dual|vnm (default vnm)
-//     --class=C         S|W|A (default W)
-//     --l3=MB           L3 size in MiB, 0 disables (default 8)
-//     --prefetch=D      L2 prefetch depth, 0 disables (default 2)
-//     --opt=FLAGS       e.g. "-O5 -qarch440d" (default)
-//     --ranks=N         use fewer ranks than the partition hosts
-//     --dumps=DIR       dump directory (default bgpc_dumps)
+//   bgpc_run --list        list benchmarks, modes, classes, event presets
+//     --nodes=N            partition size (default 4)
+//     --mode=M             smp1|smp4|dual|vnm (default vnm)
+//     --class=C            S|W|A (default W)
+//     --l3=MB              L3 size in MiB, 0 disables (default 8)
+//     --prefetch=D         L2 prefetch depth, 0 disables (default 2)
+//     --opt=FLAGS          e.g. "-O5 -qarch440d" (default)
+//     --ranks=N            use fewer ranks than the partition hosts
+//     --dumps=DIR          dump directory (default bgpc_dumps)
+//     --trace              enable time-series tracing
+//     --interval-cycles=N  trace sampling interval (default 10000)
+//     --events=PRESET      trace event preset (see --list)
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 
+#include "cli.hpp"
 #include "common/strfmt.hpp"
 #include "nas/kernel.hpp"
 #include "core/session.hpp"
@@ -31,15 +38,31 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s BENCH [--nodes=N] [--mode=smp1|smp4|dual|vnm] "
                "[--class=S|W|A] [--l3=MB] [--prefetch=D] [--opt=FLAGS] "
-               "[--ranks=N] [--dumps=DIR]\n",
-               argv0);
+               "[--ranks=N] [--dumps=DIR] [--trace] [--interval-cycles=N] "
+               "[--events=PRESET]\n"
+               "       %s --list\n",
+               argv0, argv0);
   return 2;
+}
+
+int list_choices() {
+  std::printf("benchmarks:");
+  for (const nas::Benchmark b : nas::all_benchmarks()) {
+    std::printf(" %s", std::string(nas::name(b)).c_str());
+  }
+  std::printf("\nmodes: smp1 smp4 dual vnm\nclasses: S W A\nevent presets:");
+  for (const std::string& p : trace::trace_preset_names()) {
+    std::printf(" %s", p.c_str());
+  }
+  std::printf("\n");
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
+  if (cli::match_flag(argv[1], "list")) return list_choices();
 
   nas::Benchmark bench;
   unsigned nodes = 4, ranks = 0;
@@ -48,29 +71,42 @@ int main(int argc, char** argv) {
   sys::BootOptions boot;
   opt::OptConfig optcfg{opt::OptLevel::kO5, false, true};
   std::filesystem::path dump_dir = "bgpc_dumps";
+  trace::TraceConfig tc;
 
   try {
     bench = nas::parse_benchmark(argv[1]);
     for (int i = 2; i < argc; ++i) {
-      if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
-        nodes = static_cast<unsigned>(std::atoi(argv[i] + 8));
-      } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
-        mode = sys::parse_mode(argv[i] + 7);
-      } else if (std::strncmp(argv[i], "--class=", 8) == 0) {
-        cls = nas::parse_class(argv[i] + 8);
-      } else if (std::strncmp(argv[i], "--l3=", 5) == 0) {
-        boot.l3_size_bytes = static_cast<u64>(std::atoi(argv[i] + 5)) * MiB;
-      } else if (std::strncmp(argv[i], "--prefetch=", 11) == 0) {
-        const int d = std::atoi(argv[i] + 11);
+      const char* v = nullptr;
+      if (cli::match_value(argv[i], "nodes", &v)) {
+        nodes = cli::parse_positive("--nodes", v);
+      } else if (cli::match_value(argv[i], "mode", &v)) {
+        mode = sys::parse_mode(v);
+      } else if (cli::match_value(argv[i], "class", &v)) {
+        cls = nas::parse_class(v);
+      } else if (cli::match_value(argv[i], "l3", &v)) {
+        boot.l3_size_bytes = cli::parse_u64("--l3", v) * MiB;
+      } else if (cli::match_value(argv[i], "prefetch", &v)) {
+        const unsigned d = cli::parse_unsigned("--prefetch", v);
         boot.prefetch.enabled = d > 0;
-        boot.prefetch.depth = static_cast<unsigned>(d);
-      } else if (std::strncmp(argv[i], "--opt=", 6) == 0) {
-        optcfg = opt::OptConfig::parse(argv[i] + 6);
-      } else if (std::strncmp(argv[i], "--ranks=", 8) == 0) {
-        ranks = static_cast<unsigned>(std::atoi(argv[i] + 8));
-      } else if (std::strncmp(argv[i], "--dumps=", 8) == 0) {
-        dump_dir = argv[i] + 8;
+        boot.prefetch.depth = d;
+      } else if (cli::match_value(argv[i], "opt", &v)) {
+        optcfg = opt::OptConfig::parse(v);
+      } else if (cli::match_value(argv[i], "ranks", &v)) {
+        ranks = cli::parse_unsigned("--ranks", v);
+      } else if (cli::match_value(argv[i], "dumps", &v)) {
+        dump_dir = v;
+      } else if (cli::match_flag(argv[i], "trace")) {
+        tc.enabled = true;
+      } else if (cli::match_value(argv[i], "interval-cycles", &v)) {
+        tc.interval_cycles = cli::parse_u64("--interval-cycles", v);
+        if (tc.interval_cycles == 0) {
+          throw std::invalid_argument("--interval-cycles must be positive");
+        }
+      } else if (cli::match_value(argv[i], "events", &v)) {
+        tc.preset = v;
+        (void)trace::preset_trace_events(tc.preset, 0);
       } else {
+        std::fprintf(stderr, "unknown flag %s\n", argv[i]);
         return usage(argv[0]);
       }
     }
@@ -80,6 +116,7 @@ int main(int argc, char** argv) {
   }
 
   std::filesystem::create_directories(dump_dir);
+  tc.trace_dir = dump_dir;
 
   rt::MachineConfig mc;
   mc.num_nodes = nodes;
@@ -92,11 +129,12 @@ int main(int argc, char** argv) {
   pc::Options opts;
   opts.app_name = std::string(nas::name(bench));
   opts.dump_dir = dump_dir;
+  opts.trace = tc;
   pc::Session session(machine, opts);
   session.link_with_mpi();
 
   std::printf("%s class %s | %u nodes %s (%u ranks) | L3 %s | prefetch %s | "
-              "%s\n",
+              "%s%s\n",
               opts.app_name.c_str(), std::string(nas::name(cls)).c_str(),
               nodes, std::string(sys::to_string(mode)).c_str(),
               machine.num_ranks(),
@@ -105,7 +143,13 @@ int main(int argc, char** argv) {
               boot.prefetch.enabled
                   ? strfmt("depth %u", boot.prefetch.depth).c_str()
                   : "off",
-              optcfg.name().c_str());
+              optcfg.name().c_str(),
+              tc.enabled
+                  ? strfmt(" | tracing every %llu cycles (%s)",
+                           static_cast<unsigned long long>(tc.interval_cycles),
+                           tc.preset.c_str())
+                        .c_str()
+                  : "");
 
   auto kernel = nas::make_kernel(bench, cls);
   machine.run([&](rt::RankCtx& ctx) {
@@ -124,5 +168,11 @@ int main(int argc, char** argv) {
               "  bgpc_mine %s %s --metrics=metrics.csv\n",
               session.dump_files().size(), dump_dir.string().c_str(),
               dump_dir.string().c_str(), opts.app_name.c_str());
+  if (tc.enabled) {
+    std::printf("wrote %zu trace files — mine them with:\n"
+                "  bgpc_trace --mine-only %s %s --phases=phases.csv\n",
+                session.trace_files().size(), dump_dir.string().c_str(),
+                opts.app_name.c_str());
+  }
   return kernel->result().verified ? 0 : 1;
 }

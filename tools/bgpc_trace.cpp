@@ -1,0 +1,266 @@
+// bgpc_trace — time-series counter tracing end to end: run an instrumented
+// NAS benchmark with the threshold-driven sampler attached to every node,
+// then mine the per-node trace files into a per-interval timeline and a
+// change-point phase report (MFLOPS, DDR bandwidth and instruction-mix
+// drift over the run). With --mine-only it skips the run and mines an
+// existing trace directory, including the `.bgpt.partial` leftovers of
+// nodes that died mid-run (the report carries a coverage annotation).
+//
+//   bgpc_trace BENCH [options]            run + trace + mine
+//   bgpc_trace --mine-only DIR APP [options]   mine existing traces
+//   bgpc_trace --list                     list benchmarks, modes, presets
+//
+//   run options (mirroring bgpc_run):
+//     --nodes=N            partition size (default 4)
+//     --mode=M             smp1|smp4|dual|vnm (default vnm)
+//     --class=C            S|W|A (default S)
+//     --ranks=N            use fewer ranks than the partition hosts
+//     --dumps=DIR          trace/dump directory (default bgpc_traces)
+//     --interval-cycles=N  sampling interval (default 10000)
+//     --events=PRESET      default|fp|mix|mem (see --list)
+//     --buffer=N           per-node ring capacity in intervals (default 4096)
+//     --kill-nodes=N       kill N random nodes mid-run (fault injection)
+//     --fault-seed=S       seed for --kill-nodes (default 1)
+//   mining options:
+//     --timeline=FILE      write the per-interval CSV
+//     --phases=FILE        write the per-phase CSV
+//     --expected-nodes=N   traces the run should have produced (default infer)
+//     --change-threshold=F phase-detection sensitivity (default 0.35)
+//     --min-phase=N        minimum phase length in intervals (default 4)
+//     --sealed-only        ignore .bgpt.partial files
+//     --quiet              suppress the stdout report
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "cli.hpp"
+#include "core/session.hpp"
+#include "fault/fault.hpp"
+#include "nas/kernel.hpp"
+#include "postproc/timeline.hpp"
+
+using namespace bgp;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s BENCH [--nodes=N] [--mode=smp1|smp4|dual|vnm] "
+      "[--class=S|W|A] [--ranks=N] [--dumps=DIR] [--interval-cycles=N] "
+      "[--events=PRESET] [--buffer=N] [--kill-nodes=N] [--fault-seed=S] "
+      "[mining options]\n"
+      "       %s --mine-only DIR APP [mining options]\n"
+      "       %s --list\n"
+      "mining options: [--timeline=FILE] [--phases=FILE] "
+      "[--expected-nodes=N] [--change-threshold=F] [--min-phase=N] "
+      "[--sealed-only] [--quiet]\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+int list_choices() {
+  std::printf("benchmarks:");
+  for (const nas::Benchmark b : nas::all_benchmarks()) {
+    std::printf(" %s", std::string(nas::name(b)).c_str());
+  }
+  std::printf("\nmodes: smp1 smp4 dual vnm\nclasses: S W A\nevent presets:");
+  for (const std::string& p : trace::trace_preset_names()) {
+    std::printf(" %s", p.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+struct MiningArgs {
+  post::TimelineOptions opts;
+  std::string timeline_file;
+  std::string phases_file;
+  bool quiet = false;
+};
+
+/// Consume one mining flag; returns false when `arg` is not a mining flag.
+bool parse_mining_arg(const char* arg, MiningArgs& m) {
+  const char* v = nullptr;
+  if (cli::match_value(arg, "timeline", &v)) {
+    m.timeline_file = v;
+  } else if (cli::match_value(arg, "phases", &v)) {
+    m.phases_file = v;
+  } else if (cli::match_value(arg, "expected-nodes", &v)) {
+    m.opts.expected_nodes = cli::parse_unsigned("--expected-nodes", v);
+  } else if (cli::match_value(arg, "change-threshold", &v)) {
+    m.opts.change_threshold = cli::parse_double("--change-threshold", v, 0.0, 5.0);
+  } else if (cli::match_value(arg, "min-phase", &v)) {
+    m.opts.min_phase_intervals = cli::parse_positive("--min-phase", v);
+  } else if (cli::match_flag(arg, "sealed-only")) {
+    m.opts.include_partial = false;
+  } else if (cli::match_flag(arg, "quiet")) {
+    m.quiet = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int report_and_write(const post::TimelineReport& report, const MiningArgs& m) {
+  if (!m.quiet) {
+    std::fputs(post::render_timeline(report).c_str(), stdout);
+  }
+  if (!m.timeline_file.empty()) {
+    const std::string text = post::interval_csv(report);
+    std::FILE* f = std::fopen(m.timeline_file.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", m.timeline_file.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (!m.quiet) std::printf("wrote %s\n", m.timeline_file.c_str());
+  }
+  if (!m.phases_file.empty()) {
+    const std::string text = post::phase_csv(report);
+    std::FILE* f = std::fopen(m.phases_file.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", m.phases_file.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (!m.quiet) std::printf("wrote %s\n", m.phases_file.c_str());
+  }
+  return report.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  if (cli::match_flag(argv[1], "list")) return list_choices();
+
+  MiningArgs mining;
+
+  if (cli::match_flag(argv[1], "mine-only")) {
+    if (argc < 4) return usage(argv[0]);
+    const std::filesystem::path dir = argv[2];
+    const std::string app = argv[3];
+    try {
+      for (int i = 4; i < argc; ++i) {
+        if (!parse_mining_arg(argv[i], mining)) {
+          std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+          return usage(argv[0]);
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return usage(argv[0]);
+    }
+    return report_and_write(post::mine_timeline(dir, app, mining.opts),
+                            mining);
+  }
+
+  nas::Benchmark bench;
+  unsigned nodes = 4, ranks = 0, kill_nodes = 0;
+  u64 fault_seed = 1;
+  sys::OpMode mode = sys::OpMode::kVnm;
+  nas::ProblemClass cls = nas::ProblemClass::kS;
+  std::filesystem::path dir = "bgpc_traces";
+  trace::TraceConfig tc;
+  tc.enabled = true;
+
+  try {
+    bench = nas::parse_benchmark(argv[1]);
+    for (int i = 2; i < argc; ++i) {
+      const char* v = nullptr;
+      if (cli::match_value(argv[i], "nodes", &v)) {
+        nodes = cli::parse_positive("--nodes", v);
+      } else if (cli::match_value(argv[i], "mode", &v)) {
+        mode = sys::parse_mode(v);
+      } else if (cli::match_value(argv[i], "class", &v)) {
+        cls = nas::parse_class(v);
+      } else if (cli::match_value(argv[i], "ranks", &v)) {
+        ranks = cli::parse_unsigned("--ranks", v);
+      } else if (cli::match_value(argv[i], "dumps", &v)) {
+        dir = v;
+      } else if (cli::match_value(argv[i], "interval-cycles", &v)) {
+        tc.interval_cycles = cli::parse_u64("--interval-cycles", v);
+        if (tc.interval_cycles == 0) {
+          throw std::invalid_argument("--interval-cycles must be positive");
+        }
+      } else if (cli::match_value(argv[i], "events", &v)) {
+        tc.preset = v;  // validated against the catalogue below
+        (void)trace::preset_trace_events(tc.preset, 0);
+      } else if (cli::match_value(argv[i], "buffer", &v)) {
+        tc.buffer_capacity = cli::parse_positive("--buffer", v);
+      } else if (cli::match_value(argv[i], "kill-nodes", &v)) {
+        kill_nodes = cli::parse_unsigned("--kill-nodes", v);
+      } else if (cli::match_value(argv[i], "fault-seed", &v)) {
+        fault_seed = cli::parse_u64("--fault-seed", v);
+      } else if (parse_mining_arg(argv[i], mining)) {
+        // handled
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+        return usage(argv[0]);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage(argv[0]);
+  }
+
+  std::filesystem::create_directories(dir);
+  tc.trace_dir = dir;
+
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (kill_nodes > 0) {
+    fault::FaultSpec spec;
+    spec.node_deaths = kill_nodes;
+    injector = std::make_unique<fault::FaultInjector>(
+        fault::FaultPlan::random(fault_seed, nodes, spec));
+  }
+
+  rt::MachineConfig mc;
+  mc.num_nodes = nodes;
+  mc.mode = mode;
+  mc.num_ranks_override = ranks;
+  rt::Machine machine(mc);
+  if (injector) machine.set_fault_injector(injector.get());
+
+  pc::Options opts;
+  opts.app_name = std::string(nas::name(bench));
+  opts.dump_dir = dir;
+  opts.trace = tc;
+  if (injector) opts.fault = injector.get();
+  pc::Session session(machine, opts);
+  session.link_with_mpi();
+
+  std::printf("%s class %s | %u nodes %s (%u ranks) | interval %llu cycles | "
+              "events %s | buffer %zu\n",
+              opts.app_name.c_str(), std::string(nas::name(cls)).c_str(),
+              nodes, std::string(sys::to_string(mode)).c_str(),
+              machine.num_ranks(),
+              static_cast<unsigned long long>(tc.interval_cycles),
+              tc.preset.c_str(), tc.buffer_capacity);
+
+  auto kernel = nas::make_kernel(bench, cls);
+  machine.run([&](rt::RankCtx& ctx) {
+    ctx.mpi_init();
+    kernel->run(ctx);
+    ctx.mpi_finalize();
+  });
+
+  if (!machine.dead_nodes().empty()) {
+    std::printf("%zu node(s) died mid-run — their traces are truncated\n",
+                machine.dead_nodes().size());
+  }
+  std::printf("sealed %zu trace file(s) in %s\n",
+              session.trace_files().size(), dir.string().c_str());
+
+  mining.opts.expected_nodes =
+      mining.opts.expected_nodes == 0 ? nodes : mining.opts.expected_nodes;
+  const post::TimelineReport report =
+      post::mine_timeline(dir, opts.app_name, mining.opts);
+  const int mine_rc = report_and_write(report, mining);
+  return kernel->result().verified ? mine_rc : 1;
+}

@@ -1,0 +1,79 @@
+// Shared argument handling for the bgpc_* command-line tools: one flag
+// convention (--name=value), strict numeric parsing that rejects junk with
+// a useful message instead of silently falling back to 0, and the common
+// "unknown flag → usage + non-zero exit" behaviour.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/strfmt.hpp"
+#include "common/types.hpp"
+
+namespace bgp::cli {
+
+/// True when `arg` is `--<name>=...`; leaves `*value` pointing at the text
+/// after the '='.
+inline bool match_value(const char* arg, const char* name,
+                        const char** value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, "--", 2) != 0 ||
+      std::strncmp(arg + 2, name, n) != 0 || arg[2 + n] != '=') {
+    return false;
+  }
+  *value = arg + 2 + n + 1;
+  return true;
+}
+
+/// True when `arg` is exactly `--<name>`.
+inline bool match_flag(const char* arg, const char* name) {
+  return std::strncmp(arg, "--", 2) == 0 && std::strcmp(arg + 2, name) == 0;
+}
+
+/// Parse a non-negative integer; rejects empty strings, trailing junk and
+/// out-of-range values (the old atoi paths silently produced 0 instead).
+inline u64 parse_u64(const char* flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE ||
+      std::strchr(text, '-') != nullptr) {
+    throw std::invalid_argument(
+        strfmt("%s needs a non-negative integer, got '%s'", flag, text));
+  }
+  return v;
+}
+
+inline unsigned parse_unsigned(const char* flag, const char* text) {
+  const u64 v = parse_u64(flag, text);
+  if (v > ~0u) {
+    throw std::invalid_argument(strfmt("%s: %s is out of range", flag, text));
+  }
+  return static_cast<unsigned>(v);
+}
+
+/// Like parse_unsigned but additionally rejects zero.
+inline unsigned parse_positive(const char* flag, const char* text) {
+  const unsigned v = parse_unsigned(flag, text);
+  if (v == 0) {
+    throw std::invalid_argument(strfmt("%s must be positive", flag));
+  }
+  return v;
+}
+
+/// Parse a fraction in [lo, hi].
+inline double parse_double(const char* flag, const char* text, double lo,
+                           double hi) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || v < lo || v > hi) {
+    throw std::invalid_argument(
+        strfmt("%s needs a number in [%g, %g], got '%s'", flag, lo, hi, text));
+  }
+  return v;
+}
+
+}  // namespace bgp::cli
