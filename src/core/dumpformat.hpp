@@ -7,10 +7,17 @@
 //   per set: set id (u32) | start/stop pair count (u32)
 //            | first start cycle (u64) | last stop cycle (u64)
 //            | 256 counter deltas (u64 each) | [v2: set CRC32 (u32)]
+//   v3 only: recovery event count (u32)
+//            | per event: kind (u32) | node (u32) | rank (u32)
+//            | cycle (u64) | cost (u64) | aux (u64)
+//            | recovery section CRC32 (u32)
 //
 // Version 2 adds a CRC32 after each section (header and every set),
 // computed over that section's bytes (the header CRC excludes the
-// magic/version words). Readers accept both versions; writers emit v2.
+// magic/version words). Version 3 appends the fault-tolerance recovery
+// log (who died, when detected, what the revoke/agree/shrink steps cost);
+// writers emit it only when a run actually recovered, so fault-free and
+// non-FT runs stay byte-identical to v2. Readers accept all versions.
 #pragma once
 
 #include <array>
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "ft/ftypes.hpp"
 #include "isa/events.hpp"
 
 namespace bgp::pc {
@@ -25,6 +33,7 @@ namespace bgp::pc {
 inline constexpr u32 kDumpMagic = 0x43504742;  // "BGPC" little-endian
 inline constexpr u32 kDumpVersionLegacy = 1;   ///< no section checksums
 inline constexpr u32 kDumpVersion = 2;         ///< per-section CRC32
+inline constexpr u32 kDumpVersionFt = 3;       ///< + recovery-event section
 
 struct SetDump {
   u32 set_id = 0;
@@ -40,6 +49,9 @@ struct NodeDump {
   u32 counter_mode = 0;
   std::string app_name;
   std::vector<SetDump> sets;
+  /// FT recovery log at this node's finalize (empty for non-FT or
+  /// fault-free runs; serialized as the v3 recovery section).
+  std::vector<ft::RecoveryEvent> recovery;
 
   /// Event id of physical counter `i` under this dump's mode.
   [[nodiscard]] isa::EventId event_of(unsigned counter) const {

@@ -111,8 +111,19 @@ constexpr std::size_t kSetRecordBytes =
 
 std::vector<std::byte> NodeMonitor::serialize(const NodeDump& dump,
                                               u32 version) {
-  if (version != kDumpVersionLegacy && version != kDumpVersion) {
+  // A recovery log needs the v3 section; fault-free dumps stay at the
+  // caller's version so their bytes are unchanged from pre-FT builds.
+  if (!dump.recovery.empty() && version == kDumpVersion) {
+    version = kDumpVersionFt;
+  }
+  if (version != kDumpVersionLegacy && version != kDumpVersion &&
+      version != kDumpVersionFt) {
     throw BinIoError(strfmt("cannot write BGPC dump version %u", version));
+  }
+  if (!dump.recovery.empty() && version < kDumpVersionFt) {
+    throw BinIoError(
+        strfmt("dump version %u cannot carry %zu recovery event(s)", version,
+               dump.recovery.size()));
   }
   BinaryWriter w;
   w.put<u32>(kDumpMagic);
@@ -137,6 +148,19 @@ std::vector<std::byte> NodeMonitor::serialize(const NodeDump& dump,
       w.put<u32>(crc32(std::span(w.buffer()).subspan(set_begin)));
     }
   }
+  if (version >= kDumpVersionFt) {
+    const std::size_t rec_begin = w.size();
+    w.put<u32>(static_cast<u32>(dump.recovery.size()));
+    for (const ft::RecoveryEvent& e : dump.recovery) {
+      w.put<u32>(static_cast<u32>(e.kind));
+      w.put<u32>(e.node);
+      w.put<u32>(e.rank);
+      w.put<u64>(e.cycle);
+      w.put<u64>(e.cost);
+      w.put<u64>(e.aux);
+    }
+    w.put<u32>(crc32(std::span(w.buffer()).subspan(rec_begin)));
+  }
   return w.buffer();
 }
 
@@ -146,7 +170,8 @@ NodeDump NodeMonitor::parse(std::span<const std::byte> bytes) {
     throw BinIoError("not a BGPC dump (bad magic)");
   }
   const u32 version = r.get<u32>();
-  if (version != kDumpVersionLegacy && version != kDumpVersion) {
+  if (version != kDumpVersionLegacy && version != kDumpVersion &&
+      version != kDumpVersionFt) {
     throw BinIoError(strfmt("unsupported BGPC dump version %u", version));
   }
   const bool checksummed = version >= 2;
@@ -192,6 +217,33 @@ NodeDump NodeMonitor::parse(std::span<const std::byte> bytes) {
     s.last_stop_cycle = r.get<u64>();
     for (u64& d : s.deltas) d = r.get<u64>();
     if (checksummed) verify_crc("set", set_begin);
+  }
+  if (version >= kDumpVersionFt) {
+    constexpr std::size_t kRecoveryRecordBytes =
+        sizeof(u32) * 3 + sizeof(u64) * 3;
+    const std::size_t rec_begin = r.position();
+    const u32 nrec = r.get<u32>();
+    if (u64{nrec} * kRecoveryRecordBytes + sizeof(u32) > r.remaining()) {
+      throw BinIoError(
+          strfmt("corrupt dump: recovery section claims %u events but only "
+                 "%zu bytes remain",
+                 nrec, r.remaining()));
+    }
+    dump.recovery.resize(nrec);
+    for (ft::RecoveryEvent& e : dump.recovery) {
+      const u32 kind = r.get<u32>();
+      if (kind > static_cast<u32>(ft::RecoveryKind::kShrink)) {
+        throw BinIoError(
+            strfmt("corrupt dump: unknown recovery event kind %u", kind));
+      }
+      e.kind = static_cast<ft::RecoveryKind>(kind);
+      e.node = r.get<u32>();
+      e.rank = r.get<u32>();
+      e.cycle = r.get<u64>();
+      e.cost = r.get<u64>();
+      e.aux = r.get<u64>();
+    }
+    verify_crc("recovery", rec_begin);
   }
   if (!r.at_end()) {
     throw BinIoError("corrupt dump: trailing bytes");

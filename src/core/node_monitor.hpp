@@ -35,7 +35,8 @@ class NodeMonitor {
   [[nodiscard]] NodeDump finalize();
 
   /// Serialize/parse the on-disk format. Writers default to the current
-  /// (checksummed) version; readers accept v1 and v2.
+  /// (checksummed) version, upgraded to v3 automatically when the dump
+  /// carries recovery events; readers accept v1..v3.
   [[nodiscard]] static std::vector<std::byte> serialize(
       const NodeDump& dump, u32 version = kDumpVersion);
   [[nodiscard]] static NodeDump parse(std::span<const std::byte> bytes);

@@ -80,6 +80,12 @@ void Session::BGP_Finalize(rt::RankCtx& ctx) {
     return;
   }
   NodeDump dump = monitors_[node]->finalize();
+  if (machine_.ft_params().enabled) {
+    // Survivors carry the recovery log (who died, when detected, what the
+    // revoke/agree/shrink steps cost) so the miner can account for the
+    // missing nodes; serialize() upgrades such dumps to format v3.
+    dump.recovery = machine_.recovery_log();
+  }
   dumps_.push_back(dump);
 
   if (tracers_[node] != nullptr && !tracers_[node]->sealed()) {

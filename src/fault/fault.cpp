@@ -62,6 +62,28 @@ FaultPlan FaultPlan::random(u64 seed, unsigned num_nodes,
     plan.add(e);
   }
 
+  // Secondary deaths land strictly after every primary one, in a window of
+  // the same width: when the FT layer reacts to the first wave it is mid-
+  // recovery as these strike. Same stream, distinct victims.
+  cycles_t last_primary = 0;
+  for (const FaultEvent& e : plan.events()) {
+    last_primary = std::max(last_primary, e.cycle);
+  }
+  const unsigned secondary =
+      std::min<unsigned>(spec.deaths_during_recovery,
+                         num_nodes - static_cast<unsigned>(dead.size()));
+  while (dead.size() < deaths + secondary) {
+    const u32 victim = static_cast<u32>(rng.next_below(num_nodes));
+    if (std::find(dead.begin(), dead.end(), victim) != dead.end()) continue;
+    dead.push_back(victim);
+    FaultEvent e;
+    e.kind = FaultKind::kNodeDeath;
+    e.node = victim;
+    e.cycle = last_primary + 1 +
+              rng.next_below(std::max<cycles_t>(spec.death_window, 1));
+    plan.add(e);
+  }
+
   std::vector<u32> survivors;
   for (u32 n = 0; n < num_nodes; ++n) {
     if (std::find(dead.begin(), dead.end(), n) == dead.end()) {

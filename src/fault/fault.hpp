@@ -62,6 +62,11 @@ struct FaultSpec {
   unsigned transient_write_errors = 0;  ///< recoverable within the retry budget
   unsigned lost_dumps = 0;              ///< persistent write failure
   unsigned counter_wraps = 0;
+  /// Extra deaths scheduled after every primary death, inside the window a
+  /// survivor-recovery protocol (revoke/agree/shrink) would be running in.
+  /// Exercises the FT layer's handling of failures during recovery itself
+  /// (e.g. the shrink coordinator dying mid-agreement).
+  unsigned deaths_during_recovery = 0;
   /// Deaths are scheduled uniformly in [1, death_window].
   cycles_t death_window = 200'000;
   /// Physical counter narrowed by kCounterWrap events; kAnyCounter lets the

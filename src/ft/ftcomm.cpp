@@ -1,0 +1,198 @@
+#include "ft/ftcomm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/strfmt.hpp"
+#include "runtime/machine.hpp"
+
+namespace bgp::ft {
+
+namespace {
+
+constexpr unsigned kWordBits = 64;
+
+void require_enabled(const rt::Machine& m) {
+  if (!m.ft_params().enabled) {
+    throw std::logic_error(
+        "FtComm requires Machine::set_ft_params with enabled=true");
+  }
+}
+
+}  // namespace
+
+FtComm::FtComm(rt::RankCtx& ctx) : ctx_(ctx) {}
+
+std::vector<unsigned> FtComm::group() const {
+  return ctx_.machine().comm_group();
+}
+
+unsigned FtComm::new_rank() const {
+  const auto& g = ctx_.machine().comm_group();
+  const auto it = std::find(g.begin(), g.end(), ctx_.rank());
+  if (it == g.end()) {
+    throw std::logic_error(
+        strfmt("rank %u is not a member of the shrunk communicator",
+               ctx_.rank()));
+  }
+  return static_cast<unsigned>(it - g.begin());
+}
+
+unsigned FtComm::size() const {
+  return static_cast<unsigned>(ctx_.machine().comm_group().size());
+}
+
+unsigned FtComm::epoch() const { return ctx_.machine().comm_epoch(); }
+
+void FtComm::revoke() {
+  rt::Machine& m = ctx_.machine();
+  require_enabled(m);
+  // The revocation rides the global-interrupt network: one barrier-net
+  // traversal over the live nodes, billed to the revoking core. A second
+  // revoke of an already-revoked communicator still pays (the interrupt is
+  // raised again) but wakes nobody.
+  const cycles_t cost =
+      m.partition().barrier_net().barrier_cycles_live(m.live_comm_nodes());
+  ctx_.compute_cycles(cost);
+  m.revoke_comm(ctx_.rank(), cost);
+}
+
+std::vector<unsigned> FtComm::agree() {
+  rt::Machine& m = ctx_.machine();
+  require_enabled(m);
+  const unsigned p = m.num_ranks();
+  const unsigned words = (p + kWordBits - 1) / kWordBits;
+  // Contribution: the failures this rank can observe at entry. The combine
+  // ORs every contribution and folds in the machine's authoritative view,
+  // which covers members that die mid-agreement (they never arrive, but
+  // their death is visible by the time the operation completes).
+  std::vector<u64> mask(words, 0);
+  for (unsigned r = 0; r < p; ++r) {
+    if (m.rank_died(r)) mask[r / kWordBits] |= u64{1} << (r % kWordBits);
+  }
+  const u64 bytes = u64{words} * sizeof(u64);
+  const cycles_t latency =
+      2 * m.partition().collective().op_cycles_live(bytes,
+                                                    m.live_comm_nodes());
+  auto& part = m.partition();
+  m.enter_collective(
+      ctx_.rank(), rt::kCollAgree, bytes, 0,
+      std::as_bytes(std::span<const u64>(mask)),
+      std::as_writable_bytes(std::span<u64>(mask)),
+      [&m, &part, words, latency](rt::Machine::Collective& coll) {
+        std::vector<u64> acc(words, 0);
+        for (const auto& member : coll.members) {
+          if (!member.present) continue;
+          for (unsigned w = 0; w < words; ++w) {
+            u64 v = 0;
+            std::memcpy(&v, member.send.data() + w * sizeof(u64),
+                        sizeof(u64));
+            acc[w] |= v;
+          }
+        }
+        unsigned agreed = 0;
+        for (unsigned r = 0; r < m.num_ranks(); ++r) {
+          if (m.rank_died(r)) acc[r / kWordBits] |= u64{1} << (r % kWordBits);
+        }
+        for (const u64 w : acc) agreed += static_cast<unsigned>(std::popcount(w));
+        for (const auto& member : coll.members) {
+          if (!member.present) continue;
+          std::memcpy(member.recv.data(), acc.data(), coll.bytes);
+        }
+        part.collective().record_operation(coll.bytes, coll.op_latency);
+        m.recovery_log_.push_back(RecoveryEvent{
+            .kind = RecoveryKind::kAgree,
+            .node = RecoveryEvent::kNoNode,
+            .rank = RecoveryEvent::kNoRank,
+            .cycle = coll.max_arrival + coll.op_latency,
+            .cost = latency,
+            .aux = agreed,
+        });
+      },
+      latency);
+  std::vector<unsigned> failed;
+  for (unsigned r = 0; r < p; ++r) {
+    if ((mask[r / kWordBits] >> (r % kWordBits)) & 1) failed.push_back(r);
+  }
+  return failed;
+}
+
+void FtComm::shrink(const std::vector<unsigned>& failed) {
+  rt::Machine& m = ctx_.machine();
+  require_enabled(m);
+  std::vector<unsigned> survivors;
+  survivors.reserve(m.comm_group().size());
+  for (const unsigned r : m.comm_group()) {
+    if (std::find(failed.begin(), failed.end(), r) == failed.end()) {
+      survivors.push_back(r);
+    }
+  }
+  // Cost model: distribute the survivor rank map over the pruned tree,
+  // then a barrier to activate the new communicator epoch.
+  const u64 bytes = u64{survivors.size()} * sizeof(u32);
+  const unsigned live = m.live_comm_nodes();
+  const cycles_t cost =
+      m.partition().collective().op_cycles_live(bytes, live) +
+      m.partition().barrier_net().barrier_cycles_live(live);
+  auto& part = m.partition();
+  m.enter_collective(
+      ctx_.rank(), rt::kCollShrink, bytes, 0, {}, {},
+      [&m, &part, survivors, cost](rt::Machine::Collective& coll) {
+        part.collective().record_operation(coll.bytes, coll.op_latency);
+        m.apply_shrink(survivors, coll.max_arrival + coll.op_latency, cost);
+      },
+      cost);
+}
+
+std::vector<unsigned> FtComm::recover() {
+  revoke();
+  std::vector<unsigned> failed = agree();
+  shrink(failed);
+  return failed;
+}
+
+bool run_guarded(rt::RankCtx& ctx,
+                 const std::function<void(rt::RankCtx&)>& fn) {
+  if (!ctx.machine().ft_params().enabled) {
+    fn(ctx);
+    return true;
+  }
+  try {
+    fn(ctx);
+    return true;
+  } catch (const ProcFailedError&) {
+  } catch (const RevokedError&) {
+  }
+  FtComm(ctx).recover();
+  return false;
+}
+
+void finalize_guarded(rt::RankCtx& ctx) {
+  rt::Machine& m = ctx.machine();
+  if (!m.ft_params().enabled) {
+    ctx.mpi_finalize();
+    return;
+  }
+  FtComm comm(ctx);
+  // Each failed round removes at least one dead rank from the
+  // communicator, so the retry budget is bounded by the rank count.
+  const unsigned budget = m.num_ranks() + 1;
+  for (unsigned round = 0; round < budget; ++round) {
+    try {
+      ctx.mpi_finalize();
+      return;
+    } catch (const ProcFailedError&) {
+    } catch (const RevokedError&) {
+    }
+    comm.recover();
+  }
+  throw std::runtime_error(
+      strfmt("rank %u: mpi_finalize did not complete within %u recovery "
+             "rounds",
+             ctx.rank(), budget));
+}
+
+}  // namespace bgp::ft

@@ -1,0 +1,76 @@
+// ULFM-style recovery operations over the MiniMPI rank communicator:
+// revoke / agree / shrink, plus the guarded-execution helpers kernels use
+// to ride through injected node deaths instead of cascading.
+//
+// Mapping to User-Level Failure Mitigation (the fault-tolerant Open MPI
+// lineage in /root/related — see docs/fault-tolerance.md):
+//   revoke()  ~ MPI_Comm_revoke   (notification over the barrier network)
+//   agree()   ~ MPI_Comm_agree    (consensus on the failed set, two tree
+//                                  reductions over the collective network)
+//   shrink()  ~ MPI_Comm_shrink   (survivor communicator, ranks renumbered)
+// All three are legal on a revoked communicator; their cycle costs are
+// modeled through the existing CollectiveNet/BarrierNet and logged as
+// RecoveryEvents that end up in every survivor's dump (format v3).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ft/ftypes.hpp"
+#include "runtime/rankctx.hpp"
+
+namespace bgp::ft {
+
+class FtComm {
+ public:
+  /// Bind to a rank's context. Requires Machine::set_ft_params with
+  /// enabled=true; operations throw std::logic_error otherwise.
+  explicit FtComm(rt::RankCtx& ctx);
+
+  /// Current communicator membership (global ranks, ascending).
+  [[nodiscard]] std::vector<unsigned> group() const;
+  /// This rank's position in group(): the renumbered rank after shrinks.
+  [[nodiscard]] unsigned new_rank() const;
+  /// Survivor communicator size.
+  [[nodiscard]] unsigned size() const;
+  /// Number of shrinks performed so far.
+  [[nodiscard]] unsigned epoch() const;
+
+  /// Revoke the communicator: every survivor's pending or future plain
+  /// communication call raises RevokedError until a shrink completes. The
+  /// notification propagates over the barrier network; its latency is
+  /// billed to this core. Idempotent on an already-revoked communicator.
+  void revoke();
+
+  /// Reduction-based consensus on the failed set: every live member
+  /// contributes the failures it knows of, two passes over the (pruned)
+  /// collective tree OR them together. Returns the agreed failed global
+  /// ranks, ascending. Callable while revoked.
+  [[nodiscard]] std::vector<unsigned> agree();
+
+  /// Rebuild the communicator over the survivors (current group minus
+  /// `failed`), renumbering ranks by ascending global rank. Clears the
+  /// revocation; subsequent collectives route around the dead nodes.
+  void shrink(const std::vector<unsigned>& failed);
+
+  /// The canonical recovery episode: revoke, agree, shrink. Returns the
+  /// agreed failed set.
+  std::vector<unsigned> recover();
+
+ private:
+  rt::RankCtx& ctx_;
+};
+
+/// Run `fn` under ULFM error handling: on ProcFailedError or RevokedError
+/// the rank runs one recovery episode (revoke + agree + shrink) and returns
+/// false ("degraded"); a clean pass returns true. Without FT enabled this
+/// is just fn(ctx). NodeDeathFault (own death) always propagates.
+bool run_guarded(rt::RankCtx& ctx, const std::function<void(rt::RankCtx&)>& fn);
+
+/// mpi_finalize that retries through failures detected inside the final
+/// barrier (compound deaths): recover, re-enter, bounded by the rank count.
+/// Guarantees the finalize hook (BGP_Stop/BGP_Finalize -> dump) runs on
+/// every survivor.
+void finalize_guarded(rt::RankCtx& ctx);
+
+}  // namespace bgp::ft

@@ -15,6 +15,8 @@ RunOutput run_benchmark(const RunConfig& config) {
   mc.opt = config.opt;
   mc.num_ranks_override = config.ranks_override;
   rt::Machine machine(mc);
+  if (config.fault != nullptr) machine.set_fault_injector(config.fault);
+  machine.set_ft_params(config.ft);
 
   pc::Options opts;
   opts.app_name = std::string(name(config.bench));
@@ -23,16 +25,28 @@ RunOutput run_benchmark(const RunConfig& config) {
   session.link_with_mpi();
 
   auto kernel = make_kernel(config.bench, config.cls);
-  machine.run([&](rt::RankCtx& ctx) {
-    ctx.mpi_init();
-    kernel->run(ctx);
-    ctx.mpi_finalize();
-  });
+  if (config.ft.enabled) {
+    machine.run([&](rt::RankCtx& ctx) {
+      ft::run_guarded(ctx, [&](rt::RankCtx& c) {
+        c.mpi_init();
+        kernel->run(c);
+      });
+      ft::finalize_guarded(ctx);
+    });
+  } else {
+    machine.run([&](rt::RankCtx& ctx) {
+      ctx.mpi_init();
+      kernel->run(ctx);
+      ctx.mpi_finalize();
+    });
+  }
 
   RunOutput out;
   out.dumps = session.dumps();
   out.elapsed = machine.elapsed();
   out.result = kernel->result();
+  out.dead_nodes = machine.dead_nodes();
+  out.recovery = machine.recovery_log();
   if (!out.result.verified) {
     log_warn("%s class %s: verification FAILED: %s",
              std::string(name(config.bench)).c_str(),
@@ -46,6 +60,9 @@ RunOutput run_benchmark(const RunConfig& config) {
   }
   const post::Aggregate agg(out.dumps, 0);
   out.record = post::make_record(opts.app_name, agg);
+  out.record.nodes_expected = config.num_nodes;
+  out.record.nodes_mined = static_cast<unsigned>(out.dumps.size());
+  out.record.nodes_failed = static_cast<unsigned>(out.dead_nodes.size());
   return out;
 }
 

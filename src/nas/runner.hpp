@@ -5,6 +5,8 @@
 #pragma once
 
 #include "core/session.hpp"
+#include "fault/fault.hpp"
+#include "ft/ftcomm.hpp"
 #include "nas/kernel.hpp"
 #include "postproc/report.hpp"
 
@@ -19,6 +21,13 @@ struct RunConfig {
   opt::OptConfig opt = opt::OptConfig{opt::OptLevel::kO5, false, true};
   /// Use fewer ranks than the partition hosts (paper: 121 for SP/BT). 0=all.
   unsigned ranks_override = 0;
+  /// Optional fault injector (borrowed, not owned): node deaths and dump
+  /// faults fire per its plan during the run.
+  fault::FaultInjector* fault = nullptr;
+  /// ULFM-style survivor recovery. Disabled (the default), a node death
+  /// aborts its ranks and strands blocked peers exactly as before; enabled,
+  /// the kernel runs guarded and survivors recover, finalize and dump.
+  ft::FtParams ft{};
 };
 
 struct RunOutput {
@@ -26,6 +35,8 @@ struct RunOutput {
   cycles_t elapsed = 0;             ///< wall clock of the slowest node
   KernelResult result;              ///< kernel verification outcome
   post::AppRecord record;           ///< standard metrics (paper §IV)
+  std::vector<unsigned> dead_nodes;        ///< nodes lost during the run
+  std::vector<ft::RecoveryEvent> recovery; ///< machine recovery log (FT)
 };
 
 /// Run one benchmark fully instrumented (counters started in MPI_Init,

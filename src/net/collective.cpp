@@ -10,17 +10,22 @@ namespace ev = isa::ev;
 CollectiveNet::CollectiveNet(unsigned nodes, const CollectiveParams& params)
     : params_(params), sinks_(nodes, nullptr) {}
 
-unsigned CollectiveNet::depth() const noexcept {
-  const unsigned n = nodes();
-  if (n <= 1) return 0;
-  return static_cast<unsigned>(std::bit_width(n - 1));  // ceil(log2(n))
+unsigned CollectiveNet::depth() const noexcept { return depth_for(nodes()); }
+
+unsigned CollectiveNet::depth_for(unsigned live) noexcept {
+  if (live <= 1) return 0;
+  return static_cast<unsigned>(std::bit_width(live - 1));  // ceil(log2)
 }
 
 cycles_t CollectiveNet::op_cycles(u64 bytes) const {
+  return op_cycles_live(bytes, nodes());
+}
+
+cycles_t CollectiveNet::op_cycles_live(u64 bytes, unsigned live) const {
   const auto serialization = static_cast<cycles_t>(
       std::llround(static_cast<double>(bytes) / params_.bytes_per_cycle));
-  return params_.sw_overhead + cycles_t{depth()} * params_.level_latency +
-         serialization;
+  return params_.sw_overhead +
+         cycles_t{depth_for(live)} * params_.level_latency + serialization;
 }
 
 void CollectiveNet::attach_sink(unsigned node, mem::EventSink* sink) {
@@ -42,8 +47,12 @@ BarrierNet::BarrierNet(unsigned nodes, const BarrierParams& params)
     : nodes_(nodes), params_(params), sinks_(nodes, nullptr) {}
 
 cycles_t BarrierNet::barrier_cycles() const noexcept {
-  if (nodes_ <= 1) return params_.base_latency;
-  const auto levels = static_cast<cycles_t>(std::bit_width(nodes_ - 1));
+  return barrier_cycles_live(nodes_);
+}
+
+cycles_t BarrierNet::barrier_cycles_live(unsigned live) const noexcept {
+  if (live <= 1) return params_.base_latency;
+  const auto levels = static_cast<cycles_t>(std::bit_width(live - 1));
   return params_.base_latency + levels * params_.per_level_latency;
 }
 

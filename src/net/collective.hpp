@@ -34,10 +34,16 @@ class CollectiveNet {
 
   /// Tree depth for the attached node count.
   [[nodiscard]] unsigned depth() const noexcept;
+  /// Tree depth when the spanning tree is re-routed over `live` nodes
+  /// (after failures/shrink, the dead subtrees are pruned).
+  [[nodiscard]] static unsigned depth_for(unsigned live) noexcept;
 
   /// Completion time of a broadcast/reduction of `bytes`, measured from the
   /// moment the last participant enters.
   [[nodiscard]] cycles_t op_cycles(u64 bytes) const;
+  /// Same, over a tree pruned to `live` nodes. Equals op_cycles(bytes)
+  /// when live == nodes().
+  [[nodiscard]] cycles_t op_cycles_live(u64 bytes, unsigned live) const;
 
   void attach_sink(unsigned node, mem::EventSink* sink);
 
@@ -60,6 +66,9 @@ class BarrierNet {
   explicit BarrierNet(unsigned nodes, const BarrierParams& params = {});
 
   [[nodiscard]] cycles_t barrier_cycles() const noexcept;
+  /// Barrier latency when only `live` nodes participate (FT mode after a
+  /// shrink). Equals barrier_cycles() when live == the attached count.
+  [[nodiscard]] cycles_t barrier_cycles_live(unsigned live) const noexcept;
 
   void attach_sink(unsigned node, mem::EventSink* sink);
   /// Account one barrier entry per node plus the measured wait per node.

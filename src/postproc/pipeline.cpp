@@ -9,8 +9,12 @@
 namespace bgp::post {
 
 std::string Coverage::to_string() const {
-  return strfmt("%u/%u nodes (%.1f%%)", mined, expected,
-                100.0 * fraction());
+  std::string s = strfmt("%u/%u nodes (%.1f%%)", mined, expected,
+                         100.0 * fraction());
+  if (failed > 0) {
+    s += strfmt(", %u death(s) FT-accounted", failed);
+  }
+  return s;
 }
 
 namespace {
@@ -62,12 +66,36 @@ MineResult mine(const std::filesystem::path& dir, const std::string& app,
   }
   res.coverage.mined = static_cast<unsigned>(res.dumps.size());
 
+  // Union of the survivors' recovery logs (each survivor carries the full
+  // log, so dedup by value), ordered by completion cycle.
+  std::set<u32> failed_nodes;
+  for (const pc::NodeDump& d : loaded.dumps) {
+    for (const ft::RecoveryEvent& e : d.recovery) {
+      if (std::find(res.recovery.begin(), res.recovery.end(), e) ==
+          res.recovery.end()) {
+        res.recovery.push_back(e);
+      }
+      if (e.kind == ft::RecoveryKind::kDeathDetected) {
+        failed_nodes.insert(e.node);
+      }
+    }
+  }
+  std::stable_sort(res.recovery.begin(), res.recovery.end(),
+                   [](const ft::RecoveryEvent& a, const ft::RecoveryEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+  if (opts.ft) {
+    res.coverage.failed = static_cast<unsigned>(failed_nodes.size());
+  }
+
   // Nodes the run owed us but that never produced a minable dump: node
   // death before BGP_Finalize, an exhausted write-retry budget, or a dump
-  // disqualified above.
+  // disqualified above. In ft mode a death the recovery logs account for
+  // is an expected casualty, not a problem.
   for (unsigned n = 0; n < res.coverage.expected; ++n) {
     if (mined_ids.contains(n)) continue;
     if (bad_nodes.contains(n)) continue;  // already reported via sanity
+    if (opts.ft && failed_nodes.contains(n)) continue;
     bool load_failed = false;
     for (const LoadError& e : res.load_errors) {
       if (e.file.filename().string().find(strfmt("node%04u", n)) !=
@@ -82,11 +110,32 @@ MineResult mine(const std::filesystem::path& dir, const std::string& app,
     }
   }
 
+  // An FT batch whose accounting contradicts the stated partition size is
+  // a hard error, not a quiet coverage shortfall: either --expected-nodes
+  // is wrong or the directory mixes dumps from different runs.
+  if (opts.ft && res.coverage.expected > 0) {
+    unsigned out_of_range = 0;
+    for (const u32 n : failed_nodes) {
+      if (n >= res.coverage.expected) ++out_of_range;
+    }
+    if (out_of_range > 0 ||
+        res.coverage.mined + res.coverage.failed > res.coverage.expected) {
+      res.problems.push_back(strfmt(
+          "ft accounting mismatch: %u survivor dump(s) + %u recorded "
+          "death(s) does not fit the %u expected nodes (wrong "
+          "--expected-nodes, or mixed dump batches)",
+          res.coverage.mined, res.coverage.failed, res.coverage.expected));
+    }
+  }
+
   if (opts.strict) {
     // All-or-nothing: any problem at all (every one is already listed in
-    // res.problems) refuses the mine.
-    res.ok = res.problems.empty() && res.coverage.full();
-    if (!res.coverage.full() && res.problems.empty()) {
+    // res.problems) refuses the mine. In ft mode "all" means every
+    // expected node is either mined or an accounted death.
+    const bool covered =
+        opts.ft ? res.coverage.accounted() : res.coverage.full();
+    res.ok = res.problems.empty() && covered;
+    if (!covered && res.problems.empty()) {
       res.problems.push_back(
           strfmt("coverage %s below required 100%%",
                  res.coverage.to_string().c_str()));
@@ -107,6 +156,7 @@ MineResult mine(const std::filesystem::path& dir, const std::string& app,
     res.record = make_record(app, agg);
     res.record.nodes_expected = res.coverage.expected;
     res.record.nodes_mined = res.coverage.mined;
+    res.record.nodes_failed = res.coverage.failed;
   }
   return res;
 }

@@ -26,6 +26,12 @@ struct MineOptions {
   /// max(node_id) + 1 over the dumps that loaded (a lower bound: trailing
   /// dead nodes are invisible to inference).
   unsigned expected_nodes = 0;
+  /// FT run: nodes whose deaths the dumps' recovery logs account for are
+  /// expected casualties, not problems. With strict, the batch passes iff
+  /// survivors + accounted deaths cover every expected node; a mismatch
+  /// against expected_nodes is a hard error rather than silent coverage
+  /// failure.
+  bool ft = false;
 };
 
 /// How much of the partition a mining result is based on.
@@ -33,12 +39,18 @@ struct Coverage {
   unsigned expected = 0;  ///< nodes the run should have produced
   unsigned loaded = 0;    ///< dump files that parsed cleanly
   unsigned mined = 0;     ///< dumps surviving sanity disqualification
+  /// Distinct nodes the FT recovery logs report dead (ft mode only).
+  unsigned failed = 0;
   [[nodiscard]] double fraction() const noexcept {
     return expected == 0 ? 0.0
                          : static_cast<double>(mined) / expected;
   }
   [[nodiscard]] bool full() const noexcept {
     return expected > 0 && mined == expected;
+  }
+  /// Every expected node is either mined or an accounted FT casualty.
+  [[nodiscard]] bool accounted() const noexcept {
+    return expected > 0 && mined + failed == expected;
   }
   [[nodiscard]] std::string to_string() const;
 };
@@ -56,6 +68,10 @@ struct MineResult {
   AppRecord record;
   SanityReport sanity;            ///< full report over the loaded dumps
   std::vector<LoadError> load_errors;
+  /// Union of the dumps' FT recovery logs, deduplicated and ordered by
+  /// completion cycle: deaths with detection latency, revoke/agree/shrink
+  /// steps with their cycle costs.
+  std::vector<ft::RecoveryEvent> recovery;
 };
 
 /// Mine `<app>.node*.bgpc` under `dir`. Never throws on bad data — every

@@ -20,7 +20,7 @@ void write_metrics_csv(CsvWriter& csv, const std::vector<AppRecord>& records) {
   std::vector<std::string> header{
       "app",          "exec_cycles",      "mflops_per_node",
       "ddr_bytes",    "ddr_bytes_per_cyc", "l3_read_miss_ratio",
-      "nodes_expected", "nodes_mined",
+      "nodes_expected", "nodes_mined",    "nodes_failed",
   };
   for (std::size_t i = 0; i < isa::kNumFpOps; ++i) {
     header.push_back(std::string(isa::to_string(static_cast<isa::FpOp>(i))));
@@ -36,6 +36,7 @@ void write_metrics_csv(CsvWriter& csv, const std::vector<AppRecord>& records) {
         strfmt("%.4f", r.l3_read_miss_ratio),
         strfmt("%u", r.nodes_expected),
         strfmt("%u", r.nodes_mined),
+        strfmt("%u", r.nodes_failed),
     };
     for (double c : r.fp.counts) row.push_back(strfmt("%.0f", c));
     csv.row(row);

@@ -11,10 +11,12 @@
 
 namespace bgp::post {
 
-/// The standard per-application metrics record. The coverage pair records
+/// The standard per-application metrics record. The coverage fields record
 /// how much of the partition the record is based on: `nodes_mined <
 /// nodes_expected` means the miner ran degraded (node deaths, lost or
 /// corrupt dumps) and the averages come from the surviving quorum only.
+/// `nodes_failed` counts nodes whose deaths the FT recovery log accounts
+/// for — on a fully-recovered FT run, mined + failed == expected.
 struct AppRecord {
   std::string app;
   double exec_cycles = 0;
@@ -25,6 +27,7 @@ struct AppRecord {
   FpProfile fp;
   unsigned nodes_expected = 0;
   unsigned nodes_mined = 0;
+  unsigned nodes_failed = 0;
 };
 
 /// Compute the standard record from aggregated dumps.

@@ -58,6 +58,37 @@ void flag_outliers(SanityReport& rep, const std::vector<pc::NodeDump>& dumps) {
   }
 }
 
+/// Recovery-log consistency across the batch. Every survivor carries a
+/// copy of the (global, deterministic) recovery log, so the logs must not
+/// contradict each other — and a node the logs say died cannot also have
+/// produced a dump.
+void check_recovery(SanityReport& rep,
+                    const std::vector<pc::NodeDump>& dumps) {
+  std::map<u32, u64> death_cycles;  // node -> injected death cycle
+  for (const pc::NodeDump& d : dumps) {
+    for (const ft::RecoveryEvent& e : d.recovery) {
+      if (e.kind != ft::RecoveryKind::kDeathDetected) continue;
+      const auto [it, inserted] = death_cycles.emplace(e.node, e.aux);
+      if (!inserted && it->second != e.aux) {
+        add(rep, ProblemKind::kRecoveryConflict, Severity::kError, e.node,
+            strfmt("node %u: recovery logs disagree on the death cycle "
+                   "(%llu vs %llu)",
+                   e.node, static_cast<unsigned long long>(it->second),
+                   static_cast<unsigned long long>(e.aux)));
+      }
+    }
+  }
+  for (const pc::NodeDump& d : dumps) {
+    const auto it = death_cycles.find(d.node_id);
+    if (it != death_cycles.end()) {
+      add(rep, ProblemKind::kRecoveryConflict, Severity::kError, d.node_id,
+          strfmt("node %u: recovery logs report it dead (cycle %llu) but it "
+                 "produced a dump",
+                 d.node_id, static_cast<unsigned long long>(it->second)));
+    }
+  }
+}
+
 }  // namespace
 
 SanityReport check(const std::vector<pc::NodeDump>& dumps) {
@@ -129,6 +160,7 @@ SanityReport check(const std::vector<pc::NodeDump>& dumps) {
         "dumps from more than one application");
   }
   flag_outliers(rep, dumps);
+  check_recovery(rep, dumps);
   return rep;
 }
 

@@ -29,6 +29,7 @@ enum class ProblemKind : u8 {
   kCounterWrap,      ///< delta in the top half of u64: wraparound suspected
   kImplausible,      ///< delta >= 2^60 without the wrap signature
   kOutlier,          ///< one node's counter far from the cross-node median
+  kRecoveryConflict, ///< FT recovery logs contradict the dumps on hand
 };
 
 struct Problem {
@@ -70,6 +71,9 @@ struct SanityReport {
 ///  * set time windows are ordered (first start <= last stop)
 ///  * cross-node outliers (warning): a counter more than ~64x the median
 ///    of its (mode, set, counter) peers suggests single-node corruption
+///  * FT recovery consistency: a node both listed dead in a recovery log
+///    and present with a dump, or two logs disagreeing on a death cycle,
+///    is a conflict (error)
 [[nodiscard]] SanityReport check(const std::vector<pc::NodeDump>& dumps);
 
 }  // namespace bgp::post

@@ -24,6 +24,10 @@ Machine::Machine(const MachineConfig& config)
                config.num_ranks_override, capacity));
   }
   collective_.members.resize(num_ranks_);
+  comm_group_.resize(num_ranks_);
+  for (unsigned r = 0; r < num_ranks_; ++r) comm_group_[r] = r;
+  in_group_.assign(num_ranks_, true);
+  death_detected_.assign(partition_->num_nodes(), false);
 }
 
 Machine::~Machine() {
@@ -65,11 +69,12 @@ void Machine::thread_main(unsigned rank, const RankFn& program) {
     self.status = Status::kFinished;
   } catch (const AbortRun&) {
     self.status = Status::kFailed;
-  } catch (const NodeDeathFault&) {
+  } catch (const NodeDeathFault& death) {
     // Only one rank thread runs at a time, so this push is unsynchronized
-    // but race-free.
+    // but race-free. Injected deaths and cascade victims are kept apart:
+    // only the former mark a node as genuinely killed.
     self.status = Status::kDied;
-    dead_ranks_.push_back(rank);
+    (death.inherited ? stranded_ranks_ : dead_ranks_).push_back(rank);
   } catch (...) {
     self.status = Status::kFailed;
     self.error = std::current_exception();
@@ -114,30 +119,34 @@ void Machine::run(const RankFn& program) {
       if (!any_failed && !dead_ranks_.empty()) {
         // Node deaths leave survivors stuck in wait structures the dead
         // ranks can no longer satisfy. Resolve, in order:
-        // 1. Receivers waiting specifically on a dead rank inherit the
-        //    death (they unwind via NodeDeathFault on resume).
+        // 1. Receivers waiting specifically on a dead rank: without FT
+        //    they inherit the death (unwind via NodeDeathFault on
+        //    resume); with FT the recv raises ProcFailedError instead so
+        //    the survivor can recover.
         bool progressed = false;
         for (auto& rank : ranks_) {
           if (rank->status != Status::kBlockedRecv) continue;
           if (rank->recv_src == RankCtx::kAnySource) continue;
           if (ranks_[rank->recv_src]->status != Status::kDied) continue;
-          rank->peer_dead = true;
+          (ft_params_.enabled ? rank->proc_failed : rank->peer_dead) = true;
           rank->status = Status::kReady;
           progressed = true;
         }
         if (progressed) continue;
         // 2. Every surviving rank reached the collective: the dead ranks
-        //    will never arrive, so complete it over the members present.
+        //    will never arrive, so complete it over the members present
+        //    (FT flags the released survivors in finish_collective).
         if (coll_blocked > 0 && coll_blocked == nonterminal) {
           finish_collective();
           continue;
         }
         // 3. Remaining receivers (any-source, or waiting on a live rank
         //    that is itself stuck) can never be satisfied — no rank is
-        //    runnable to send to them. The death cascades.
+        //    runnable to send to them. The death cascades (or, with FT,
+        //    surfaces as an error return).
         for (auto& rank : ranks_) {
           if (rank->status == Status::kBlockedRecv) {
-            rank->peer_dead = true;
+            (ft_params_.enabled ? rank->proc_failed : rank->peer_dead) = true;
             rank->status = Status::kReady;
             progressed = true;
           }
@@ -198,19 +207,31 @@ void Machine::run(const RankFn& program) {
   if (!dead_ranks_.empty()) {
     std::string who;
     for (unsigned n : dead_nodes()) who += strfmt(" node%u", n);
-    log_warn("run completed degraded: %zu rank(s) lost to node death on%s",
-             dead_ranks_.size(), who.c_str());
+    if (stranded_ranks_.empty()) {
+      log_warn("run completed degraded: %zu rank(s) lost to node death on%s"
+               "%s",
+               dead_ranks_.size(), who.c_str(),
+               ft_params_.enabled ? " (survivors recovered)" : "");
+    } else {
+      log_warn("run completed degraded: %zu rank(s) lost to node death on%s, "
+               "%zu more stranded by the cascade",
+               dead_ranks_.size(), who.c_str(), stranded_ranks_.size());
+    }
   }
 }
 
 std::vector<unsigned> Machine::dead_nodes() const {
   std::vector<unsigned> nodes;
-  for (const unsigned r : dead_ranks_) {
-    const unsigned n = ranks_[r]->ctx->node_id();
-    if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
-      nodes.push_back(n);
+  const auto collect = [&](const std::vector<unsigned>& ranks) {
+    for (const unsigned r : ranks) {
+      const unsigned n = ranks_[r]->ctx->node_id();
+      if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
+        nodes.push_back(n);
+      }
     }
-  }
+  };
+  collect(dead_ranks_);
+  collect(stranded_ranks_);
   std::sort(nodes.begin(), nodes.end());
   return nodes;
 }
@@ -222,8 +243,131 @@ void Machine::yield_from(unsigned rank) {
   if (aborting_) throw AbortRun{};
   if (self.peer_dead) {
     self.peer_dead = false;
-    throw NodeDeathFault{self.ctx->node_id()};
+    throw NodeDeathFault{self.ctx->node_id(), /*inherited=*/true};
   }
+  if (self.revoked_wake) {
+    self.revoked_wake = false;
+    throw ft::RevokedError(
+        strfmt("rank %u: communicator revoked while blocked", rank));
+  }
+  if (self.proc_failed) {
+    self.proc_failed = false;
+    raise_proc_failed(rank);
+  }
+}
+
+void Machine::check_revoked(unsigned rank) const {
+  if (ft_params_.enabled && revoked_) {
+    throw ft::RevokedError(strfmt("rank %u: communicator revoked", rank));
+  }
+}
+
+void Machine::detect_failed_peer(unsigned rank, unsigned peer) {
+  if (!ft_params_.enabled) return;  // legacy path: the scheduler cascades
+  Rank& self = *ranks_[rank];
+  self.ctx->core().advance(ft_params_.detect_latency);
+  note_detection(rank, ranks_[peer]->ctx->node_id());
+  throw ft::ProcFailedError(
+      strfmt("rank %u: peer rank %u failed", rank, peer));
+}
+
+void Machine::raise_proc_failed(unsigned rank) {
+  Rank& self = *ranks_[rank];
+  self.ctx->core().advance(ft_params_.detect_latency);
+  for (const unsigned r : comm_group_) {
+    if (ranks_[r]->status == Status::kDied) {
+      note_detection(rank, ranks_[r]->ctx->node_id());
+    }
+  }
+  throw ft::ProcFailedError(
+      strfmt("rank %u: peer failure detected in pending operation", rank));
+}
+
+void Machine::note_detection(unsigned rank, unsigned node) {
+  if (death_detected_[node]) return;
+  death_detected_[node] = true;
+  cycles_t death = 0;
+  if (fault_ != nullptr) {
+    // death_cycle() is the injected schedule, i.e. ground truth for when
+    // the node stopped; the gap to `cycle` is the observed detection lag.
+    death = fault_->death_cycle(node).value_or(0);
+  }
+  recovery_log_.push_back(ft::RecoveryEvent{
+      .kind = ft::RecoveryKind::kDeathDetected,
+      .node = node,
+      .rank = rank,
+      .cycle = ranks_[rank]->ctx->core().now(),
+      .cost = ft_params_.detect_latency,
+      .aux = death,
+  });
+}
+
+void Machine::revoke_comm(unsigned rank, cycles_t cost) {
+  if (revoked_) return;  // an already-revoked communicator stays revoked
+  revoked_ = true;
+  recovery_log_.push_back(ft::RecoveryEvent{
+      .kind = ft::RecoveryKind::kRevoke,
+      .node = ranks_[rank]->ctx->node_id(),
+      .rank = rank,
+      .cycle = ranks_[rank]->ctx->core().now(),
+      .cost = cost,
+      .aux = 0,
+  });
+  partition_->barrier_net().record_barrier(0);
+  // The revoke notification rides the barrier/interrupt network: every
+  // plain-blocked survivor is interrupted and resumes into RevokedError.
+  // Ranks inside internal FT operations are exempt (recovery must be able
+  // to run to completion on a revoked communicator).
+  bool reset_collective = false;
+  for (auto& rk : ranks_) {
+    if (rk->status == Status::kBlockedRecv) {
+      rk->revoked_wake = true;
+      rk->status = Status::kReady;
+    } else if (rk->status == Status::kBlockedCollective &&
+               !collective_.internal) {
+      rk->revoked_wake = true;
+      rk->status = Status::kReady;
+      reset_collective = true;
+    }
+  }
+  if (reset_collective) {
+    collective_.arrived = 0;
+    collective_.kind = -1;
+    collective_.internal = false;
+    collective_.combine = nullptr;
+  }
+}
+
+void Machine::apply_shrink(std::vector<unsigned> group, cycles_t when,
+                           cycles_t cost) {
+  comm_group_ = std::move(group);
+  in_group_.assign(num_ranks_, false);
+  for (const unsigned r : comm_group_) in_group_[r] = true;
+  ++comm_epoch_;
+  revoked_ = false;
+  recovery_log_.push_back(ft::RecoveryEvent{
+      .kind = ft::RecoveryKind::kShrink,
+      .node = ft::RecoveryEvent::kNoNode,
+      .rank = ft::RecoveryEvent::kNoRank,
+      .cycle = when,
+      .cost = cost,
+      .aux = comm_group_.size(),
+  });
+}
+
+unsigned Machine::live_comm_nodes() const {
+  std::vector<bool> seen(partition_->num_nodes(), false);
+  unsigned live = 0;
+  for (const unsigned r : comm_group_) {
+    const Rank& rk = *ranks_[r];
+    if (rk.status == Status::kDied || rk.status == Status::kFailed) continue;
+    const unsigned node = rk.ctx->node_id();
+    if (!seen[node]) {
+      seen[node] = true;
+      ++live;
+    }
+  }
+  return live;
 }
 
 void Machine::deposit(Message msg, unsigned dst) {
@@ -257,8 +401,15 @@ void Machine::enter_collective(
     std::span<const std::byte> send, std::span<std::byte> recv,
     const std::function<void(Collective&)>& combine, cycles_t op_latency) {
   check_fault(rank);  // a dead rank must never register as an arrival
+  const bool internal = kind <= kCollFtFirst;
+  if (!internal) check_revoked(rank);
   Rank& self = *ranks_[rank];
   Collective& coll = collective_;
+  if (ft_params_.enabled && !in_group_[rank]) {
+    throw std::logic_error(strfmt(
+        "rank %u entered a collective but is not in the shrunk communicator",
+        rank));
+  }
 
   if (coll.arrived == 0) {
     coll.kind = kind;
@@ -267,7 +418,20 @@ void Machine::enter_collective(
     coll.max_arrival = 0;
     coll.combine = combine;
     coll.op_latency = op_latency;
+    coll.internal = internal;
     for (auto& m : coll.members) m = Collective::Member{};
+    if (ft_params_.enabled) {
+      // Only members still alive at first arrival can complete the
+      // rendezvous inline; anyone who dies later simply never arrives and
+      // the scheduler's stall resolution completes over those present.
+      coll.expected = 0;
+      for (const unsigned r : comm_group_) {
+        const Status st = ranks_[r]->status;
+        if (st != Status::kDied && st != Status::kFailed) ++coll.expected;
+      }
+    } else {
+      coll.expected = num_ranks_;
+    }
   } else if (coll.kind != kind || coll.root != root) {
     throw std::logic_error(
         strfmt("collective mismatch: rank %u entered kind %d but kind %d in "
@@ -282,7 +446,7 @@ void Machine::enter_collective(
   coll.max_arrival = std::max(coll.max_arrival, self.ctx->core().now());
   ++coll.arrived;
 
-  if (coll.arrived < num_ranks_) {
+  if (coll.arrived < coll.expected) {
     self.status = Status::kBlockedCollective;
     yield_from(rank);
     return;  // a later arrival completed the operation and synced our clock
@@ -290,24 +454,43 @@ void Machine::enter_collective(
 
   // Last arrival: perform the data movement and release everyone.
   finish_collective();
+  if (self.proc_failed) {
+    self.proc_failed = false;
+    raise_proc_failed(rank);
+  }
 }
 
 void Machine::finish_collective() {
   Collective& coll = collective_;
   if (coll.combine) coll.combine(coll);
   const cycles_t done = coll.max_arrival + coll.op_latency;
+  // FT: a plain collective that completed without a (dead) group member is
+  // an error at every survivor it released — ULFM collectives raise
+  // MPI_ERR_PROC_FAILED rather than silently dropping a contribution.
+  // Internal FT operations are designed to complete over survivors.
+  bool failure = false;
+  if (ft_params_.enabled && !coll.internal) {
+    for (const unsigned r : comm_group_) {
+      if (ranks_[r]->status == Status::kDied && !coll.members[r].present) {
+        failure = true;
+        break;
+      }
+    }
+  }
   for (unsigned r = 0; r < num_ranks_; ++r) {
     Rank& rk = *ranks_[r];
     if (rk.status == Status::kDied || rk.status == Status::kFailed) {
       continue;  // do not advance clocks of dead ranks' cores
     }
     rk.ctx->core().sync_to(done);
+    if (failure && coll.members[r].present) rk.proc_failed = true;
     if (rk.status == Status::kBlockedCollective) {
       rk.status = Status::kReady;
     }
   }
   coll.arrived = 0;
   coll.kind = -1;
+  coll.internal = false;
   coll.combine = nullptr;  // release references captured by the lambda
 }
 

@@ -20,15 +20,37 @@
 #include <vector>
 
 #include "compiler/compiler.hpp"
+#include "ft/ftypes.hpp"
 #include "sys/partition.hpp"
 
 namespace bgp::fault {
 class FaultInjector;
 }
 
+namespace bgp::ft {
+class FtComm;
+}
+
 namespace bgp::rt {
 
 class RankCtx;
+
+/// Collective op kinds for rendezvous matching. Kinds at or below
+/// kCollFtFirst are internal fault-tolerance operations (agreement,
+/// shrink): they are exempt from revocation and failed-peer flagging so
+/// recovery itself can communicate on a revoked communicator. -1 is the
+/// idle sentinel.
+enum CollKind : int {
+  kCollAgree = -3,
+  kCollShrink = -2,
+  kCollBarrier = 0,
+  kCollBcast,
+  kCollAllreduceSum,
+  kCollAllreduceMax,
+  kCollAlltoall,
+  kCollAllgather,
+};
+inline constexpr int kCollFtFirst = kCollShrink;
 
 /// Program run by every rank.
 using RankFn = std::function<void(RankCtx&)>;
@@ -78,8 +100,10 @@ class Machine {
   /// Run `program` on every rank to completion. A Machine runs one program
   /// in its lifetime; failures in any rank abort the run and rethrow here.
   /// Injected node deaths do NOT abort: the dead node's ranks unwind, any
-  /// rank blocked on them inherits the death, and run() returns normally
-  /// once the survivors finish (consult dead_ranks()/dead_nodes()).
+  /// rank blocked on them inherits the death (non-FT) or gets an error
+  /// return to recover from (FT; see set_ft_params), and run() returns
+  /// normally once the survivors finish (consult dead_ranks()/
+  /// stranded_ranks()/dead_nodes()/recovery_log()).
   void run(const RankFn& program);
 
   /// Attach a fault-injection oracle (not owned; may be nullptr). Must be
@@ -88,13 +112,46 @@ class Machine {
     fault_ = fault;
   }
 
-  /// Ranks lost to injected node deaths (including cascades), death order.
+  /// Enable ULFM-style failure handling (must be set before run()). With FT
+  /// on, a call that would block forever on a dead peer raises
+  /// ft::ProcFailedError after the modeled detection latency instead of
+  /// inheriting the death, and ft::FtComm's revoke/agree/shrink become
+  /// available for survivor recovery.
+  void set_ft_params(const ft::FtParams& params) noexcept {
+    ft_params_ = params;
+  }
+  [[nodiscard]] const ft::FtParams& ft_params() const noexcept {
+    return ft_params_;
+  }
+
+  /// Ranks lost directly to injected node deaths, death order.
   [[nodiscard]] const std::vector<unsigned>& dead_ranks() const noexcept {
     return dead_ranks_;
   }
-  /// Nodes that lost at least one rank, ascending. A node listed here never
-  /// reaches BGP_Finalize, so its dump file is missing.
+  /// Cascade victims: ranks that were blocked on a dead peer and inherited
+  /// the death (non-FT mode only — under FT these survive via recovery).
+  [[nodiscard]] const std::vector<unsigned>& stranded_ranks() const noexcept {
+    return stranded_ranks_;
+  }
+  /// Nodes that lost at least one rank (injected or stranded), ascending.
+  /// A node listed here never reaches BGP_Finalize, so its dump is missing.
   [[nodiscard]] std::vector<unsigned> dead_nodes() const;
+
+  /// Current (post-shrink) communicator membership, ascending global ranks.
+  [[nodiscard]] const std::vector<unsigned>& comm_group() const noexcept {
+    return comm_group_;
+  }
+  /// Number of shrinks performed so far.
+  [[nodiscard]] unsigned comm_epoch() const noexcept { return comm_epoch_; }
+  /// Whether the communicator is currently revoked (between a survivor's
+  /// revoke() and the shrink that installs the new group).
+  [[nodiscard]] bool comm_revoked() const noexcept { return revoked_; }
+  /// Every recovery step taken so far, in completion order. Copied into
+  /// each surviving node's dump at finalize (dump v3).
+  [[nodiscard]] const std::vector<ft::RecoveryEvent>& recovery_log()
+      const noexcept {
+    return recovery_log_;
+  }
 
   /// Longest per-node execution time (max over cores), after run().
   [[nodiscard]] cycles_t node_time(unsigned node) const;
@@ -103,6 +160,7 @@ class Machine {
 
  private:
   friend class RankCtx;
+  friend class ft::FtComm;
 
   enum class Status : u8 {
     kReady,
@@ -132,8 +190,14 @@ class Machine {
     std::deque<Message> mailbox;
     std::exception_ptr error;
     /// Set by the scheduler when the rank is blocked on a dead peer; the
-    /// next resume throws NodeDeathFault so the rank unwinds too.
+    /// next resume throws NodeDeathFault so the rank unwinds too (non-FT).
     bool peer_dead = false;
+    /// FT mode: the rank's pending call involved a failed peer; the next
+    /// resume bills the detection latency and raises ft::ProcFailedError.
+    bool proc_failed = false;
+    /// FT mode: a survivor revoked the communicator while this rank was
+    /// blocked; the next resume raises ft::RevokedError.
+    bool revoked_wake = false;
   };
 
   /// In-flight collective rendezvous.
@@ -142,6 +206,13 @@ class Machine {
     u64 bytes = 0;
     unsigned root = 0;
     unsigned arrived = 0;
+    /// Arrivals that complete the operation inline (FT: live group members
+    /// at first arrival; otherwise all ranks — dead members complete via
+    /// the scheduler's stall resolution instead).
+    unsigned expected = 0;
+    /// Internal FT operation (agree/shrink): exempt from revocation and
+    /// from failed-peer flagging, so recovery itself can communicate.
+    bool internal = false;
     cycles_t max_arrival = 0;
     struct Member {
       std::span<const std::byte> send;
@@ -178,6 +249,31 @@ class Machine {
   /// dead rank is never counted as a collective arrival or left blocked.
   void check_fault(unsigned rank);
 
+  // -- fault-tolerance internals (FT mode only) ---------------------------
+  /// Raise ft::RevokedError if the communicator is revoked (entry check of
+  /// every plain communication call; internal FT operations bypass it).
+  void check_revoked(unsigned rank) const;
+  /// FT: `rank` is about to communicate with dead `peer` — bill the
+  /// detection latency and raise ft::ProcFailedError. No-op without FT.
+  void detect_failed_peer(unsigned rank, unsigned peer);
+  /// Consume a proc_failed wake: bill detection, log first detections of
+  /// every dead group member, raise ft::ProcFailedError.
+  [[noreturn]] void raise_proc_failed(unsigned rank);
+  /// Record the first detection of `node`'s death (dedup per node).
+  void note_detection(unsigned rank, unsigned node);
+  /// Revoke the communicator on behalf of `rank`: wake every plain-blocked
+  /// rank into RevokedError and reset a pending plain collective.
+  void revoke_comm(unsigned rank, cycles_t cost);
+  /// Install the survivor communicator (shrink combine): new group, epoch
+  /// bump, revocation cleared.
+  void apply_shrink(std::vector<unsigned> group, cycles_t when, cycles_t cost);
+  /// Distinct live nodes across the current group (shrunk tree size).
+  [[nodiscard]] unsigned live_comm_nodes() const;
+  /// True if `rank`'s status is terminal-dead (kDied).
+  [[nodiscard]] bool rank_died(unsigned rank) const {
+    return ranks_[rank]->status == Status::kDied;
+  }
+
   void thread_main(unsigned rank, const RankFn& program);
   [[nodiscard]] int pick_next() const;
 
@@ -191,6 +287,14 @@ class Machine {
   Collective collective_;
   fault::FaultInjector* fault_ = nullptr;
   std::vector<unsigned> dead_ranks_;
+  std::vector<unsigned> stranded_ranks_;
+  ft::FtParams ft_params_;
+  bool revoked_ = false;
+  std::vector<unsigned> comm_group_;   ///< current members, ascending
+  std::vector<bool> in_group_;         ///< comm_group_ membership by rank
+  unsigned comm_epoch_ = 0;
+  std::vector<ft::RecoveryEvent> recovery_log_;
+  std::vector<bool> death_detected_;  ///< per node, first-detection dedup
   bool aborting_ = false;
   bool ran_ = false;
 };
@@ -198,10 +302,12 @@ class Machine {
 /// Thrown inside rank threads to unwind them when another rank failed.
 struct AbortRun {};
 
-/// Thrown inside a rank thread when its node suffers an injected death (or
-/// when the rank is blocked on a dead peer and inherits the death).
+/// Thrown inside a rank thread when its node suffers an injected death (or,
+/// with `inherited`, when the rank was blocked on a dead peer and the death
+/// cascaded to it — FT mode converts that case into ft::ProcFailedError).
 struct NodeDeathFault {
   unsigned node = 0;
+  bool inherited = false;
 };
 
 }  // namespace bgp::rt

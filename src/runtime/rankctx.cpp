@@ -13,16 +13,6 @@ namespace bgp::rt {
 
 namespace {
 
-/// Collective op kinds for rendezvous matching.
-enum CollKind : int {
-  kCollBarrier = 0,
-  kCollBcast,
-  kCollAllreduceSum,
-  kCollAllreduceMax,
-  kCollAlltoall,
-  kCollAllgather,
-};
-
 /// Per-rank private region: 256 MB at (core+1)*256MB in the node space.
 constexpr addr_t kRankRegionBytes = addr_t{256} * MiB;
 
@@ -235,6 +225,13 @@ void RankCtx::send(unsigned dst, std::span<const std::byte> data, int tag) {
     throw std::out_of_range(strfmt("send to invalid rank %u", dst));
   }
   machine_.check_fault(rank_);
+  machine_.check_revoked(rank_);
+  if (machine_.rank_died(dst)) {
+    // FT: a send to a failed peer is detected at the sender (it raises
+    // ProcFailedError there); without FT the message is deposited into the
+    // dead rank's mailbox and simply never consumed, as before.
+    machine_.detect_failed_peer(rank_, dst);
+  }
   sys_event(isa::SysEvent::kMpiSends);
   const auto peer = machine_.partition().placement(dst);
 
@@ -257,6 +254,7 @@ void RankCtx::send(unsigned dst, std::span<const std::byte> data, int tag) {
 
 void RankCtx::recv(unsigned src, std::span<std::byte> out, int tag) {
   machine_.check_fault(rank_);
+  machine_.check_revoked(rank_);
   sys_event(isa::SysEvent::kMpiRecvs);
   core().advance(machine_.partition().torus().params().sw_overhead);
   for (;;) {
@@ -271,6 +269,12 @@ void RankCtx::recv(unsigned src, std::span<std::byte> out, int tag) {
       std::memcpy(out.data(), msg->payload.data(), out.size());
       yield();
       return;
+    }
+    // FT: a recv that can never match because the source already failed is
+    // detected here (ULFM semantics: messages sent before the death are
+    // still delivered above; only then does the failure surface).
+    if (src != kAnySource && machine_.rank_died(src)) {
+      machine_.detect_failed_peer(rank_, src);
     }
     auto& self = *machine_.ranks_[rank_];
     self.status = Machine::Status::kBlockedRecv;
@@ -289,9 +293,26 @@ void RankCtx::sendrecv(unsigned peer, std::span<const std::byte> out,
 
 // ---- collectives -------------------------------------------------------------
 
+cycles_t RankCtx::coll_op_cycles(u64 bytes) const {
+  auto& part = const_cast<Machine&>(machine_).partition();
+  if (machine_.ft_params().enabled) {
+    return part.collective().op_cycles_live(bytes,
+                                            machine_.live_comm_nodes());
+  }
+  return part.collective().op_cycles(bytes);
+}
+
+cycles_t RankCtx::barrier_latency() const {
+  auto& part = const_cast<Machine&>(machine_).partition();
+  if (machine_.ft_params().enabled) {
+    return part.barrier_net().barrier_cycles_live(machine_.live_comm_nodes());
+  }
+  return part.barrier_net().barrier_cycles();
+}
+
 void RankCtx::barrier() {
   auto& part = machine_.partition();
-  const cycles_t latency = part.barrier_net().barrier_cycles();
+  const cycles_t latency = barrier_latency();
   const cycles_t t0 = core().now();
   sys_event(isa::SysEvent::kMpiCollectives);
   machine_.enter_collective(
@@ -310,7 +331,7 @@ void RankCtx::barrier() {
 
 void RankCtx::bcast(std::span<std::byte> data, unsigned root) {
   auto& part = machine_.partition();
-  const cycles_t latency = part.collective().op_cycles(data.size());
+  const cycles_t latency = coll_op_cycles(data.size());
   sys_event(isa::SysEvent::kMpiCollectives);
   machine_.enter_collective(
       rank_, kCollBcast, data.size(), root, std::as_bytes(std::span(data)),
@@ -333,7 +354,7 @@ void RankCtx::bcast(std::span<std::byte> data, unsigned root) {
 void RankCtx::allreduce_sum(std::span<double> inout) {
   auto& part = machine_.partition();
   const u64 bytes = inout.size_bytes();
-  const cycles_t latency = part.collective().op_cycles(bytes);
+  const cycles_t latency = coll_op_cycles(bytes);
   sys_event(isa::SysEvent::kMpiCollectives);
   machine_.enter_collective(
       rank_, kCollAllreduceSum, bytes, 0, std::as_bytes(inout),
@@ -365,7 +386,7 @@ u64 RankCtx::allreduce_sum(u64 v) {
   // Reuse the double path exactly only when values are small; use a
   // dedicated reduction for exact 64-bit sums.
   auto& part = machine_.partition();
-  const cycles_t latency = part.collective().op_cycles(sizeof(u64));
+  const cycles_t latency = coll_op_cycles(sizeof(u64));
   sys_event(isa::SysEvent::kMpiCollectives);
   u64 buf = v;
   const std::span<u64> inout(&buf, 1);
@@ -392,7 +413,7 @@ u64 RankCtx::allreduce_sum(u64 v) {
 
 double RankCtx::allreduce_max(double v) {
   auto& part = machine_.partition();
-  const cycles_t latency = part.collective().op_cycles(sizeof(double));
+  const cycles_t latency = coll_op_cycles(sizeof(double));
   sys_event(isa::SysEvent::kMpiCollectives);
   double buf = v;
   const std::span<double> inout(&buf, 1);
@@ -462,7 +483,7 @@ void RankCtx::allgather(std::span<const std::byte> mine,
     throw std::invalid_argument("allgather buffer size mismatch");
   }
   auto& part = machine_.partition();
-  const cycles_t latency = part.collective().op_cycles(chunk * p);
+  const cycles_t latency = coll_op_cycles(chunk * p);
   sys_event(isa::SysEvent::kMpiCollectives);
   machine_.enter_collective(
       rank_, kCollAllgather, chunk, 0, mine, all,

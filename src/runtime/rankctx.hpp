@@ -142,6 +142,11 @@ class RankCtx {
   /// Intra-node transfer cost per byte is memory-system bound; inter-node
   /// goes over the torus.
   [[nodiscard]] cycles_t transfer_cycles(unsigned peer_node, u64 bytes) const;
+  /// Tree-collective latency; under FT the tree is pruned to the live
+  /// nodes of the (possibly shrunk) communicator.
+  [[nodiscard]] cycles_t coll_op_cycles(u64 bytes) const;
+  /// Barrier-network latency with the same FT pruning.
+  [[nodiscard]] cycles_t barrier_latency() const;
 
   Machine& machine_;
   unsigned rank_;

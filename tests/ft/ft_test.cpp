@@ -1,0 +1,407 @@
+// ULFM-style recovery in the MiniMPI runtime: a failed peer raises
+// ProcFailedError at the blocked caller instead of cascading the death,
+// revoke interrupts posted receives, agree/shrink rebuild the communicator
+// over the survivors, and every step is billed deterministic cycle costs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "ft/ftcomm.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/rankctx.hpp"
+
+namespace bgp {
+namespace {
+
+rt::MachineConfig smp(unsigned nodes) {
+  rt::MachineConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.mode = sys::OpMode::kSmp1;
+  return cfg;
+}
+
+isa::LoopDesc work(u64 trip) {
+  isa::LoopDesc d;
+  d.name = "work";
+  d.trip = trip;
+  d.body.fp_at(isa::FpOp::kFma) = 4;
+  d.body.int_at(isa::IntOp::kAlu) = 2;
+  return d;
+}
+
+ft::FtParams ft_on(cycles_t detect_latency = 2000) {
+  ft::FtParams p;
+  p.enabled = true;
+  p.detect_latency = detect_latency;
+  return p;
+}
+
+fault::FaultInjector kill_node(unsigned node, cycles_t cycle = 1) {
+  fault::FaultPlan plan;
+  plan.add({.kind = fault::FaultKind::kNodeDeath, .node = node,
+            .cycle = cycle});
+  return fault::FaultInjector(std::move(plan));
+}
+
+std::vector<ft::RecoveryEvent> events_of(const rt::Machine& m,
+                                         ft::RecoveryKind kind) {
+  std::vector<ft::RecoveryEvent> out;
+  for (const ft::RecoveryEvent& e : m.recovery_log()) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+TEST(FtDetect, RecvOnDeadPeerRaisesInsteadOfCascading) {
+  fault::FaultInjector inj = kill_node(0);
+  rt::Machine m(smp(2));
+  m.set_fault_injector(&inj);
+  m.set_ft_params(ft_on());
+
+  std::vector<int> caught(m.num_ranks(), 0);
+  std::vector<int> finished(m.num_ranks(), 0);
+  m.run([&](rt::RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.loop(work(300), {});  // dies here
+      std::array<std::byte, 8> buf{};
+      ctx.send(1, buf);
+    } else {
+      std::array<std::byte, 8> buf{};
+      try {
+        ctx.recv(0, buf);  // the message never comes
+      } catch (const ft::ProcFailedError&) {
+        caught[ctx.rank()] = 1;
+      }
+      finished[ctx.rank()] = 1;
+    }
+  });
+
+  // Rank 1 got an error return, not an inherited death (the PR 1 cascade).
+  EXPECT_EQ(m.dead_ranks(), (std::vector<unsigned>{0}));
+  EXPECT_TRUE(m.stranded_ranks().empty());
+  EXPECT_EQ(caught[1], 1);
+  EXPECT_EQ(finished[1], 1);
+  EXPECT_EQ(m.dead_nodes(), (std::vector<unsigned>{0}));
+
+  const auto detected = events_of(m, ft::RecoveryKind::kDeathDetected);
+  ASSERT_EQ(detected.size(), 1u);
+  EXPECT_EQ(detected[0].node, 0u);
+  EXPECT_EQ(detected[0].rank, 1u);
+  EXPECT_EQ(detected[0].aux, 1u);  // the injected death cycle
+}
+
+TEST(FtDetect, SendToDeadPeerRaises) {
+  fault::FaultInjector inj = kill_node(0);
+  rt::Machine m(smp(2));
+  m.set_fault_injector(&inj);
+  m.set_ft_params(ft_on());
+
+  std::vector<int> caught(m.num_ranks(), 0);
+  m.run([&](rt::RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.loop(work(300), {});
+      ctx.loop(work(300), {});  // dies at this checkpoint
+    } else {
+      ctx.loop(work(2000), {});  // outlive the peer
+      std::array<std::byte, 8> buf{};
+      try {
+        ctx.send(0, buf);
+      } catch (const ft::ProcFailedError&) {
+        caught[ctx.rank()] = 1;
+      }
+    }
+  });
+  EXPECT_EQ(caught[1], 1);
+  EXPECT_TRUE(m.stranded_ranks().empty());
+}
+
+TEST(FtDetect, DetectionLatencyIsBilledToTheDetectingCore) {
+  const auto detect = [](cycles_t latency) {
+    fault::FaultInjector inj = kill_node(0);
+    rt::Machine m(smp(2));
+    m.set_fault_injector(&inj);
+    m.set_ft_params(ft_on(latency));
+    m.run([&](rt::RankCtx& ctx) {
+      if (ctx.rank() == 0) {
+        ctx.loop(work(300), {});
+        ctx.loop(work(300), {});  // dies at this checkpoint
+      } else {
+        std::array<std::byte, 8> buf{};
+        try {
+          ctx.recv(0, buf);
+        } catch (const ft::ProcFailedError&) {
+        }
+      }
+    });
+    const auto detected = events_of(m, ft::RecoveryKind::kDeathDetected);
+    EXPECT_EQ(detected.size(), 1u);
+    return detected.at(0);
+  };
+  const ft::RecoveryEvent fast = detect(1000);
+  const ft::RecoveryEvent slow = detect(5000);
+  EXPECT_EQ(fast.cost, 1000u);
+  EXPECT_EQ(slow.cost, 5000u);
+  // Identical programs: the detection completes exactly the extra latency
+  // later.
+  EXPECT_EQ(slow.cycle - fast.cycle, 4000u);
+}
+
+TEST(FtDetect, SimultaneousDetectionByTwoPeersIsLoggedOnce) {
+  fault::FaultInjector inj = kill_node(0);
+  rt::Machine m(smp(3));
+  m.set_fault_injector(&inj);
+  m.set_ft_params(ft_on());
+
+  std::vector<int> caught(m.num_ranks(), 0);
+  m.run([&](rt::RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.loop(work(300), {});
+      ctx.loop(work(300), {});  // dies at this checkpoint
+      return;
+    }
+    std::array<std::byte, 8> buf{};
+    try {
+      ctx.recv(0, buf);  // ranks 1 and 2 both block on the dead peer
+    } catch (const ft::ProcFailedError&) {
+      caught[ctx.rank()] = 1;
+    }
+  });
+
+  // Both blocked peers get the error, but the death is logged exactly once.
+  EXPECT_EQ(caught[1], 1);
+  EXPECT_EQ(caught[2], 1);
+  EXPECT_EQ(events_of(m, ft::RecoveryKind::kDeathDetected).size(), 1u);
+  EXPECT_TRUE(m.stranded_ranks().empty());
+}
+
+TEST(FtRecover, RevokeInterruptsAPostedRecv) {
+  fault::FaultInjector inj = kill_node(2);
+  rt::Machine m(smp(3));
+  m.set_fault_injector(&inj);
+  m.set_ft_params(ft_on());
+
+  std::vector<int> revoked_seen(m.num_ranks(), 0);
+  m.run([&](rt::RankCtx& ctx) {
+    if (ctx.rank() == 2) {
+      ctx.loop(work(300), {});
+      ctx.loop(work(300), {});  // dies at this checkpoint
+      return;
+    }
+    std::array<std::byte, 8> buf{};
+    if (ctx.rank() == 0) {
+      try {
+        ctx.recv(2, buf);
+      } catch (const ft::ProcFailedError&) {
+      }
+      ft::FtComm comm(ctx);
+      comm.revoke();  // must reach rank 1, parked in a recv on a LIVE peer
+      comm.shrink(comm.agree());
+    } else {
+      try {
+        ctx.recv(0, buf);  // rank 0 never sends: only the revoke ends this
+      } catch (const ft::RevokedError&) {
+        revoked_seen[ctx.rank()] = 1;
+      }
+      ft::FtComm comm(ctx);
+      comm.shrink(comm.agree());  // agree/shrink are legal while revoked
+    }
+  });
+
+  EXPECT_EQ(revoked_seen[1], 1);
+  EXPECT_TRUE(m.stranded_ranks().empty());
+  EXPECT_EQ(m.comm_group(), (std::vector<unsigned>{0, 1}));
+  EXPECT_EQ(m.comm_epoch(), 1u);
+  EXPECT_FALSE(m.comm_revoked());
+  EXPECT_EQ(events_of(m, ft::RecoveryKind::kRevoke).size(), 1u);
+  const auto shrinks = events_of(m, ft::RecoveryKind::kShrink);
+  ASSERT_EQ(shrinks.size(), 1u);
+  EXPECT_EQ(shrinks[0].aux, 2u);  // survivor communicator size
+  EXPECT_GT(shrinks[0].cost, 0u);
+}
+
+TEST(FtRecover, GuardedRunShrinksAndCollectivesRouteAroundTheDead) {
+  fault::FaultInjector inj = kill_node(2);
+  rt::Machine m(smp(4));
+  m.set_fault_injector(&inj);
+  m.set_ft_params(ft_on());
+
+  std::vector<int> clean(m.num_ranks(), -1);
+  std::vector<unsigned> sizes(m.num_ranks(), 0);
+  std::vector<unsigned> new_ranks(m.num_ranks(), ~0u);
+  std::vector<double> post_sum(m.num_ranks(), 0.0);
+  m.run([&](rt::RankCtx& ctx) {
+    clean[ctx.rank()] = ft::run_guarded(ctx, [&](rt::RankCtx& c) {
+                          for (int i = 0; i < 4; ++i) {
+                            c.loop(work(400), {});
+                            (void)c.allreduce_sum(1.0);
+                          }
+                        })
+                            ? 1
+                            : 0;
+    ft::FtComm comm(ctx);
+    sizes[ctx.rank()] = comm.size();
+    new_ranks[ctx.rank()] = comm.new_rank();
+    // The communicator is whole again: plain collectives span exactly the
+    // survivors.
+    post_sum[ctx.rank()] = ctx.allreduce_sum(1.0);
+  });
+
+  for (unsigned r : {0u, 1u, 3u}) {
+    EXPECT_EQ(clean[r], 0) << r;  // every survivor saw the recovery
+    EXPECT_EQ(sizes[r], 3u) << r;
+    EXPECT_DOUBLE_EQ(post_sum[r], 3.0) << r;
+  }
+  EXPECT_EQ(new_ranks[0], 0u);
+  EXPECT_EQ(new_ranks[1], 1u);
+  EXPECT_EQ(new_ranks[3], 2u);  // renumbered past the hole
+  EXPECT_EQ(m.comm_group(), (std::vector<unsigned>{0, 1, 3}));
+  EXPECT_EQ(m.comm_epoch(), 1u);
+}
+
+// A second node dies while the survivors are mid-recovery from the first
+// death (the "shrink coordinator dies during agreement" scenario). The
+// protocol must run another recovery round and still terminate with every
+// death accounted. The mid-recovery cycle is taken from a first, single-
+// death run of the same deterministic program.
+TEST(FtRecover, DeathDuringRecoveryTriggersAnotherRound) {
+  const auto run = [](std::optional<cycles_t> second_death) {
+    fault::FaultPlan plan;
+    plan.add({.kind = fault::FaultKind::kNodeDeath, .node = 1, .cycle = 1});
+    if (second_death) {
+      plan.add({.kind = fault::FaultKind::kNodeDeath, .node = 0,
+                .cycle = *second_death});
+    }
+    fault::FaultInjector inj(std::move(plan));
+    auto m = std::make_unique<rt::Machine>(smp(4));
+    m->set_fault_injector(&inj);
+    m->set_ft_params(ft_on());
+    m->run([&](rt::RankCtx& ctx) {
+      ft::run_guarded(ctx, [&](rt::RankCtx& c) {
+        for (int i = 0; i < 6; ++i) {
+          c.loop(work(400), {});
+          (void)c.allreduce_sum(1.0);
+        }
+      });
+      // Keep recovering until a whole barrier passes clean (bounded: each
+      // round removes at least one dead rank).
+      for (int round = 0; round < 8; ++round) {
+        if (ft::run_guarded(ctx, [](rt::RankCtx& c) { c.barrier(); })) break;
+      }
+    });
+    return m;
+  };
+
+  const auto first = run(std::nullopt);
+  const auto revokes = events_of(*first, ft::RecoveryKind::kRevoke);
+  ASSERT_EQ(revokes.size(), 1u);
+
+  // Land the second death between the revoke and the shrink: node 0 is in
+  // the middle of the agreement when it dies.
+  const auto second = run(revokes[0].cycle + 100);
+  EXPECT_EQ(second->dead_nodes(), (std::vector<unsigned>{0, 1}));
+  EXPECT_TRUE(second->stranded_ranks().empty());
+  EXPECT_EQ(events_of(*second, ft::RecoveryKind::kDeathDetected).size(), 2u);
+  const auto shrinks = events_of(*second, ft::RecoveryKind::kShrink);
+  ASSERT_GE(shrinks.size(), 1u);
+  EXPECT_EQ(shrinks.back().aux, 2u);  // final communicator: the 2 survivors
+  EXPECT_EQ(second->comm_group(), (std::vector<unsigned>{2, 3}));
+  EXPECT_FALSE(second->comm_revoked());
+}
+
+TEST(FtOff, DisabledMeansTheCascadeOfPr1AndNoRecoveryLog) {
+  fault::FaultInjector inj = kill_node(0);
+  rt::Machine m(smp(2));
+  m.set_fault_injector(&inj);  // ft params left at the default: disabled
+  m.run([&](rt::RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.loop(work(300), {});
+      std::array<std::byte, 8> buf{};
+      ctx.send(1, buf);
+    } else {
+      std::array<std::byte, 8> buf{};
+      ctx.recv(0, buf);
+    }
+  });
+  EXPECT_EQ(m.stranded_ranks(), (std::vector<unsigned>{1}));
+  EXPECT_TRUE(m.recovery_log().empty());
+}
+
+TEST(FtOff, EnabledWithoutFailuresChangesNothing) {
+  const auto elapsed = [](bool ft_enabled) {
+    rt::Machine m(smp(4));
+    if (ft_enabled) m.set_ft_params(ft_on());
+    std::vector<double> sums(m.num_ranks(), 0.0);
+    m.run([&](rt::RankCtx& ctx) {
+      const bool ok = ft::run_guarded(ctx, [&](rt::RankCtx& c) {
+        for (int i = 0; i < 3; ++i) {
+          c.loop(work(500), {});
+          sums[c.rank()] += c.allreduce_sum(1.0);
+          c.barrier();
+        }
+      });
+      EXPECT_TRUE(ok);
+    });
+    for (double s : sums) EXPECT_DOUBLE_EQ(s, 12.0);
+    EXPECT_TRUE(m.recovery_log().empty());
+    return m.elapsed();
+  };
+  // The pruned-tree cost model degenerates to the full formula when the
+  // whole partition is live: enabling FT must not move a single cycle.
+  EXPECT_EQ(elapsed(false), elapsed(true));
+}
+
+TEST(FtOff, RecoveryOpsWithoutFtAreALogicError) {
+  rt::Machine m(smp(2));
+  std::vector<int> threw(m.num_ranks(), 0);
+  m.run([&](rt::RankCtx& ctx) {
+    try {
+      ft::FtComm(ctx).revoke();
+    } catch (const std::logic_error&) {
+      threw[ctx.rank()] = 1;
+    }
+  });
+  EXPECT_EQ(threw[0], 1);
+  EXPECT_EQ(threw[1], 1);
+}
+
+TEST(FtPlan, DeathsDuringRecoveryLandAfterThePrimaryWave) {
+  fault::FaultSpec spec;
+  spec.node_deaths = 2;
+  spec.deaths_during_recovery = 2;
+  spec.death_window = 10'000;
+  const fault::FaultPlan plan = fault::FaultPlan::random(5, 16, spec);
+
+  std::vector<const fault::FaultEvent*> deaths;
+  for (const fault::FaultEvent& e : plan.events()) {
+    if (e.kind == fault::FaultKind::kNodeDeath) deaths.push_back(&e);
+  }
+  ASSERT_EQ(deaths.size(), 4u);
+  // Distinct victims.
+  std::vector<u32> victims;
+  for (const auto* e : deaths) victims.push_back(e->node);
+  std::sort(victims.begin(), victims.end());
+  EXPECT_EQ(std::unique(victims.begin(), victims.end()), victims.end());
+  // The two secondary deaths (generated after the primaries) strike
+  // strictly later than every primary death.
+  const cycles_t last_primary =
+      std::max(deaths[0]->cycle, deaths[1]->cycle);
+  EXPECT_GT(deaths[2]->cycle, last_primary);
+  EXPECT_GT(deaths[3]->cycle, last_primary);
+
+  // Same knobs, same seed: identical plan.
+  const fault::FaultPlan again = fault::FaultPlan::random(5, 16, spec);
+  ASSERT_EQ(again.events().size(), plan.events().size());
+  for (std::size_t i = 0; i < plan.events().size(); ++i) {
+    EXPECT_EQ(fault::describe(plan.events()[i]),
+              fault::describe(again.events()[i]))
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace bgp

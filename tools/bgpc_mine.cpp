@@ -18,6 +18,11 @@
 //     --strict           refuse to mine unless every node's dump is clean
 //     --min-coverage=F   degraded-mode quorum fraction (default 0.9)
 //     --expected-nodes=N nodes the run should have dumped (default: infer)
+//     --ft               FT run: deaths the dumps' recovery logs account
+//                        for are expected casualties, not problems; with
+//                        --strict the batch passes iff survivors + deaths
+//                        cover every expected node, and a contradiction
+//                        with --expected-nodes is a hard error
 //     --quiet            suppress the stdout summary
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +42,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <dump_dir> <app_name> [--set=N] [--metrics=FILE] "
                "[--stats=FILE] [--full=FILE] [--strict] [--min-coverage=F] "
-               "[--expected-nodes=N] [--quiet]\n",
+               "[--expected-nodes=N] [--ft] [--quiet]\n",
                argv0);
   return 2;
 }
@@ -68,6 +73,8 @@ int main(int argc, char** argv) {
         opts.min_coverage = cli::parse_double("--min-coverage", v, 0.0, 1.0);
       } else if (cli::match_value(argv[i], "expected-nodes", &v)) {
         opts.expected_nodes = cli::parse_unsigned("--expected-nodes", v);
+      } else if (cli::match_flag(argv[i], "ft")) {
+        opts.ft = true;
       } else if (cli::match_flag(argv[i], "quiet")) {
         quiet = true;
       } else {
@@ -100,9 +107,17 @@ int main(int argc, char** argv) {
   const post::Aggregate agg(res.dumps, opts.set);
 
   if (!quiet) {
+    const bool complete =
+        opts.ft ? res.coverage.accounted() || res.coverage.full()
+                : res.coverage.full();
     std::printf("coverage %s, set %u%s\n", res.coverage.to_string().c_str(),
-                opts.set,
-                res.coverage.full() ? ", sanity OK" : " — DEGRADED mine");
+                opts.set, complete ? ", sanity OK" : " — DEGRADED mine");
+    if (opts.ft && !res.recovery.empty()) {
+      std::printf("  FT recovery (%zu events):\n", res.recovery.size());
+      for (const auto& e : res.recovery) {
+        std::printf("    %s\n", ft::describe(e).c_str());
+      }
+    }
     std::printf("  mode-0 nodes (per-core events): %zu\n",
                 agg.dumps_in_mode(0).size());
     std::printf("  mode-1 nodes (memory events):   %zu\n",

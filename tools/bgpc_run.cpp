@@ -19,12 +19,23 @@
 //     --trace              enable time-series tracing
 //     --interval-cycles=N  trace sampling interval (default 10000)
 //     --events=PRESET      trace event preset (see --list)
+//     --deaths=K           inject K random node deaths (needs --fault-seed)
+//     --fault-seed=S       seed for the deterministic fault plan (default 1)
+//     --ft                 ULFM-style survivor recovery: detect the deaths,
+//                          revoke/agree/shrink, survivors finalize and dump
+//     --ft-detect-latency=N  failure-detection latency in cycles (default 2000)
+//
+// Without --ft an injected death cascades (PR 1 behaviour: blocked peers
+// are stranded, the run is mined degraded); with --ft the survivors ride
+// through it and the recovery log is printed and embedded in the dumps.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 
 #include "cli.hpp"
 #include "common/strfmt.hpp"
+#include "fault/fault.hpp"
+#include "ft/ftcomm.hpp"
 #include "nas/kernel.hpp"
 #include "core/session.hpp"
 #include "postproc/report.hpp"
@@ -39,7 +50,8 @@ int usage(const char* argv0) {
                "usage: %s BENCH [--nodes=N] [--mode=smp1|smp4|dual|vnm] "
                "[--class=S|W|A] [--l3=MB] [--prefetch=D] [--opt=FLAGS] "
                "[--ranks=N] [--dumps=DIR] [--trace] [--interval-cycles=N] "
-               "[--events=PRESET]\n"
+               "[--events=PRESET] [--deaths=K] [--fault-seed=S] [--ft] "
+               "[--ft-detect-latency=N]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -54,7 +66,11 @@ int list_choices() {
   for (const std::string& p : trace::trace_preset_names()) {
     std::printf(" %s", p.c_str());
   }
-  std::printf("\n");
+  std::printf("\nfault tolerance: --deaths=K --fault-seed=S inject K node "
+              "deaths;\n  --ft enables ULFM-style survivor recovery "
+              "(revoke/agree/shrink),\n  --ft-detect-latency=N sets the "
+              "failure-detection latency in cycles (default %llu)\n",
+              static_cast<unsigned long long>(ft::FtParams{}.detect_latency));
   return 0;
 }
 
@@ -72,6 +88,9 @@ int main(int argc, char** argv) {
   opt::OptConfig optcfg{opt::OptLevel::kO5, false, true};
   std::filesystem::path dump_dir = "bgpc_dumps";
   trace::TraceConfig tc;
+  unsigned deaths = 0;
+  u64 fault_seed = 1;
+  ft::FtParams ftp;
 
   try {
     bench = nas::parse_benchmark(argv[1]);
@@ -105,6 +124,14 @@ int main(int argc, char** argv) {
       } else if (cli::match_value(argv[i], "events", &v)) {
         tc.preset = v;
         (void)trace::preset_trace_events(tc.preset, 0);
+      } else if (cli::match_value(argv[i], "deaths", &v)) {
+        deaths = cli::parse_unsigned("--deaths", v);
+      } else if (cli::match_value(argv[i], "fault-seed", &v)) {
+        fault_seed = cli::parse_u64("--fault-seed", v);
+      } else if (cli::match_flag(argv[i], "ft")) {
+        ftp.enabled = true;
+      } else if (cli::match_value(argv[i], "ft-detect-latency", &v)) {
+        ftp.detect_latency = cli::parse_u64("--ft-detect-latency", v);
       } else {
         std::fprintf(stderr, "unknown flag %s\n", argv[i]);
         return usage(argv[0]);
@@ -125,6 +152,14 @@ int main(int argc, char** argv) {
   mc.opt = optcfg;
   mc.num_ranks_override = ranks;
   rt::Machine machine(mc);
+
+  fault::FaultInjector injector{[&] {
+    fault::FaultSpec spec;
+    spec.node_deaths = deaths;
+    return fault::FaultPlan::random(fault_seed, nodes, spec);
+  }()};
+  if (deaths > 0) machine.set_fault_injector(&injector);
+  machine.set_ft_params(ftp);
 
   pc::Options opts;
   opts.app_name = std::string(nas::name(bench));
@@ -151,28 +186,74 @@ int main(int argc, char** argv) {
                         .c_str()
                   : "");
 
-  auto kernel = nas::make_kernel(bench, cls);
-  machine.run([&](rt::RankCtx& ctx) {
-    ctx.mpi_init();
-    kernel->run(ctx);
-    ctx.mpi_finalize();
-  });
+  if (deaths > 0) {
+    std::printf("fault plan (seed %llu): %u node death(s)%s\n",
+                static_cast<unsigned long long>(fault_seed), deaths,
+                ftp.enabled ? ", FT recovery enabled" : "");
+  }
 
-  std::printf("verification: %s (%s)\n",
-              kernel->result().verified ? "PASSED" : "FAILED",
-              kernel->result().detail.c_str());
+  auto kernel = nas::make_kernel(bench, cls);
+  if (ftp.enabled) {
+    machine.run([&](rt::RankCtx& ctx) {
+      ft::run_guarded(ctx, [&](rt::RankCtx& c) {
+        c.mpi_init();
+        kernel->run(c);
+      });
+      ft::finalize_guarded(ctx);
+    });
+  } else {
+    machine.run([&](rt::RankCtx& ctx) {
+      ctx.mpi_init();
+      kernel->run(ctx);
+      ctx.mpi_finalize();
+    });
+  }
+
+  const std::vector<unsigned> dead = machine.dead_nodes();
+  if (ftp.enabled && !dead.empty()) {
+    std::printf("verification: SKIPPED (degraded FT run: %zu node(s) died, "
+                "the dead ranks never contributed)\n",
+                dead.size());
+  } else {
+    std::printf("verification: %s (%s)\n",
+                kernel->result().verified ? "PASSED" : "FAILED",
+                kernel->result().detail.c_str());
+  }
+  if (!machine.recovery_log().empty()) {
+    std::printf("recovery log (%zu events):\n", machine.recovery_log().size());
+    for (const ft::RecoveryEvent& e : machine.recovery_log()) {
+      std::printf("  %s\n", ft::describe(e).c_str());
+    }
+  }
+  if (!dead.empty()) {
+    std::printf("%zu node(s) lost:", dead.size());
+    for (const unsigned n : dead) std::printf(" %u", n);
+    std::printf("  (survivor dumps: %zu)\n", session.dump_files().size());
+  }
   std::printf("simulated time: %.3f ms (%llu cycles on the slowest node)\n",
               1e3 * cycles_to_seconds(machine.elapsed()),
               static_cast<unsigned long long>(machine.elapsed()));
   std::printf("wrote %zu dump files to %s — mine them with:\n"
-              "  bgpc_mine %s %s --metrics=metrics.csv\n",
+              "  bgpc_mine %s %s --metrics=metrics.csv%s\n",
               session.dump_files().size(), dump_dir.string().c_str(),
-              dump_dir.string().c_str(), opts.app_name.c_str());
+              dump_dir.string().c_str(), opts.app_name.c_str(),
+              ftp.enabled ? strfmt(" --ft --expected-nodes=%u", nodes).c_str()
+                          : "");
   if (tc.enabled) {
     std::printf("wrote %zu trace files — mine them with:\n"
                 "  bgpc_trace --mine-only %s %s --phases=phases.csv\n",
                 session.trace_files().size(), dump_dir.string().c_str(),
                 opts.app_name.c_str());
+  }
+  if (ftp.enabled && !dead.empty()) {
+    // An FT run with casualties cannot verify (the dead ranks never
+    // contributed); it succeeded when every survivor wrote a clean dump.
+    bool writes_ok = true;
+    for (const pc::DumpWriteOutcome& o : session.write_outcomes()) {
+      writes_ok = writes_ok && o.ok;
+    }
+    const std::size_t survivors = nodes - dead.size();
+    return writes_ok && session.dump_files().size() == survivors ? 0 : 1;
   }
   return kernel->result().verified ? 0 : 1;
 }
