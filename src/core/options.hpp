@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 #include "trace/tracer.hpp"
 
 namespace bgp::fault {
@@ -57,6 +58,13 @@ struct Options {
   /// a threshold-driven sampler to every node and streams per-interval
   /// counter deltas into <trace.trace_dir>/<app>.node<N>.bgpt files.
   trace::TraceConfig trace;
+
+  /// Flight recorder (off by default): when enabled the session installs
+  /// an obs::FlightRecorder for the run — structured spans around library
+  /// calls, collectives, FT recovery and dump writes, plus the process
+  /// metrics registry — and writes per-node <app>.node<N>.bgps span files
+  /// into dump_dir at finalize (see docs/observability.md).
+  obs::ObsConfig obs;
 };
 
 /// Combined instrumentation overhead on the measurement path (§IV).

@@ -4,8 +4,11 @@
 #include <system_error>
 
 #include "common/binio.hpp"
+#include "common/log.hpp"
 #include "common/strfmt.hpp"
 #include "fault/fault.hpp"
+#include "obs/span_io.hpp"
+#include "runtime/obs_scope.hpp"
 
 namespace bgp::pc {
 
@@ -32,6 +35,20 @@ Session::Session(rt::Machine& machine, Options options)
   tracers_.resize(n);
   finalize_calls_.assign(n, 0);
   dumps_.reserve(n);
+  if (options_.obs.enabled) {
+    recorder_ = std::make_unique<obs::FlightRecorder>(n, isa::kCoresPerNode,
+                                                      options_.obs);
+    // First session wins the process-wide slot; a second concurrent
+    // session keeps its (idle) recorder but records nothing.
+    if (obs::recorder() == nullptr) {
+      obs::set_recorder(recorder_.get());
+      installed_recorder_ = true;
+    }
+  }
+}
+
+Session::~Session() {
+  if (installed_recorder_) obs::set_recorder(nullptr);
 }
 
 void Session::attach_tracer(unsigned node) {
@@ -48,36 +65,74 @@ void Session::attach_tracer(unsigned node) {
 }
 
 void Session::BGP_Initialize(rt::RankCtx& ctx) {
-  charge(ctx, options_.init_overhead);
-  monitors_[ctx.node_id()]->initialize();
+  {
+    rt::ObsScope span(ctx, "upc.initialize", obs::SpanCat::kUpc);
+    charge(ctx, options_.init_overhead);
+    monitors_[ctx.node_id()]->initialize();
+  }
   attach_tracer(ctx.node_id());
+  if (auto* fr = obs::recorder()) {
+    fr->wk().upc_initialize_calls->add(1);
+    fr->wk().upc_overhead_cycles->add(options_.init_overhead);
+  }
 }
 
 void Session::BGP_Start(rt::RankCtx& ctx, unsigned set) {
-  charge(ctx, options_.start_overhead);
-  mem::emit(ctx.node().sink(),
-            isa::ev::system(isa::SysEvent::kUpcStartCalls, ctx.core_id()), 1);
-  monitors_[ctx.node_id()]->start(set, ctx.now());
+  {
+    rt::ObsScope span(ctx, "upc.start", obs::SpanCat::kUpc);
+    charge(ctx, options_.start_overhead);
+    mem::emit(ctx.node().sink(),
+              isa::ev::system(isa::SysEvent::kUpcStartCalls, ctx.core_id()),
+              1);
+    monitors_[ctx.node_id()]->start(set, ctx.now());
+  }
   if (tracers_[ctx.node_id()] != nullptr) {
     tracers_[ctx.node_id()]->start();
+  }
+  if (auto* fr = obs::recorder()) {
+    fr->wk().upc_start_calls->add(1);
+    fr->wk().upc_overhead_cycles->add(options_.start_overhead);
   }
 }
 
 void Session::BGP_Stop(rt::RankCtx& ctx, unsigned set) {
-  charge(ctx, options_.stop_overhead);
-  mem::emit(ctx.node().sink(),
-            isa::ev::system(isa::SysEvent::kUpcStopCalls, ctx.core_id()), 1);
-  monitors_[ctx.node_id()]->stop(set, ctx.now());
+  {
+    rt::ObsScope span(ctx, "upc.stop", obs::SpanCat::kUpc);
+    charge(ctx, options_.stop_overhead);
+    mem::emit(ctx.node().sink(),
+              isa::ev::system(isa::SysEvent::kUpcStopCalls, ctx.core_id()),
+              1);
+    monitors_[ctx.node_id()]->stop(set, ctx.now());
+  }
+  if (auto* fr = obs::recorder()) {
+    fr->wk().upc_stop_calls->add(1);
+    fr->wk().upc_overhead_cycles->add(options_.stop_overhead);
+  }
 }
 
 void Session::BGP_Finalize(rt::RankCtx& ctx) {
+  const unsigned node = ctx.node_id();
+  bool node_done = false;
+  {
+    rt::ObsScope span(ctx, "upc.finalize", obs::SpanCat::kUpc);
+    node_done = finalize_node(ctx);
+  }
+  if (auto* fr = obs::recorder()) {
+    fr->wk().upc_finalize_calls->add(1);
+    fr->wk().upc_overhead_cycles->add(options_.finalize_overhead);
+  }
+  // Written after the finalize span closed so the file carries it too.
+  if (node_done) write_node_spans(node);
+}
+
+bool Session::finalize_node(rt::RankCtx& ctx) {
   // Dumping happens once per node, when its last local rank finalizes.
   const unsigned node = ctx.node_id();
   const unsigned ppn = sys::processes_per_node(machine_.partition().mode());
   const unsigned local_ranks = std::min(ppn, machine_.num_ranks() - node * ppn);
   charge(ctx, options_.finalize_overhead);
   if (++finalize_calls_[node] < local_ranks) {
-    return;
+    return false;
   }
   NodeDump dump = monitors_[node]->finalize();
   if (machine_.ft_params().enabled) {
@@ -91,6 +146,7 @@ void Session::BGP_Finalize(rt::RankCtx& ctx) {
   if (tracers_[node] != nullptr && !tracers_[node]->sealed()) {
     // Seal the trace (footer + rename) before the dump write; the node
     // survived to finalize, so its timeline is complete.
+    rt::ObsScope span(ctx, "trace.seal", obs::SpanCat::kTrace);
     TraceSealOutcome seal;
     seal.node = node;
     try {
@@ -105,8 +161,10 @@ void Session::BGP_Finalize(rt::RankCtx& ctx) {
   }
 
   if (!options_.write_dumps) {
-    return;
+    return true;
   }
+
+  rt::ObsScope write_span(ctx, "dump.write", obs::SpanCat::kDump);
 
   auto bytes = NodeMonitor::serialize(dump);
   DumpWriteOutcome outcome;
@@ -150,6 +208,28 @@ void Session::BGP_Finalize(rt::RankCtx& ctx) {
   if (outcome.ok) {
     dump_files_.push_back(outcome.path);
     std::sort(dump_files_.begin(), dump_files_.end());
+  }
+  if (auto* fr = obs::recorder()) {
+    fr->wk().dump_writes->add(1);
+    fr->wk().dump_bytes->add(outcome.ok ? bytes.size() : 0);
+    fr->wk().dump_retries->add(outcome.attempts - 1);
+    if (!outcome.ok) fr->wk().dump_failures->add(1);
+  }
+  return true;
+}
+
+void Session::write_node_spans(unsigned node) {
+  // Only the session that owns the installed recorder has this node's
+  // spans; skip otherwise.
+  if (!installed_recorder_ || !options_.obs.write_spans) return;
+  const auto path =
+      obs::span_file_path(options_.dump_dir, options_.app_name, node);
+  try {
+    obs::write_span_file(path, options_.app_name, node, *recorder_);
+    span_files_.push_back(path);
+    std::sort(span_files_.begin(), span_files_.end());
+  } catch (const std::exception& e) {
+    log_warn("node %u: span file not written: %s", node, e.what());
   }
 }
 

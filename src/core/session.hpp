@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/node_monitor.hpp"
+#include "obs/obs.hpp"
 #include "runtime/machine.hpp"
 #include "runtime/rankctx.hpp"
 #include "trace/tracer.hpp"
@@ -41,6 +42,10 @@ class Session {
  public:
   /// One session per Machine run. `options.app_name` names the dump files.
   Session(rt::Machine& machine, Options options = {});
+  /// Uninstalls the flight recorder if this session installed it.
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
 
   // ---- the four library calls (paper Fig 4/5 workflow) --------------------
   /// Select the counter mode (by node-card parity), configure and clear all
@@ -103,8 +108,24 @@ class Session {
     return tracers_.at(node).get();
   }
 
+  /// The session's flight recorder, or nullptr when Options::obs is off
+  /// (or another recorder was already installed process-wide).
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() noexcept {
+    return recorder_.get();
+  }
+  /// Per-node .bgps span files written at finalize, in node order (empty
+  /// unless the flight recorder is on with write_spans).
+  [[nodiscard]] const std::vector<std::filesystem::path>& span_files()
+      const noexcept {
+    return span_files_;
+  }
+
  private:
   void attach_tracer(unsigned node);
+  /// The original BGP_Finalize body; true when this call completed the
+  /// node (its dump was taken).
+  bool finalize_node(rt::RankCtx& ctx);
+  void write_node_spans(unsigned node);
 
   rt::Machine& machine_;
   Options options_;
@@ -116,6 +137,9 @@ class Session {
   std::vector<DumpWriteOutcome> write_outcomes_;
   std::vector<std::filesystem::path> trace_files_;
   std::vector<TraceSealOutcome> trace_outcomes_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  bool installed_recorder_ = false;
+  std::vector<std::filesystem::path> span_files_;
 };
 
 }  // namespace bgp::pc

@@ -8,6 +8,7 @@
 
 #include "common/strfmt.hpp"
 #include "runtime/machine.hpp"
+#include "runtime/obs_scope.hpp"
 
 namespace bgp::ft {
 
@@ -50,6 +51,7 @@ unsigned FtComm::epoch() const { return ctx_.machine().comm_epoch(); }
 void FtComm::revoke() {
   rt::Machine& m = ctx_.machine();
   require_enabled(m);
+  rt::ObsScope span(ctx_, "ft.revoke", obs::SpanCat::kFt);
   // The revocation rides the global-interrupt network: one barrier-net
   // traversal over the live nodes, billed to the revoking core. A second
   // revoke of an already-revoked communicator still pays (the interrupt is
@@ -58,11 +60,13 @@ void FtComm::revoke() {
       m.partition().barrier_net().barrier_cycles_live(m.live_comm_nodes());
   ctx_.compute_cycles(cost);
   m.revoke_comm(ctx_.rank(), cost);
+  if (auto* fr = obs::recorder()) fr->wk().ft_revokes->add(1);
 }
 
 std::vector<unsigned> FtComm::agree() {
   rt::Machine& m = ctx_.machine();
   require_enabled(m);
+  rt::ObsScope span(ctx_, "ft.agree", obs::SpanCat::kFt);
   const unsigned p = m.num_ranks();
   const unsigned words = (p + kWordBits - 1) / kWordBits;
   // Contribution: the failures this rank can observe at entry. The combine
@@ -117,12 +121,14 @@ std::vector<unsigned> FtComm::agree() {
   for (unsigned r = 0; r < p; ++r) {
     if ((mask[r / kWordBits] >> (r % kWordBits)) & 1) failed.push_back(r);
   }
+  if (auto* fr = obs::recorder()) fr->wk().ft_agreements->add(1);
   return failed;
 }
 
 void FtComm::shrink(const std::vector<unsigned>& failed) {
   rt::Machine& m = ctx_.machine();
   require_enabled(m);
+  rt::ObsScope span(ctx_, "ft.shrink", obs::SpanCat::kFt);
   std::vector<unsigned> survivors;
   survivors.reserve(m.comm_group().size());
   for (const unsigned r : m.comm_group()) {
@@ -145,6 +151,7 @@ void FtComm::shrink(const std::vector<unsigned>& failed) {
         m.apply_shrink(survivors, coll.max_arrival + coll.op_latency, cost);
       },
       cost);
+  if (auto* fr = obs::recorder()) fr->wk().ft_shrinks->add(1);
 }
 
 std::vector<unsigned> FtComm::recover() {

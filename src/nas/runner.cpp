@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "postproc/sanity.hpp"
+#include "runtime/obs_scope.hpp"
 
 namespace bgp::nas {
 
@@ -25,10 +26,12 @@ RunOutput run_benchmark(const RunConfig& config) {
   session.link_with_mpi();
 
   auto kernel = make_kernel(config.bench, config.cls);
+  const std::string region = "region." + std::string(name(config.bench));
   if (config.ft.enabled) {
     machine.run([&](rt::RankCtx& ctx) {
       ft::run_guarded(ctx, [&](rt::RankCtx& c) {
         c.mpi_init();
+        rt::ObsScope span(c, region, obs::SpanCat::kRegion);
         kernel->run(c);
       });
       ft::finalize_guarded(ctx);
@@ -36,7 +39,10 @@ RunOutput run_benchmark(const RunConfig& config) {
   } else {
     machine.run([&](rt::RankCtx& ctx) {
       ctx.mpi_init();
-      kernel->run(ctx);
+      {
+        rt::ObsScope span(ctx, region, obs::SpanCat::kRegion);
+        kernel->run(ctx);
+      }
       ctx.mpi_finalize();
     });
   }

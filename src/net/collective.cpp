@@ -3,6 +3,8 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace bgp::net {
 
 namespace ev = isa::ev;
@@ -33,6 +35,10 @@ void CollectiveNet::attach_sink(unsigned node, mem::EventSink* sink) {
 }
 
 void CollectiveNet::record_operation(u64 bytes, cycles_t latency) {
+  if (auto* fr = obs::recorder()) {
+    fr->wk().coll_ops->add(1);
+    fr->wk().coll_bytes->add(bytes);
+  }
   const u64 chunks32 = (bytes + 31) / 32;
   for (mem::EventSink* s : sinks_) {
     if (s == nullptr) continue;
@@ -61,6 +67,9 @@ void BarrierNet::attach_sink(unsigned node, mem::EventSink* sink) {
 }
 
 void BarrierNet::record_barrier(cycles_t wait_cycles_total) {
+  if (auto* fr = obs::recorder()) {
+    fr->wk().barrier_entries->add(1);
+  }
   const u64 per_node =
       sinks_.empty() ? 0 : wait_cycles_total / sinks_.size();
   for (mem::EventSink* s : sinks_) {

@@ -1,0 +1,36 @@
+// Chrome trace-event JSON exporter: one pid per simulated node, one tid
+// per core, complete ("X") events for spans and thread-scoped instant
+// ("i") events for faults/deaths. The output loads directly in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Timestamps are simulated cycles
+// converted to microseconds at the 850 MHz core clock; each event also
+// carries the exact begin/end cycle counts in its args, which is what
+// the golden/nesting tests check. Host times are deliberately left out
+// so the JSON is bit-deterministic for a fixed seed.
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "obs/span_recorder.hpp"
+
+namespace bgp::obs {
+
+class FlightRecorder;
+
+[[nodiscard]] std::string render_chrome_trace(std::span<const SpanRec> spans,
+                                              std::span<const InstantRec>
+                                                  instants,
+                                              std::string_view app);
+
+void write_chrome_trace_file(const std::filesystem::path& path,
+                             std::span<const SpanRec> spans,
+                             std::span<const InstantRec> instants,
+                             std::string_view app);
+
+/// Convenience: exports fr.all_spans() / fr.all_instants().
+void write_chrome_trace_file(const std::filesystem::path& path,
+                             const FlightRecorder& fr, std::string_view app);
+
+}  // namespace bgp::obs

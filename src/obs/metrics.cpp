@@ -1,0 +1,129 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+
+namespace bgp::obs {
+
+std::string_view to_string(MetricType t) noexcept {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("histogram bounds must be ascending");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  sum_ += v;
+  ++count_;
+}
+
+namespace {
+
+bool name_ok(std::string_view name, bool allow_colon) noexcept {
+  if (name.empty()) return false;
+  const auto head = [&](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           (allow_colon && c == ':');
+  };
+  if (!head(name.front())) return false;
+  for (const char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool valid_metric_name(std::string_view name) noexcept {
+  return name_ok(name, /*allow_colon=*/true);
+}
+
+bool valid_label_name(std::string_view name) noexcept {
+  return name_ok(name, /*allow_colon=*/false);
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(std::string_view name,
+                                                 std::string_view help,
+                                                 MetricType type) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument(
+        strfmt("invalid metric name '%s'", std::string(name).c_str()));
+  }
+  for (Family& f : families_) {
+    if (f.name == name) {
+      if (f.type != type) {
+        throw std::logic_error(strfmt(
+            "metric '%s' already registered as %s", f.name.c_str(),
+            std::string(to_string(f.type)).c_str()));
+      }
+      return f;
+    }
+  }
+  Family& f = families_.emplace_back();
+  f.name = std::string(name);
+  f.help = std::string(help);
+  f.type = type;
+  return f;
+}
+
+MetricsRegistry::Instance& MetricsRegistry::instance(Family& fam,
+                                                     LabelSet&& labels) {
+  for (const auto& [k, v] : labels) {
+    if (!valid_label_name(k)) {
+      throw std::invalid_argument(
+          strfmt("invalid label name '%s' on metric '%s'", k.c_str(),
+                 fam.name.c_str()));
+    }
+  }
+  for (Instance& inst : fam.instances) {
+    if (inst.labels == labels) return inst;
+  }
+  Instance& inst = fam.instances.emplace_back();
+  inst.labels = std::move(labels);
+  return inst;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  LabelSet labels) {
+  return instance(family(name, help, MetricType::kCounter), std::move(labels))
+      .counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              LabelSet labels) {
+  return instance(family(name, help, MetricType::kGauge), std::move(labels))
+      .gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help,
+                                      std::vector<double> bounds,
+                                      LabelSet labels) {
+  Instance& inst =
+      instance(family(name, help, MetricType::kHistogram), std::move(labels));
+  if (inst.histogram == nullptr) {
+    inst.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *inst.histogram;
+}
+
+std::size_t MetricsRegistry::num_series() const noexcept {
+  std::size_t n = 0;
+  for (const Family& f : families_) n += f.instances.size();
+  return n;
+}
+
+}  // namespace bgp::obs

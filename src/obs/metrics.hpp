@@ -1,0 +1,122 @@
+// Process-wide metrics registry for the flight recorder: monotonic
+// counters, gauges and fixed-bucket histograms, grouped into families
+// (one name + help + type, many label sets) exactly the way the
+// Prometheus exposition format models them. Handles returned by the
+// registry stay valid for its lifetime (instances live in deques), so
+// subsystems fetch their counter once and bump a pointer afterwards.
+//
+// Like everything the rank threads touch, the registry relies on the
+// simulator's cooperative scheduling (one runnable thread at a time)
+// instead of atomics; host-side readers only run after Machine::run
+// returns.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bgp::obs {
+
+/// Sorted-insertion is the caller's job only for determinism of output
+/// order; lookup compares the full vector.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType : u8 { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view to_string(MetricType t) noexcept;
+
+/// Monotonically increasing 64-bit counter.
+class Counter {
+ public:
+  void add(u64 n = 1) noexcept { value_ += n; }
+  [[nodiscard]] u64 value() const noexcept { return value_; }
+
+ private:
+  u64 value_ = 0;
+};
+
+/// Free-moving instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double d) noexcept { value_ += d; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are the ascending finite upper bounds;
+/// an implicit +Inf bucket catches the rest. Counts are stored
+/// per-bucket (non-cumulative) and cumulated at render time.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Count in bucket `i` (i == bounds().size() is the +Inf bucket).
+  [[nodiscard]] u64 bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] u64 count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<u64> counts_;  ///< bounds_.size() + 1 (+Inf)
+  double sum_ = 0.0;
+  u64 count_ = 0;
+};
+
+/// [a-zA-Z_:][a-zA-Z0-9_:]* — the Prometheus metric-name grammar.
+[[nodiscard]] bool valid_metric_name(std::string_view name) noexcept;
+/// [a-zA-Z_][a-zA-Z0-9_]* — label-name grammar.
+[[nodiscard]] bool valid_label_name(std::string_view name) noexcept;
+
+class MetricsRegistry {
+ public:
+  struct Instance {
+    LabelSet labels;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::deque<Instance> instances;  ///< deque: handle addresses are stable
+  };
+
+  /// Fetch-or-create. Throws std::invalid_argument on a bad metric/label
+  /// name and std::logic_error when `name` already exists with another
+  /// type (both are programming errors in instrumentation code).
+  Counter& counter(std::string_view name, std::string_view help,
+                   LabelSet labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help,
+               LabelSet labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::vector<double> bounds, LabelSet labels = {});
+
+  [[nodiscard]] const std::deque<Family>& families() const noexcept {
+    return families_;
+  }
+  /// Total number of (family, label set) series.
+  [[nodiscard]] std::size_t num_series() const noexcept;
+
+ private:
+  Family& family(std::string_view name, std::string_view help,
+                 MetricType type);
+  Instance& instance(Family& fam, LabelSet&& labels);
+
+  std::deque<Family> families_;
+};
+
+}  // namespace bgp::obs

@@ -1,0 +1,166 @@
+#include "obs/promtext.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+
+namespace bgp::obs {
+
+namespace {
+
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_help(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_value(double v) { return strfmt("%.17g", v); }
+
+std::string label_block(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+LabelSet with_le(const LabelSet& labels, const std::string& le) {
+  LabelSet out = labels;
+  out.emplace_back("le", le);
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_key(std::string_view name, const LabelSet& labels) {
+  return std::string(name) + label_block(labels);
+}
+
+std::string render_prometheus(const MetricsRegistry& reg) {
+  std::string out;
+  for (const auto& fam : reg.families()) {
+    out += "# HELP " + fam.name + " " + escape_help(fam.help) + "\n";
+    out += "# TYPE " + fam.name + " " +
+           std::string(to_string(fam.type)) + "\n";
+    for (const auto& inst : fam.instances) {
+      switch (fam.type) {
+        case MetricType::kCounter:
+          out += prometheus_key(fam.name, inst.labels) + " " +
+                 strfmt("%llu",
+                        static_cast<unsigned long long>(inst.counter.value())) +
+                 "\n";
+          break;
+        case MetricType::kGauge:
+          out += prometheus_key(fam.name, inst.labels) + " " +
+                 format_value(inst.gauge.value()) + "\n";
+          break;
+        case MetricType::kHistogram: {
+          if (inst.histogram == nullptr) break;
+          const Histogram& h = *inst.histogram;
+          u64 cumulative = 0;
+          for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += h.bucket(i);
+            out += prometheus_key(fam.name + "_bucket",
+                                  with_le(inst.labels,
+                                          format_value(h.bounds()[i]))) +
+                   " " + strfmt("%llu",
+                                static_cast<unsigned long long>(cumulative)) +
+                   "\n";
+          }
+          out += prometheus_key(fam.name + "_bucket",
+                                with_le(inst.labels, "+Inf")) +
+                 " " + strfmt("%llu",
+                              static_cast<unsigned long long>(h.count())) +
+                 "\n";
+          out += prometheus_key(fam.name + "_sum", inst.labels) + " " +
+                 format_value(h.sum()) + "\n";
+          out += prometheus_key(fam.name + "_count", inst.labels) + " " +
+                 strfmt("%llu",
+                        static_cast<unsigned long long>(h.count())) +
+                 "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void write_prometheus_file(const std::filesystem::path& path,
+                           const MetricsRegistry& reg) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << render_prometheus(reg);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error(
+        strfmt("failed to write %s", path.string().c_str()));
+  }
+}
+
+std::map<std::string, double> parse_prometheus(std::string_view text) {
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line.front() == '#') continue;
+    // The value is the text after the last space outside the label block
+    // (label values are quoted, so the last '}' splits reliably; bare
+    // samples split at the last space).
+    const std::size_t close = line.rfind('}');
+    const std::size_t split = line.find(' ', close == std::string_view::npos
+                                                  ? 0
+                                                  : close);
+    if (split == std::string_view::npos || split == 0) {
+      throw std::runtime_error("malformed sample line: " + std::string(line));
+    }
+    const std::string key(line.substr(0, split));
+    const std::string value_text(line.substr(split + 1));
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0') {
+      throw std::runtime_error("malformed sample value: " + std::string(line));
+    }
+    out[key] = value;
+  }
+  return out;
+}
+
+}  // namespace bgp::obs

@@ -1,0 +1,32 @@
+// Prometheus text exposition (version 0.0.4) for the MetricsRegistry,
+// plus a small parser used by round-trip tests and bgpc_obs.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace bgp::obs {
+
+/// Render the registry: # HELP / # TYPE headers, one sample line per
+/// series, histograms expanded into cumulative _bucket/_sum/_count.
+[[nodiscard]] std::string render_prometheus(const MetricsRegistry& reg);
+
+/// Write render_prometheus(reg) to `path` (throws on I/O error).
+void write_prometheus_file(const std::filesystem::path& path,
+                           const MetricsRegistry& reg);
+
+/// The canonical key a sample of `name` + `labels` renders under,
+/// e.g. `bgpc_upc_calls_total{call="start"}`.
+[[nodiscard]] std::string prometheus_key(std::string_view name,
+                                         const LabelSet& labels);
+
+/// Parse exposition text back into (sample key -> value). Throws
+/// std::runtime_error on a malformed sample line.
+[[nodiscard]] std::map<std::string, double> parse_prometheus(
+    std::string_view text);
+
+}  // namespace bgp::obs

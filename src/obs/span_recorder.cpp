@@ -1,0 +1,90 @@
+#include "obs/span_recorder.hpp"
+
+namespace bgp::obs {
+
+std::string_view to_string(SpanCat cat) noexcept {
+  switch (cat) {
+    case SpanCat::kUpc: return "upc";
+    case SpanCat::kCollective: return "collective";
+    case SpanCat::kFt: return "ft";
+    case SpanCat::kDump: return "dump";
+    case SpanCat::kTrace: return "trace";
+    case SpanCat::kRegion: return "region";
+    case SpanCat::kFault: return "fault";
+  }
+  return "region";
+}
+
+bool parse_span_cat(std::string_view text, SpanCat& out) noexcept {
+  for (const SpanCat cat :
+       {SpanCat::kUpc, SpanCat::kCollective, SpanCat::kFt, SpanCat::kDump,
+        SpanCat::kTrace, SpanCat::kRegion, SpanCat::kFault}) {
+    if (text == to_string(cat)) {
+      out = cat;
+      return true;
+    }
+  }
+  return false;
+}
+
+SpanRecorder::SpanRecorder(u32 node, u32 core, std::size_t capacity,
+                           std::chrono::steady_clock::time_point epoch)
+    : node_(node), core_(core), capacity_(capacity ? capacity : 1),
+      epoch_(epoch) {}
+
+u64 SpanRecorder::host_ns() const {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - epoch_)
+                              .count());
+}
+
+void SpanRecorder::begin(std::string_view name, SpanCat cat,
+                         cycles_t now_cycles) {
+  SpanRec& rec = open_.emplace_back();
+  rec.name.assign(name);
+  rec.cat = cat;
+  rec.node = node_;
+  rec.core = core_;
+  rec.depth = static_cast<u32>(open_.size() - 1);
+  rec.begin_cycles = now_cycles;
+  rec.begin_host_ns = host_ns();
+}
+
+cycles_t SpanRecorder::end(cycles_t now_cycles) {
+  if (open_.empty()) {
+    ++unmatched_ends_;
+    return 0;
+  }
+  SpanRec rec = std::move(open_.back());
+  open_.pop_back();
+  rec.end_cycles = now_cycles;
+  rec.end_host_ns = host_ns();
+  const cycles_t dur =
+      rec.end_cycles > rec.begin_cycles ? rec.end_cycles - rec.begin_cycles : 0;
+  ++spans_total_;
+  done_.push_back(std::move(rec));
+  if (done_.size() > capacity_) {
+    done_.pop_front();
+    ++spans_dropped_;
+  }
+  return dur;
+}
+
+void SpanRecorder::instant(std::string_view name, SpanCat cat,
+                           cycles_t now_cycles) {
+  InstantRec rec;
+  rec.name.assign(name);
+  rec.cat = cat;
+  rec.node = node_;
+  rec.core = core_;
+  rec.cycles = now_cycles;
+  rec.host_ns = host_ns();
+  ++instants_total_;
+  instants_.push_back(std::move(rec));
+  if (instants_.size() > capacity_) {
+    instants_.pop_front();
+    ++instants_dropped_;
+  }
+}
+
+}  // namespace bgp::obs

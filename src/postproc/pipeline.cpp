@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/strfmt.hpp"
+#include "obs/obs.hpp"
 #include "postproc/aggregate.hpp"
 
 namespace bgp::post {
@@ -157,6 +158,18 @@ MineResult mine(const std::filesystem::path& dir, const std::string& app,
     res.record.nodes_expected = res.coverage.expected;
     res.record.nodes_mined = res.coverage.mined;
     res.record.nodes_failed = res.coverage.failed;
+  }
+
+  if (auto* fr = obs::recorder()) {
+    auto& m = fr->metrics();
+    m.counter("bgpc_miner_runs_total", "Dump-mining pipeline invocations")
+        .add(1);
+    m.counter("bgpc_miner_problems_total",
+              "Problems reported across mining runs")
+        .add(res.problems.size());
+    m.gauge("bgpc_miner_coverage_ratio",
+            "Mined/expected node fraction of the last mine")
+        .set(res.coverage.fraction());
   }
   return res;
 }

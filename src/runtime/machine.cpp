@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "common/strfmt.hpp"
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 #include "runtime/rankctx.hpp"
 
 namespace bgp::rt {
@@ -75,6 +76,15 @@ void Machine::thread_main(unsigned rank, const RankFn& program) {
     // only the former mark a node as genuinely killed.
     self.status = Status::kDied;
     (death.inherited ? stranded_ranks_ : dead_ranks_).push_back(rank);
+    if (auto* fr = obs::recorder()) {
+      RankCtx& ctx = *self.ctx;
+      fr->rank(ctx.node_id(), ctx.core_id())
+          .instant(death.inherited ? "fault.rank_stranded"
+                                   : "fault.node_death",
+                   obs::SpanCat::kFault, ctx.core().now());
+      (death.inherited ? fr->wk().ranks_stranded : fr->wk().rank_deaths)
+          ->add(1);
+    }
   } catch (...) {
     self.status = Status::kFailed;
     self.error = std::current_exception();
@@ -300,6 +310,12 @@ void Machine::note_detection(unsigned rank, unsigned node) {
       .cost = ft_params_.detect_latency,
       .aux = death,
   });
+  if (auto* fr = obs::recorder()) {
+    RankCtx& ctx = *ranks_[rank]->ctx;
+    fr->rank(ctx.node_id(), ctx.core_id())
+        .instant("ft.death_detected", obs::SpanCat::kFt, ctx.core().now());
+    fr->wk().deaths_detected->add(1);
+  }
 }
 
 void Machine::revoke_comm(unsigned rank, cycles_t cost) {

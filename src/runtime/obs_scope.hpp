@@ -1,0 +1,53 @@
+// RAII span around a simulator activity, recorded against the calling
+// rank's (node, core) recorder. With no flight recorder installed the
+// constructor is a single load-and-branch and the destructor does
+// nothing — the disabled path never touches a simulated clock.
+//
+// The destructor closes the span at the core's current simulated time
+// and only then bills ObsConfig::per_span_overhead to the core, so span
+// durations measure the instrumented activity alone. Billing is skipped
+// while unwinding an exception (FT faults must not advance a dying
+// rank's clock), which also keeps traces well-nested when a collective
+// throws ProcFailedError/RevokedError through an open span.
+#pragma once
+
+#include <exception>
+#include <string_view>
+
+#include "obs/obs.hpp"
+#include "runtime/rankctx.hpp"
+
+namespace bgp::rt {
+
+class ObsScope {
+ public:
+  ObsScope(RankCtx& ctx, std::string_view name, obs::SpanCat cat,
+           obs::Histogram* duration_hist = nullptr)
+      : fr_(obs::recorder()) {
+    if (fr_ == nullptr) return;
+    ctx_ = &ctx;
+    hist_ = duration_hist;
+    fr_->rank(ctx.node_id(), ctx.core_id()).begin(name, cat, ctx.now());
+  }
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  ~ObsScope() {
+    if (fr_ == nullptr) return;
+    const cycles_t dur =
+        fr_->rank(ctx_->node_id(), ctx_->core_id()).end(ctx_->now());
+    if (hist_ != nullptr) hist_->observe(static_cast<double>(dur));
+    const cycles_t overhead = fr_->config().per_span_overhead;
+    if (overhead > 0 && std::uncaught_exceptions() == 0) {
+      ctx_->compute_cycles(overhead);
+    }
+  }
+
+ private:
+  obs::FlightRecorder* fr_;
+  RankCtx* ctx_ = nullptr;
+  obs::Histogram* hist_ = nullptr;
+};
+
+}  // namespace bgp::rt

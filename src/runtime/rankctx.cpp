@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/strfmt.hpp"
+#include "runtime/obs_scope.hpp"
 
 namespace bgp::rt {
 
@@ -311,6 +312,8 @@ cycles_t RankCtx::barrier_latency() const {
 }
 
 void RankCtx::barrier() {
+  ObsScope span(*this, "coll.barrier", obs::SpanCat::kCollective,
+                obs::collective_histogram(obs::CollOp::kBarrier));
   auto& part = machine_.partition();
   const cycles_t latency = barrier_latency();
   const cycles_t t0 = core().now();
@@ -330,6 +333,8 @@ void RankCtx::barrier() {
 }
 
 void RankCtx::bcast(std::span<std::byte> data, unsigned root) {
+  ObsScope span(*this, "coll.bcast", obs::SpanCat::kCollective,
+                obs::collective_histogram(obs::CollOp::kBcast));
   auto& part = machine_.partition();
   const cycles_t latency = coll_op_cycles(data.size());
   sys_event(isa::SysEvent::kMpiCollectives);
@@ -352,6 +357,8 @@ void RankCtx::bcast(std::span<std::byte> data, unsigned root) {
 }
 
 void RankCtx::allreduce_sum(std::span<double> inout) {
+  ObsScope span(*this, "coll.allreduce", obs::SpanCat::kCollective,
+                obs::collective_histogram(obs::CollOp::kAllreduce));
   auto& part = machine_.partition();
   const u64 bytes = inout.size_bytes();
   const cycles_t latency = coll_op_cycles(bytes);
@@ -385,6 +392,8 @@ double RankCtx::allreduce_sum(double v) {
 u64 RankCtx::allreduce_sum(u64 v) {
   // Reuse the double path exactly only when values are small; use a
   // dedicated reduction for exact 64-bit sums.
+  ObsScope span(*this, "coll.allreduce", obs::SpanCat::kCollective,
+                obs::collective_histogram(obs::CollOp::kAllreduce));
   auto& part = machine_.partition();
   const cycles_t latency = coll_op_cycles(sizeof(u64));
   sys_event(isa::SysEvent::kMpiCollectives);
@@ -412,6 +421,8 @@ u64 RankCtx::allreduce_sum(u64 v) {
 }
 
 double RankCtx::allreduce_max(double v) {
+  ObsScope span(*this, "coll.allreduce", obs::SpanCat::kCollective,
+                obs::collective_histogram(obs::CollOp::kAllreduce));
   auto& part = machine_.partition();
   const cycles_t latency = coll_op_cycles(sizeof(double));
   sys_event(isa::SysEvent::kMpiCollectives);
@@ -444,6 +455,8 @@ void RankCtx::alltoall(std::span<const std::byte> send_buf,
   if (send_buf.size() != chunk * p || recv_buf.size() != chunk * p) {
     throw std::invalid_argument("alltoall buffer size mismatch");
   }
+  ObsScope span(*this, "coll.alltoall", obs::SpanCat::kCollective,
+                obs::collective_histogram(obs::CollOp::kAlltoall));
   auto& part = machine_.partition();
   // Cost model: every node injects (P-1)*chunk bytes across its six torus
   // links, plus per-hop latency for an average-distance traversal.
@@ -482,6 +495,8 @@ void RankCtx::allgather(std::span<const std::byte> mine,
   if (all.size() != chunk * p) {
     throw std::invalid_argument("allgather buffer size mismatch");
   }
+  ObsScope span(*this, "coll.allgather", obs::SpanCat::kCollective,
+                obs::collective_histogram(obs::CollOp::kAllgather));
   auto& part = machine_.partition();
   const cycles_t latency = coll_op_cycles(chunk * p);
   sys_event(isa::SysEvent::kMpiCollectives);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/strfmt.hpp"
+#include "obs/obs.hpp"
 
 namespace bgp::trace {
 
@@ -184,6 +185,12 @@ std::filesystem::path NodeTracer::seal() {
   totals.dropped = buffer_.dropped();
   totals.samples = sampler_.samples();
   totals.overhead_cycles = sampler_.overhead_cycles();
+  if (auto* fr = obs::recorder()) {
+    fr->wk().trace_seals->add(1);
+    fr->wk().trace_samples->add(totals.samples);
+    fr->wk().trace_intervals->add(totals.intervals);
+    fr->wk().trace_drops->add(totals.dropped);
+  }
   return writer_.finalize(totals);
 }
 

@@ -1,0 +1,247 @@
+// Minimal JSON validation for the Chrome-trace exporter tests: a strict
+// recursive-descent parser (rejects trailing garbage, bad escapes,
+// malformed numbers) plus helpers that pull the "X" events back out of
+// the rendered text and check per-(pid,tid) well-nesting using the exact
+// begin/end cycle counts each event carries in its args.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgp::testjson {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  /// True when the whole input is exactly one valid JSON value.
+  bool valid() {
+    pos_ = 0;
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  bool string() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return false;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return false;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline bool valid_json(std::string_view text) { return Parser(text).valid(); }
+
+/// One "X" (complete) event as re-extracted from the rendered JSON; bc/ec
+/// are the exact cycle stamps the exporter put in the event args.
+struct XEvent {
+  std::string name;
+  long pid = -1;
+  long tid = -1;
+  unsigned long long bc = 0;
+  unsigned long long ec = 0;
+};
+
+inline std::string find_string_field(const std::string& line,
+                                     const std::string& key) {
+  const std::string pat = "\"" + key + "\":\"";
+  const auto p = line.find(pat);
+  if (p == std::string::npos) return {};
+  const auto start = p + pat.size();
+  return line.substr(start, line.find('"', start) - start);
+}
+
+inline long long find_int_field(const std::string& line,
+                                const std::string& key) {
+  const std::string pat = "\"" + key + "\":";
+  const auto p = line.find(pat);
+  if (p == std::string::npos) return -1;
+  return std::atoll(line.c_str() + p + pat.size());
+}
+
+/// Pull every complete ("X") event out of the one-event-per-line JSON.
+inline std::vector<XEvent> extract_x_events(const std::string& json) {
+  std::vector<XEvent> out;
+  std::size_t pos = 0;
+  while (pos < json.size()) {
+    auto eol = json.find('\n', pos);
+    if (eol == std::string::npos) eol = json.size();
+    const std::string line = json.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find("\"ph\":\"X\"") == std::string::npos) continue;
+    XEvent e;
+    e.name = find_string_field(line, "name");
+    e.pid = static_cast<long>(find_int_field(line, "pid"));
+    e.tid = static_cast<long>(find_int_field(line, "tid"));
+    e.bc = static_cast<unsigned long long>(find_int_field(line, "bc"));
+    e.ec = static_cast<unsigned long long>(find_int_field(line, "ec"));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+/// True when every (pid, tid) track's events are properly nested: any two
+/// spans on a track either don't overlap or one contains the other.
+inline bool well_nested(std::vector<XEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const XEvent& a, const XEvent& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.bc != b.bc) return a.bc < b.bc;
+                     return a.ec > b.ec;  // outermost first
+                   });
+  std::vector<const XEvent*> stack;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const XEvent& e = events[i];
+    if (i > 0 &&
+        (events[i - 1].pid != e.pid || events[i - 1].tid != e.tid)) {
+      stack.clear();
+    }
+    while (!stack.empty() && stack.back()->ec <= e.bc) stack.pop_back();
+    if (!stack.empty() && e.ec > stack.back()->ec) return false;
+    stack.push_back(&e);
+  }
+  return true;
+}
+
+}  // namespace bgp::testjson

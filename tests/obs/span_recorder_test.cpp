@@ -1,0 +1,88 @@
+#include "obs/span_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace bgp {
+namespace {
+
+using obs::SpanCat;
+using obs::SpanRecorder;
+
+SpanRecorder make(std::size_t capacity = 16) {
+  return SpanRecorder(3, 1, capacity, std::chrono::steady_clock::now());
+}
+
+TEST(SpanRecorder, RecordsBeginEndPairsWithDepth) {
+  SpanRecorder r = make();
+  r.begin("outer", SpanCat::kRegion, 100);
+  r.begin("inner", SpanCat::kCollective, 150);
+  EXPECT_EQ(r.open_depth(), 2u);
+  EXPECT_EQ(r.end(180), 30u);  // inner
+  EXPECT_EQ(r.end(200), 100u);  // outer
+  EXPECT_EQ(r.open_depth(), 0u);
+
+  ASSERT_EQ(r.spans().size(), 2u);
+  // Completion order: inner closes first.
+  const obs::SpanRec& inner = r.spans()[0];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.cat, SpanCat::kCollective);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(inner.begin_cycles, 150u);
+  EXPECT_EQ(inner.end_cycles, 180u);
+  EXPECT_EQ(inner.node, 3u);
+  EXPECT_EQ(inner.core, 1u);
+  const obs::SpanRec& outer = r.spans()[1];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_LE(outer.begin_host_ns, outer.end_host_ns);
+}
+
+TEST(SpanRecorder, UnmatchedEndIsCountedNotRecorded) {
+  SpanRecorder r = make();
+  EXPECT_EQ(r.end(10), 0u);
+  EXPECT_EQ(r.spans().size(), 0u);
+  EXPECT_EQ(r.unmatched_ends(), 1u);
+}
+
+TEST(SpanRecorder, RingEvictsOldestAndAccountsDrops) {
+  SpanRecorder r = make(4);
+  for (int i = 0; i < 10; ++i) {
+    r.begin("s", SpanCat::kUpc, 10 * i);
+    r.end(10 * i + 5);
+  }
+  EXPECT_EQ(r.spans().size(), 4u);
+  EXPECT_EQ(r.spans_total(), 10u);
+  EXPECT_EQ(r.spans_dropped(), 6u);
+  // The survivors are the newest four.
+  EXPECT_EQ(r.spans().front().begin_cycles, 60u);
+  EXPECT_EQ(r.spans().back().begin_cycles, 90u);
+}
+
+TEST(SpanRecorder, InstantsAreBoundedToo) {
+  SpanRecorder r = make(2);
+  for (int i = 0; i < 5; ++i) {
+    r.instant("fault.node_death", SpanCat::kFault, 7 * i);
+  }
+  EXPECT_EQ(r.instants().size(), 2u);
+  EXPECT_EQ(r.instants_total(), 5u);
+  EXPECT_EQ(r.instants_dropped(), 3u);
+  EXPECT_EQ(r.instants().back().cycles, 28u);
+  EXPECT_EQ(r.instants().back().cat, SpanCat::kFault);
+}
+
+TEST(SpanCatNames, RoundTrip) {
+  for (const obs::SpanCat cat :
+       {SpanCat::kUpc, SpanCat::kCollective, SpanCat::kFt, SpanCat::kDump,
+        SpanCat::kTrace, SpanCat::kRegion, SpanCat::kFault}) {
+    obs::SpanCat back;
+    ASSERT_TRUE(obs::parse_span_cat(obs::to_string(cat), back));
+    EXPECT_EQ(back, cat);
+  }
+  obs::SpanCat out;
+  EXPECT_FALSE(obs::parse_span_cat("no-such-cat", out));
+}
+
+}  // namespace
+}  // namespace bgp

@@ -10,23 +10,11 @@
 // expected nodes), with the coverage annotated in the output. --strict
 // inverts this: any problem at all refuses to mine.
 //
-//   bgpc_mine <dump_dir> <app_name> [options]
-//     --set=N            instrumentation set to mine (default 0)
-//     --metrics=FILE     write the per-application metrics record
-//     --stats=FILE       write min/max/mean of all monitored counters
-//     --full=FILE        write every counter value read on every node
-//     --strict           refuse to mine unless every node's dump is clean
-//     --min-coverage=F   degraded-mode quorum fraction (default 0.9)
-//     --expected-nodes=N nodes the run should have dumped (default: infer)
-//     --ft               FT run: deaths the dumps' recovery logs account
-//                        for are expected casualties, not problems; with
-//                        --strict the batch passes iff survivors + deaths
-//                        cover every expected node, and a contradiction
-//                        with --expected-nodes is a hard error
-//     --quiet            suppress the stdout summary
+//   bgpc_mine DIR APP [options]       (see --help for the full flag list)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "cli.hpp"
@@ -36,58 +24,63 @@
 
 using namespace bgp;
 
-namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <dump_dir> <app_name> [--set=N] [--metrics=FILE] "
-               "[--stats=FILE] [--full=FILE] [--strict] [--min-coverage=F] "
-               "[--expected-nodes=N] [--ft] [--quiet]\n",
-               argv0);
-  return 2;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  if (argc < 3) return usage(argv[0]);
-  const std::filesystem::path dir = argv[1];
-  const std::string app = argv[2];
   post::MineOptions opts;
   std::string metrics_file, stats_file, full_file;
   bool quiet = false;
-  try {
-    for (int i = 3; i < argc; ++i) {
-      const char* v = nullptr;
-      if (cli::match_value(argv[i], "set", &v)) {
-        opts.set = cli::parse_unsigned("--set", v);
-      } else if (cli::match_value(argv[i], "metrics", &v)) {
-        metrics_file = v;
-      } else if (cli::match_value(argv[i], "stats", &v)) {
-        stats_file = v;
-      } else if (cli::match_value(argv[i], "full", &v)) {
-        full_file = v;
-      } else if (cli::match_flag(argv[i], "strict")) {
-        opts.strict = true;
-      } else if (cli::match_value(argv[i], "min-coverage", &v)) {
-        opts.min_coverage = cli::parse_double("--min-coverage", v, 0.0, 1.0);
-      } else if (cli::match_value(argv[i], "expected-nodes", &v)) {
-        opts.expected_nodes = cli::parse_unsigned("--expected-nodes", v);
-      } else if (cli::match_flag(argv[i], "ft")) {
-        opts.ft = true;
-      } else if (cli::match_flag(argv[i], "quiet")) {
-        quiet = true;
-      } else {
-        std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-        return usage(argv[0]);
-      }
-    }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return usage(argv[0]);
+  cli::ObsArgs obs_args;
+
+  cli::FlagSet fs("bgpc_mine", "DIR APP");
+  fs.unsigned_value("set", "N", "instrumentation set to mine (default 0)",
+                    &opts.set);
+  fs.string_value("metrics", "FILE", "write the per-application metrics record",
+                  &metrics_file);
+  fs.string_value("stats", "FILE",
+                  "write min/max/mean of all monitored counters", &stats_file);
+  fs.string_value("full", "FILE",
+                  "write every counter value read on every node", &full_file);
+  fs.toggle("strict", "refuse to mine unless every node's dump is clean",
+            &opts.strict);
+  fs.double_value("min-coverage", "F",
+                  "degraded-mode quorum fraction (default 0.9)", 0.0, 1.0,
+                  &opts.min_coverage);
+  fs.unsigned_value("expected-nodes", "N",
+                    "nodes the run should have dumped (default: infer)",
+                    &opts.expected_nodes);
+  fs.toggle("ft",
+            "FT run: deaths the dumps' recovery logs account for are "
+            "expected casualties, not problems",
+            &opts.ft);
+  fs.toggle("quiet", "suppress the stdout summary", &quiet);
+  cli::add_obs_flags(fs, obs_args);
+
+  if (argc >= 2 && argv[1][0] == '-') {
+    if (const auto rc = fs.parse(argc, argv, 1)) return *rc;
+    fs.print_usage(stderr);
+    return 2;
+  }
+  if (argc < 3) {
+    fs.print_usage(stderr);
+    return 2;
+  }
+  const std::filesystem::path dir = argv[1];
+  const std::string app = argv[2];
+  if (const auto rc = fs.parse(argc, argv, 3)) return *rc;
+
+  // The miner has no Machine, but its pipeline still reports into the
+  // flight recorder's metrics registry when one is installed (how many
+  // mines ran, problems found, last coverage). A 1x1 recorder is enough.
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (obs_args.config.enabled) {
+    recorder = std::make_unique<obs::FlightRecorder>(1, 1, obs_args.config);
+    obs::set_recorder(recorder.get());
   }
 
   const post::MineResult res = post::mine(dir, app, opts);
+
+  const int obs_rc = cli::write_obs_outputs(obs_args, recorder.get(), app,
+                                            quiet);
+  obs::set_recorder(nullptr);
 
   if (!res.problems.empty()) {
     std::fprintf(stderr, "%zu problem(s) with the dump batch:\n",
@@ -158,5 +151,5 @@ int main(int argc, char** argv) {
     csv.write_file(full_file);
     if (!quiet) std::printf("wrote %s\n", full_file.c_str());
   }
-  return 0;
+  return obs_rc;
 }

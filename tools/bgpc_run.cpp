@@ -4,30 +4,12 @@
 // options and compiler option set; the interface library is linked into
 // MPI and per-node dump files are written for bgpc_mine. --trace
 // additionally attaches the time-series sampler and writes .bgpt trace
-// files for bgpc_trace --mine-only.
+// files for bgpc_trace --mine-only. The --obs-* flags attach the flight
+// recorder and export a Chrome trace / Prometheus metrics view of the run
+// (inspect span files with bgpc_obs).
 //
-//   bgpc_run BENCH [options]
-//   bgpc_run --list        list benchmarks, modes, classes, event presets
-//     --nodes=N            partition size (default 4)
-//     --mode=M             smp1|smp4|dual|vnm (default vnm)
-//     --class=C            S|W|A (default W)
-//     --l3=MB              L3 size in MiB, 0 disables (default 8)
-//     --prefetch=D         L2 prefetch depth, 0 disables (default 2)
-//     --opt=FLAGS          e.g. "-O5 -qarch440d" (default)
-//     --ranks=N            use fewer ranks than the partition hosts
-//     --dumps=DIR          dump directory (default bgpc_dumps)
-//     --trace              enable time-series tracing
-//     --interval-cycles=N  trace sampling interval (default 10000)
-//     --events=PRESET      trace event preset (see --list)
-//     --deaths=K           inject K random node deaths (needs --fault-seed)
-//     --fault-seed=S       seed for the deterministic fault plan (default 1)
-//     --ft                 ULFM-style survivor recovery: detect the deaths,
-//                          revoke/agree/shrink, survivors finalize and dump
-//     --ft-detect-latency=N  failure-detection latency in cycles (default 2000)
-//
-// Without --ft an injected death cascades (PR 1 behaviour: blocked peers
-// are stranded, the run is mined degraded); with --ft the survivors ride
-// through it and the recovery log is printed and embedded in the dumps.
+//   bgpc_run BENCH [options]       (see --help for the full flag list)
+//   bgpc_run --list                list benchmarks, modes, classes, presets
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -40,22 +22,11 @@
 #include "core/session.hpp"
 #include "postproc/report.hpp"
 #include "postproc/sanity.hpp"
+#include "runtime/obs_scope.hpp"
 
 using namespace bgp;
 
 namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s BENCH [--nodes=N] [--mode=smp1|smp4|dual|vnm] "
-               "[--class=S|W|A] [--l3=MB] [--prefetch=D] [--opt=FLAGS] "
-               "[--ranks=N] [--dumps=DIR] [--trace] [--interval-cycles=N] "
-               "[--events=PRESET] [--deaths=K] [--fault-seed=S] [--ft] "
-               "[--ft-detect-latency=N]\n"
-               "       %s --list\n",
-               argv0, argv0);
-  return 2;
-}
 
 int list_choices() {
   std::printf("benchmarks:");
@@ -77,10 +48,6 @@ int list_choices() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage(argv[0]);
-  if (cli::match_flag(argv[1], "list")) return list_choices();
-
-  nas::Benchmark bench;
   unsigned nodes = 4, ranks = 0;
   sys::OpMode mode = sys::OpMode::kVnm;
   nas::ProblemClass cls = nas::ProblemClass::kW;
@@ -91,56 +58,80 @@ int main(int argc, char** argv) {
   unsigned deaths = 0;
   u64 fault_seed = 1;
   ft::FtParams ftp;
+  cli::ObsArgs obs_args;
 
+  cli::FlagSet fs("bgpc_run", "BENCH");
+  fs.flag("list", "list benchmarks, modes, classes and event presets",
+          [] { std::exit(list_choices()); });
+  fs.positive_value("nodes", "N", "partition size (default 4)", &nodes);
+  fs.value("mode", "M", "smp1|smp4|dual|vnm (default vnm)",
+           [&](const char* v) { mode = sys::parse_mode(v); });
+  fs.value("class", "C", "problem class S|W|A (default W)",
+           [&](const char* v) { cls = nas::parse_class(v); });
+  fs.value("l3", "MB", "L3 size in MiB, 0 disables (default 8)",
+           [&](const char* v) {
+             boot.l3_size_bytes = cli::parse_u64("--l3", v) * MiB;
+           });
+  fs.value("prefetch", "D", "L2 prefetch depth, 0 disables (default 2)",
+           [&](const char* v) {
+             const unsigned d = cli::parse_unsigned("--prefetch", v);
+             boot.prefetch.enabled = d > 0;
+             boot.prefetch.depth = d;
+           });
+  fs.value("opt", "FLAGS", "compiler options, e.g. \"-O5 -qarch440d\"",
+           [&](const char* v) { optcfg = opt::OptConfig::parse(v); });
+  fs.unsigned_value("ranks", "N", "use fewer ranks than the partition hosts",
+                    &ranks);
+  fs.path_value("dumps", "DIR", "dump directory (default bgpc_dumps)",
+                &dump_dir);
+  fs.toggle("trace", "enable time-series tracing", &tc.enabled);
+  fs.value("interval-cycles", "N", "trace sampling interval (default 10000)",
+           [&](const char* v) {
+             tc.interval_cycles = cli::parse_u64("--interval-cycles", v);
+             if (tc.interval_cycles == 0) {
+               throw std::invalid_argument("--interval-cycles must be positive");
+             }
+           });
+  fs.value("events", "PRESET", "trace event preset (see --list)",
+           [&](const char* v) {
+             tc.preset = v;
+             (void)trace::preset_trace_events(tc.preset, 0);
+           });
+  fs.unsigned_value("deaths", "K",
+                    "inject K random node deaths (see --fault-seed)", &deaths);
+  fs.u64_value("fault-seed", "S",
+               "seed for the deterministic fault plan (default 1)",
+               &fault_seed);
+  fs.toggle("ft",
+            "ULFM-style survivor recovery: detect the deaths, "
+            "revoke/agree/shrink, survivors finalize and dump",
+            &ftp.enabled);
+  fs.u64_value("ft-detect-latency", "N",
+               "failure-detection latency in cycles (default 2000)",
+               &ftp.detect_latency);
+  cli::add_obs_flags(fs, obs_args);
+
+  if (argc < 2) {
+    fs.print_usage(stderr);
+    return 2;
+  }
+  if (argv[1][0] == '-') {
+    // No benchmark given: --list/--help/--version are still fine; anything
+    // else is an error (parse_one reports it).
+    if (const auto rc = fs.parse(argc, argv, 1)) return *rc;
+    fs.print_usage(stderr);
+    return 2;
+  }
+
+  nas::Benchmark bench;
   try {
     bench = nas::parse_benchmark(argv[1]);
-    for (int i = 2; i < argc; ++i) {
-      const char* v = nullptr;
-      if (cli::match_value(argv[i], "nodes", &v)) {
-        nodes = cli::parse_positive("--nodes", v);
-      } else if (cli::match_value(argv[i], "mode", &v)) {
-        mode = sys::parse_mode(v);
-      } else if (cli::match_value(argv[i], "class", &v)) {
-        cls = nas::parse_class(v);
-      } else if (cli::match_value(argv[i], "l3", &v)) {
-        boot.l3_size_bytes = cli::parse_u64("--l3", v) * MiB;
-      } else if (cli::match_value(argv[i], "prefetch", &v)) {
-        const unsigned d = cli::parse_unsigned("--prefetch", v);
-        boot.prefetch.enabled = d > 0;
-        boot.prefetch.depth = d;
-      } else if (cli::match_value(argv[i], "opt", &v)) {
-        optcfg = opt::OptConfig::parse(v);
-      } else if (cli::match_value(argv[i], "ranks", &v)) {
-        ranks = cli::parse_unsigned("--ranks", v);
-      } else if (cli::match_value(argv[i], "dumps", &v)) {
-        dump_dir = v;
-      } else if (cli::match_flag(argv[i], "trace")) {
-        tc.enabled = true;
-      } else if (cli::match_value(argv[i], "interval-cycles", &v)) {
-        tc.interval_cycles = cli::parse_u64("--interval-cycles", v);
-        if (tc.interval_cycles == 0) {
-          throw std::invalid_argument("--interval-cycles must be positive");
-        }
-      } else if (cli::match_value(argv[i], "events", &v)) {
-        tc.preset = v;
-        (void)trace::preset_trace_events(tc.preset, 0);
-      } else if (cli::match_value(argv[i], "deaths", &v)) {
-        deaths = cli::parse_unsigned("--deaths", v);
-      } else if (cli::match_value(argv[i], "fault-seed", &v)) {
-        fault_seed = cli::parse_u64("--fault-seed", v);
-      } else if (cli::match_flag(argv[i], "ft")) {
-        ftp.enabled = true;
-      } else if (cli::match_value(argv[i], "ft-detect-latency", &v)) {
-        ftp.detect_latency = cli::parse_u64("--ft-detect-latency", v);
-      } else {
-        std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-        return usage(argv[0]);
-      }
-    }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return usage(argv[0]);
+    std::fprintf(stderr, "bgpc_run: %s\n", e.what());
+    fs.print_usage(stderr);
+    return 2;
   }
+  if (const auto rc = fs.parse(argc, argv, 2)) return *rc;
 
   std::filesystem::create_directories(dump_dir);
   tc.trace_dir = dump_dir;
@@ -165,6 +156,7 @@ int main(int argc, char** argv) {
   opts.app_name = std::string(nas::name(bench));
   opts.dump_dir = dump_dir;
   opts.trace = tc;
+  opts.obs = obs_args.config;
   pc::Session session(machine, opts);
   session.link_with_mpi();
 
@@ -193,10 +185,12 @@ int main(int argc, char** argv) {
   }
 
   auto kernel = nas::make_kernel(bench, cls);
+  const std::string region = "region." + opts.app_name;
   if (ftp.enabled) {
     machine.run([&](rt::RankCtx& ctx) {
       ft::run_guarded(ctx, [&](rt::RankCtx& c) {
         c.mpi_init();
+        rt::ObsScope span(c, region, obs::SpanCat::kRegion);
         kernel->run(c);
       });
       ft::finalize_guarded(ctx);
@@ -204,7 +198,10 @@ int main(int argc, char** argv) {
   } else {
     machine.run([&](rt::RankCtx& ctx) {
       ctx.mpi_init();
-      kernel->run(ctx);
+      {
+        rt::ObsScope span(ctx, region, obs::SpanCat::kRegion);
+        kernel->run(ctx);
+      }
       ctx.mpi_finalize();
     });
   }
@@ -245,6 +242,15 @@ int main(int argc, char** argv) {
                 session.trace_files().size(), dump_dir.string().c_str(),
                 opts.app_name.c_str());
   }
+  const int obs_rc =
+      cli::write_obs_outputs(obs_args, session.flight_recorder(),
+                             opts.app_name);
+  if (obs_args.config.enabled && !session.span_files().empty()) {
+    std::printf("wrote %zu span files — inspect them with:\n"
+                "  bgpc_obs %s %s\n",
+                session.span_files().size(), dump_dir.string().c_str(),
+                opts.app_name.c_str());
+  }
   if (ftp.enabled && !dead.empty()) {
     // An FT run with casualties cannot verify (the dead ranks never
     // contributed); it succeeded when every survivor wrote a clean dump.
@@ -253,7 +259,9 @@ int main(int argc, char** argv) {
       writes_ok = writes_ok && o.ok;
     }
     const std::size_t survivors = nodes - dead.size();
-    return writes_ok && session.dump_files().size() == survivors ? 0 : 1;
+    return writes_ok && session.dump_files().size() == survivors && obs_rc == 0
+               ? 0
+               : 1;
   }
-  return kernel->result().verified ? 0 : 1;
+  return kernel->result().verified && obs_rc == 0 ? 0 : 1;
 }

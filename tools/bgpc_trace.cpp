@@ -6,29 +6,12 @@
 // existing trace directory, including the `.bgpt.partial` leftovers of
 // nodes that died mid-run (the report carries a coverage annotation).
 //
-//   bgpc_trace BENCH [options]            run + trace + mine
+//   bgpc_trace BENCH [options]                 run + trace + mine
 //   bgpc_trace --mine-only DIR APP [options]   mine existing traces
-//   bgpc_trace --list                     list benchmarks, modes, presets
+//   bgpc_trace --list                          list benchmarks, modes, presets
 //
-//   run options (mirroring bgpc_run):
-//     --nodes=N            partition size (default 4)
-//     --mode=M             smp1|smp4|dual|vnm (default vnm)
-//     --class=C            S|W|A (default S)
-//     --ranks=N            use fewer ranks than the partition hosts
-//     --dumps=DIR          trace/dump directory (default bgpc_traces)
-//     --interval-cycles=N  sampling interval (default 10000)
-//     --events=PRESET      default|fp|mix|mem (see --list)
-//     --buffer=N           per-node ring capacity in intervals (default 4096)
-//     --kill-nodes=N       kill N random nodes mid-run (fault injection)
-//     --fault-seed=S       seed for --kill-nodes (default 1)
-//   mining options:
-//     --timeline=FILE      write the per-interval CSV
-//     --phases=FILE        write the per-phase CSV
-//     --expected-nodes=N   traces the run should have produced (default infer)
-//     --change-threshold=F phase-detection sensitivity (default 0.35)
-//     --min-phase=N        minimum phase length in intervals (default 4)
-//     --sealed-only        ignore .bgpt.partial files
-//     --quiet              suppress the stdout report
+// See --help for the full flag list (run flags mirror bgpc_run; the
+// mining flags are shared between both modes).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -44,22 +27,6 @@
 using namespace bgp;
 
 namespace {
-
-int usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s BENCH [--nodes=N] [--mode=smp1|smp4|dual|vnm] "
-      "[--class=S|W|A] [--ranks=N] [--dumps=DIR] [--interval-cycles=N] "
-      "[--events=PRESET] [--buffer=N] [--kill-nodes=N] [--fault-seed=S] "
-      "[mining options]\n"
-      "       %s --mine-only DIR APP [mining options]\n"
-      "       %s --list\n"
-      "mining options: [--timeline=FILE] [--phases=FILE] "
-      "[--expected-nodes=N] [--change-threshold=F] [--min-phase=N] "
-      "[--sealed-only] [--quiet]\n",
-      argv0, argv0, argv0);
-  return 2;
-}
 
 int list_choices() {
   std::printf("benchmarks:");
@@ -81,27 +48,24 @@ struct MiningArgs {
   bool quiet = false;
 };
 
-/// Consume one mining flag; returns false when `arg` is not a mining flag.
-bool parse_mining_arg(const char* arg, MiningArgs& m) {
-  const char* v = nullptr;
-  if (cli::match_value(arg, "timeline", &v)) {
-    m.timeline_file = v;
-  } else if (cli::match_value(arg, "phases", &v)) {
-    m.phases_file = v;
-  } else if (cli::match_value(arg, "expected-nodes", &v)) {
-    m.opts.expected_nodes = cli::parse_unsigned("--expected-nodes", v);
-  } else if (cli::match_value(arg, "change-threshold", &v)) {
-    m.opts.change_threshold = cli::parse_double("--change-threshold", v, 0.0, 5.0);
-  } else if (cli::match_value(arg, "min-phase", &v)) {
-    m.opts.min_phase_intervals = cli::parse_positive("--min-phase", v);
-  } else if (cli::match_flag(arg, "sealed-only")) {
-    m.opts.include_partial = false;
-  } else if (cli::match_flag(arg, "quiet")) {
-    m.quiet = true;
-  } else {
-    return false;
-  }
-  return true;
+/// The mining flags, shared between run+mine and --mine-only.
+void add_mining_flags(cli::FlagSet& fs, MiningArgs& m) {
+  fs.string_value("timeline", "FILE", "write the per-interval CSV",
+                  &m.timeline_file);
+  fs.string_value("phases", "FILE", "write the per-phase CSV", &m.phases_file);
+  fs.unsigned_value("expected-nodes", "N",
+                    "traces the run should have produced (default: infer)",
+                    &m.opts.expected_nodes);
+  fs.double_value("change-threshold", "F",
+                  "phase-detection sensitivity (default 0.35)", 0.0, 5.0,
+                  &m.opts.change_threshold);
+  fs.value("min-phase", "N", "minimum phase length in intervals (default 4)",
+           [&m](const char* v) {
+             m.opts.min_phase_intervals = cli::parse_positive("--min-phase", v);
+           });
+  fs.flag("sealed-only", "ignore .bgpt.partial files",
+          [&m] { m.opts.include_partial = false; });
+  fs.toggle("quiet", "suppress the stdout report", &m.quiet);
 }
 
 int report_and_write(const post::TimelineReport& report, const MiningArgs& m) {
@@ -136,31 +100,23 @@ int report_and_write(const post::TimelineReport& report, const MiningArgs& m) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage(argv[0]);
-  if (cli::match_flag(argv[1], "list")) return list_choices();
-
   MiningArgs mining;
 
-  if (cli::match_flag(argv[1], "mine-only")) {
-    if (argc < 4) return usage(argv[0]);
+  if (argc >= 2 && cli::match_flag(argv[1], "list")) return list_choices();
+  if (argc >= 2 && cli::match_flag(argv[1], "mine-only")) {
+    cli::FlagSet fs("bgpc_trace --mine-only", "DIR APP");
+    add_mining_flags(fs, mining);
+    if (argc < 4) {
+      fs.print_usage(stderr);
+      return 2;
+    }
     const std::filesystem::path dir = argv[2];
     const std::string app = argv[3];
-    try {
-      for (int i = 4; i < argc; ++i) {
-        if (!parse_mining_arg(argv[i], mining)) {
-          std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-          return usage(argv[0]);
-        }
-      }
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s\n", e.what());
-      return usage(argv[0]);
-    }
+    if (const auto rc = fs.parse(argc, argv, 4)) return *rc;
     return report_and_write(post::mine_timeline(dir, app, mining.opts),
                             mining);
   }
 
-  nas::Benchmark bench;
   unsigned nodes = 4, ranks = 0, kill_nodes = 0;
   u64 fault_seed = 1;
   sys::OpMode mode = sys::OpMode::kVnm;
@@ -168,46 +124,64 @@ int main(int argc, char** argv) {
   std::filesystem::path dir = "bgpc_traces";
   trace::TraceConfig tc;
   tc.enabled = true;
+  cli::ObsArgs obs_args;
 
+  cli::FlagSet fs("bgpc_trace", "BENCH");
+  fs.flag("list", "list benchmarks, modes and event presets",
+          [] { std::exit(list_choices()); });
+  fs.positive_value("nodes", "N", "partition size (default 4)", &nodes);
+  fs.value("mode", "M", "smp1|smp4|dual|vnm (default vnm)",
+           [&](const char* v) { mode = sys::parse_mode(v); });
+  fs.value("class", "C", "problem class S|W|A (default S)",
+           [&](const char* v) { cls = nas::parse_class(v); });
+  fs.unsigned_value("ranks", "N", "use fewer ranks than the partition hosts",
+                    &ranks);
+  fs.path_value("dumps", "DIR", "trace/dump directory (default bgpc_traces)",
+                &dir);
+  fs.value("interval-cycles", "N", "sampling interval (default 10000)",
+           [&](const char* v) {
+             tc.interval_cycles = cli::parse_u64("--interval-cycles", v);
+             if (tc.interval_cycles == 0) {
+               throw std::invalid_argument("--interval-cycles must be positive");
+             }
+           });
+  fs.value("events", "PRESET", "default|fp|mix|mem (see --list)",
+           [&](const char* v) {
+             tc.preset = v;  // validated against the catalogue
+             (void)trace::preset_trace_events(tc.preset, 0);
+           });
+  fs.value("buffer", "N",
+           "per-node ring capacity in intervals (default 4096)",
+           [&](const char* v) {
+             tc.buffer_capacity = cli::parse_positive("--buffer", v);
+           });
+  fs.unsigned_value("kill-nodes", "N",
+                    "kill N random nodes mid-run (fault injection)",
+                    &kill_nodes);
+  fs.u64_value("fault-seed", "S", "seed for --kill-nodes (default 1)",
+               &fault_seed);
+  add_mining_flags(fs, mining);
+  cli::add_obs_flags(fs, obs_args);
+
+  if (argc < 2) {
+    fs.print_usage(stderr);
+    return 2;
+  }
+  if (argv[1][0] == '-') {
+    if (const auto rc = fs.parse(argc, argv, 1)) return *rc;
+    fs.print_usage(stderr);
+    return 2;
+  }
+
+  nas::Benchmark bench;
   try {
     bench = nas::parse_benchmark(argv[1]);
-    for (int i = 2; i < argc; ++i) {
-      const char* v = nullptr;
-      if (cli::match_value(argv[i], "nodes", &v)) {
-        nodes = cli::parse_positive("--nodes", v);
-      } else if (cli::match_value(argv[i], "mode", &v)) {
-        mode = sys::parse_mode(v);
-      } else if (cli::match_value(argv[i], "class", &v)) {
-        cls = nas::parse_class(v);
-      } else if (cli::match_value(argv[i], "ranks", &v)) {
-        ranks = cli::parse_unsigned("--ranks", v);
-      } else if (cli::match_value(argv[i], "dumps", &v)) {
-        dir = v;
-      } else if (cli::match_value(argv[i], "interval-cycles", &v)) {
-        tc.interval_cycles = cli::parse_u64("--interval-cycles", v);
-        if (tc.interval_cycles == 0) {
-          throw std::invalid_argument("--interval-cycles must be positive");
-        }
-      } else if (cli::match_value(argv[i], "events", &v)) {
-        tc.preset = v;  // validated against the catalogue below
-        (void)trace::preset_trace_events(tc.preset, 0);
-      } else if (cli::match_value(argv[i], "buffer", &v)) {
-        tc.buffer_capacity = cli::parse_positive("--buffer", v);
-      } else if (cli::match_value(argv[i], "kill-nodes", &v)) {
-        kill_nodes = cli::parse_unsigned("--kill-nodes", v);
-      } else if (cli::match_value(argv[i], "fault-seed", &v)) {
-        fault_seed = cli::parse_u64("--fault-seed", v);
-      } else if (parse_mining_arg(argv[i], mining)) {
-        // handled
-      } else {
-        std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-        return usage(argv[0]);
-      }
-    }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return usage(argv[0]);
+    std::fprintf(stderr, "bgpc_trace: %s\n", e.what());
+    fs.print_usage(stderr);
+    return 2;
   }
+  if (const auto rc = fs.parse(argc, argv, 2)) return *rc;
 
   std::filesystem::create_directories(dir);
   tc.trace_dir = dir;
@@ -231,6 +205,7 @@ int main(int argc, char** argv) {
   opts.app_name = std::string(nas::name(bench));
   opts.dump_dir = dir;
   opts.trace = tc;
+  opts.obs = obs_args.config;
   if (injector) opts.fault = injector.get();
   pc::Session session(machine, opts);
   session.link_with_mpi();
@@ -257,10 +232,13 @@ int main(int argc, char** argv) {
   std::printf("sealed %zu trace file(s) in %s\n",
               session.trace_files().size(), dir.string().c_str());
 
+  const int obs_rc = cli::write_obs_outputs(
+      obs_args, session.flight_recorder(), opts.app_name, mining.quiet);
+
   mining.opts.expected_nodes =
       mining.opts.expected_nodes == 0 ? nodes : mining.opts.expected_nodes;
   const post::TimelineReport report =
       post::mine_timeline(dir, opts.app_name, mining.opts);
   const int mine_rc = report_and_write(report, mining);
-  return kernel->result().verified ? mine_rc : 1;
+  return kernel->result().verified && obs_rc == 0 ? mine_rc : 1;
 }

@@ -1,19 +1,37 @@
 // Shared argument handling for the bgpc_* command-line tools: one flag
 // convention (--name=value), strict numeric parsing that rejects junk with
-// a useful message instead of silently falling back to 0, and the common
-// "unknown flag → usage + non-zero exit" behaviour.
+// a useful message instead of silently falling back to 0, and a typed
+// flag table (FlagSet) that generates --help, answers --version with the
+// git describe baked in at build time, and exits 2 with usage on unknown
+// flags. The --obs-* observability flags are declared once here
+// (add_obs_flags) and reused by every tool that runs a Machine.
 #pragma once
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/strfmt.hpp"
 #include "common/types.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/obs.hpp"
+#include "obs/promtext.hpp"
 
 namespace bgp::cli {
+
+#ifndef BGPC_VERSION
+#define BGPC_VERSION "unknown"
+#endif
+
+/// The version string baked in by tools/CMakeLists.txt (git describe).
+inline const char* version() { return BGPC_VERSION; }
 
 /// True when `arg` is `--<name>=...`; leaves `*value` pointing at the text
 /// after the '='.
@@ -74,6 +92,221 @@ inline double parse_double(const char* flag, const char* text, double lo,
         strfmt("%s needs a number in [%g, %g], got '%s'", flag, lo, hi, text));
   }
   return v;
+}
+
+/// Typed flag table. Tools declare their flags once; parse() consumes
+/// argv, auto-answers --help and --version, and turns unknown flags or
+/// bad values into usage + exit 2 (returned, not called — main stays in
+/// charge). Value flags are `--name=VALUE`, boolean flags bare `--name`.
+class FlagSet {
+ public:
+  explicit FlagSet(std::string prog, std::string positionals = "")
+      : prog_(std::move(prog)), positionals_(std::move(positionals)) {}
+
+  using ValueFn = std::function<void(const char*)>;
+
+  FlagSet& value(std::string name, std::string metavar, std::string help,
+                 ValueFn fn) {
+    flags_.push_back(Flag{std::move(name), std::move(metavar), std::move(help),
+                          std::move(fn)});
+    return *this;
+  }
+  FlagSet& flag(std::string name, std::string help, std::function<void()> fn) {
+    flags_.push_back(Flag{std::move(name), "", std::move(help),
+                          [fn = std::move(fn)](const char*) { fn(); }});
+    return *this;
+  }
+
+  // Typed conveniences over the parse_* helpers.
+  FlagSet& toggle(std::string name, std::string help, bool* out) {
+    return flag(std::move(name), std::move(help), [out] { *out = true; });
+  }
+  FlagSet& unsigned_value(std::string name, std::string metavar,
+                          std::string help, unsigned* out) {
+    const std::string f = "--" + name;
+    return value(std::move(name), std::move(metavar), std::move(help),
+                 [out, f](const char* v) { *out = parse_unsigned(f.c_str(), v); });
+  }
+  FlagSet& positive_value(std::string name, std::string metavar,
+                          std::string help, unsigned* out) {
+    const std::string f = "--" + name;
+    return value(std::move(name), std::move(metavar), std::move(help),
+                 [out, f](const char* v) { *out = parse_positive(f.c_str(), v); });
+  }
+  FlagSet& u64_value(std::string name, std::string metavar, std::string help,
+                     u64* out) {
+    const std::string f = "--" + name;
+    return value(std::move(name), std::move(metavar), std::move(help),
+                 [out, f](const char* v) { *out = parse_u64(f.c_str(), v); });
+  }
+  FlagSet& double_value(std::string name, std::string metavar,
+                        std::string help, double lo, double hi, double* out) {
+    const std::string f = "--" + name;
+    return value(std::move(name), std::move(metavar), std::move(help),
+                 [out, f, lo, hi](const char* v) {
+                   *out = parse_double(f.c_str(), v, lo, hi);
+                 });
+  }
+  FlagSet& string_value(std::string name, std::string metavar,
+                        std::string help, std::string* out) {
+    return value(std::move(name), std::move(metavar), std::move(help),
+                 [out](const char* v) { *out = v; });
+  }
+  FlagSet& path_value(std::string name, std::string metavar, std::string help,
+                      std::filesystem::path* out) {
+    return value(std::move(name), std::move(metavar), std::move(help),
+                 [out](const char* v) { *out = v; });
+  }
+
+  /// Parse argv[first..); returns the process exit code when parsing
+  /// settled the run (--help/--version -> 0, errors -> 2), nullopt to
+  /// proceed.
+  [[nodiscard]] std::optional<int> parse(int argc, char** argv,
+                                         int first) const {
+    for (int i = first; i < argc; ++i) {
+      if (const auto rc = parse_one(argv[i])) return rc;
+    }
+    return std::nullopt;
+  }
+
+  /// Parse a single argument (for tools that mix positionals in).
+  [[nodiscard]] std::optional<int> parse_one(const char* arg) const {
+    if (match_flag(arg, "help")) {
+      print_help(stdout);
+      return 0;
+    }
+    if (match_flag(arg, "version")) {
+      std::printf("%s %s\n", prog_.c_str(), version());
+      return 0;
+    }
+    try {
+      for (const Flag& f : flags_) {
+        if (f.metavar.empty()) {
+          if (match_flag(arg, f.name.c_str())) {
+            f.fn(nullptr);
+            return std::nullopt;
+          }
+        } else {
+          const char* v = nullptr;
+          if (match_value(arg, f.name.c_str(), &v)) {
+            f.fn(v);
+            return std::nullopt;
+          }
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", prog_.c_str(), e.what());
+      print_usage(stderr);
+      return 2;
+    }
+    std::fprintf(stderr, "%s: unknown flag %s (try --help)\n", prog_.c_str(),
+                 arg);
+    print_usage(stderr);
+    return 2;
+  }
+
+  void print_usage(std::FILE* out) const {
+    std::string line = "usage: " + prog_;
+    if (!positionals_.empty()) line += " " + positionals_;
+    line += " [options] [--help] [--version]";
+    std::fprintf(out, "%s\n", line.c_str());
+  }
+
+  void print_help(std::FILE* out) const {
+    print_usage(out);
+    std::size_t width = 0;
+    const auto left_col = [](const Flag& f) {
+      return f.metavar.empty() ? "--" + f.name
+                               : "--" + f.name + "=" + f.metavar;
+    };
+    for (const Flag& f : flags_) {
+      width = std::max(width, left_col(f).size());
+    }
+    std::fprintf(out, "options:\n");
+    for (const Flag& f : flags_) {
+      std::fprintf(out, "  %-*s  %s\n", static_cast<int>(width),
+                   left_col(f).c_str(), f.help.c_str());
+    }
+    std::fprintf(out, "  %-*s  %s\n", static_cast<int>(width), "--help",
+                 "show this help and exit");
+    std::fprintf(out, "  %-*s  %s\n", static_cast<int>(width), "--version",
+                 "print the tool version and exit");
+  }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string metavar;  ///< empty for boolean flags
+    std::string help;
+    ValueFn fn;
+  };
+
+  std::string prog_;
+  std::string positionals_;
+  std::vector<Flag> flags_;
+};
+
+/// The observability surface shared by the run-a-Machine tools.
+struct ObsArgs {
+  obs::ObsConfig config;
+  std::filesystem::path trace_file;    ///< Chrome trace-event JSON
+  std::filesystem::path metrics_file;  ///< Prometheus text exposition
+};
+
+/// Declare the --obs-* flags once (bgpc_run, bgpc_trace, bgpc_mine all
+/// accept the same set). Either output flag implies --obs.
+inline void add_obs_flags(FlagSet& fs, ObsArgs& a) {
+  fs.toggle("obs",
+            "enable the flight recorder (spans + metrics; writes per-node "
+            ".bgps span files next to the dumps)",
+            &a.config.enabled);
+  fs.value("obs-trace", "FILE",
+           "write a Chrome trace-event JSON of the run (implies --obs); "
+           "open in Perfetto or chrome://tracing",
+           [&a](const char* v) {
+             a.trace_file = v;
+             a.config.enabled = true;
+           });
+  fs.value("obs-metrics", "FILE",
+           "write the metrics registry in Prometheus text format "
+           "(implies --obs)",
+           [&a](const char* v) {
+             a.metrics_file = v;
+             a.config.enabled = true;
+           });
+  fs.value("obs-span-capacity", "N",
+           "per-rank span ring capacity (oldest spans dropped beyond this)",
+           [&a](const char* v) {
+             a.config.span_capacity = parse_positive("--obs-span-capacity", v);
+           });
+}
+
+/// Export the requested observability outputs after a run; returns 0, or
+/// 1 when a file could not be written.
+inline int write_obs_outputs(const ObsArgs& a, obs::FlightRecorder* fr,
+                             const std::string& app, bool quiet = false) {
+  if (fr == nullptr) return 0;
+  fr->update_self_metrics();
+  int rc = 0;
+  if (!a.trace_file.empty()) {
+    try {
+      obs::write_chrome_trace_file(a.trace_file, *fr, app);
+      if (!quiet) std::printf("wrote %s\n", a.trace_file.string().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      rc = 1;
+    }
+  }
+  if (!a.metrics_file.empty()) {
+    try {
+      obs::write_prometheus_file(a.metrics_file, fr->metrics());
+      if (!quiet) std::printf("wrote %s\n", a.metrics_file.string().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace bgp::cli
