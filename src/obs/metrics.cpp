@@ -20,14 +20,19 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
     throw std::invalid_argument("histogram bounds must be ascending");
   }
-  counts_.assign(bounds_.size() + 1, 0);
+  num_counts_ = bounds_.size() + 1;
+  counts_ = std::make_unique<std::atomic<u64>[]>(num_counts_);
+  for (std::size_t i = 0; i < num_counts_; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 void Histogram::observe(double v) noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
-  sum_ += v;
-  ++count_;
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 namespace {

@@ -5,14 +5,20 @@
 // registry stay valid for its lifetime (instances live in deques), so
 // subsystems fetch their counter once and bump a pointer afterwards.
 //
-// Like everything the rank threads touch, the registry relies on the
-// simulator's cooperative scheduling (one runnable thread at a time)
-// instead of atomics; host-side readers only run after Machine::run
-// returns.
+// Registration (counter()/gauge()/histogram()) still relies on the
+// serialized phases of a run (tools register everything before
+// Machine::run), but *updates* are lock-free atomics: under the parallel
+// epoch scheduler, rank segments on different nodes bump shared series
+// concurrently. Counter increments and histogram observations are
+// commutative (integer adds; histogram sums are integral cycle counts
+// well under 2^53, so double addition is exact), which keeps rendered
+// output byte-identical regardless of update interleaving.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -33,22 +39,30 @@ enum class MetricType : u8 { kCounter, kGauge, kHistogram };
 /// Monotonically increasing 64-bit counter.
 class Counter {
  public:
-  void add(u64 n = 1) noexcept { value_ += n; }
-  [[nodiscard]] u64 value() const noexcept { return value_; }
+  void add(u64 n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  u64 value_ = 0;
+  std::atomic<u64> value_{0};
 };
 
 /// Free-moving instantaneous value.
 class Gauge {
  public:
-  void set(double v) noexcept { value_ = v; }
-  void add(double d) noexcept { value_ += d; }
-  [[nodiscard]] double value() const noexcept { return value_; }
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram: `bounds` are the ascending finite upper bounds;
@@ -64,15 +78,25 @@ class Histogram {
     return bounds_;
   }
   /// Count in bucket `i` (i == bounds().size() is the +Inf bucket).
-  [[nodiscard]] u64 bucket(std::size_t i) const { return counts_.at(i); }
-  [[nodiscard]] u64 count() const noexcept { return count_; }
-  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] u64 bucket(std::size_t i) const {
+    if (i >= num_counts_) throw std::out_of_range("histogram bucket index");
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<double> bounds_;
-  std::vector<u64> counts_;  ///< bounds_.size() + 1 (+Inf)
-  double sum_ = 0.0;
-  u64 count_ = 0;
+  /// bounds_.size() + 1 (+Inf). unique_ptr array because atomics are not
+  /// movable and the bucket count is fixed at construction.
+  std::unique_ptr<std::atomic<u64>[]> counts_;
+  std::size_t num_counts_ = 0;
+  std::atomic<double> sum_{0.0};
+  std::atomic<u64> count_{0};
 };
 
 /// [a-zA-Z_:][a-zA-Z0-9_:]* — the Prometheus metric-name grammar.

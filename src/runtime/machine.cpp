@@ -7,6 +7,7 @@
 #include "common/strfmt.hpp"
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
+#include "runtime/epoch.hpp"
 #include "runtime/rankctx.hpp"
 
 namespace bgp::rt {
@@ -29,26 +30,12 @@ Machine::Machine(const MachineConfig& config)
   for (unsigned r = 0; r < num_ranks_; ++r) comm_group_[r] = r;
   in_group_.assign(num_ranks_, true);
   death_detected_.assign(partition_->num_nodes(), false);
+  ready_q_.reset(num_ranks_);
 }
 
 Machine::~Machine() {
-  // If run() threw, rank threads were already joined there; nothing holds
-  // the token at this point.
-}
-
-int Machine::pick_next() const {
-  int best = -1;
-  cycles_t best_time = ~cycles_t{0};
-  for (unsigned r = 0; r < num_ranks_; ++r) {
-    const Rank& rank = *ranks_[r];
-    if (rank.status != Status::kReady) continue;
-    const cycles_t t = rank.ctx->core().now();
-    if (t < best_time) {
-      best_time = t;
-      best = static_cast<int>(r);
-    }
-  }
-  return best;
+  // If run() threw, rank threads/fibers were already joined there; nothing
+  // holds the token at this point.
 }
 
 void Machine::check_fault(unsigned rank) {
@@ -61,30 +48,34 @@ void Machine::check_fault(unsigned rank) {
   }
 }
 
+void Machine::record_rank_death(unsigned rank, bool inherited) {
+  // Commit context (serial: the dying rank holds the token; parallel: runs
+  // at the rank's slot), so the list pushes are race-free. Injected deaths
+  // and cascade victims are kept apart: only the former mark a node as
+  // genuinely killed.
+  Rank& self = *ranks_[rank];
+  self.status = Status::kDied;
+  (inherited ? stranded_ranks_ : dead_ranks_).push_back(rank);
+  if (auto* fr = obs::recorder()) {
+    RankCtx& ctx = *self.ctx;
+    fr->rank(ctx.node_id(), ctx.core_id())
+        .instant(inherited ? "fault.rank_stranded" : "fault.node_death",
+                 obs::SpanCat::kFault, ctx.core().now());
+    (inherited ? fr->wk().ranks_stranded : fr->wk().rank_deaths)->add(1);
+  }
+}
+
 void Machine::thread_main(unsigned rank, const RankFn& program) {
   Rank& self = *ranks_[rank];
   self.go.acquire();  // wait for the first dispatch
   try {
-    if (aborting_) throw AbortRun{};
+    if (aborting_.load(std::memory_order_relaxed)) throw AbortRun{};
     program(*self.ctx);
     self.status = Status::kFinished;
   } catch (const AbortRun&) {
     self.status = Status::kFailed;
   } catch (const NodeDeathFault& death) {
-    // Only one rank thread runs at a time, so this push is unsynchronized
-    // but race-free. Injected deaths and cascade victims are kept apart:
-    // only the former mark a node as genuinely killed.
-    self.status = Status::kDied;
-    (death.inherited ? stranded_ranks_ : dead_ranks_).push_back(rank);
-    if (auto* fr = obs::recorder()) {
-      RankCtx& ctx = *self.ctx;
-      fr->rank(ctx.node_id(), ctx.core_id())
-          .instant(death.inherited ? "fault.rank_stranded"
-                                   : "fault.node_death",
-                   obs::SpanCat::kFault, ctx.core().now());
-      (death.inherited ? fr->wk().ranks_stranded : fr->wk().rank_deaths)
-          ->add(1);
-    }
+    record_rank_death(rank, death.inherited);
   } catch (...) {
     self.status = Status::kFailed;
     self.error = std::current_exception();
@@ -102,116 +93,166 @@ void Machine::run(const RankFn& program) {
     rank->ctx = std::make_unique<RankCtx>(*this, r);
     ranks_.push_back(std::move(rank));
   }
+
+  if (config_.sched == SchedMode::kParallel) {
+    EpochScheduler epoch(*this, program);
+    epoch_ = &epoch;
+    try {
+      epoch.run();
+    } catch (...) {
+      epoch_ = nullptr;
+      throw;
+    }
+    epoch_ = nullptr;
+  } else {
+    if (num_ranks_ > config_.max_rank_threads) {
+      throw std::invalid_argument(strfmt(
+          "serial scheduler would create %u OS threads (cap %u); use "
+          "--sched=parallel (one fiber per rank) or raise max_rank_threads",
+          num_ranks_, config_.max_rank_threads));
+    }
+    run_serial(program);
+  }
+  run_epilogue();
+}
+
+void Machine::run_serial(const RankFn& program) {
   for (unsigned r = 0; r < num_ranks_; ++r) {
     ranks_[r]->thread =
         std::thread([this, r, &program] { thread_main(r, program); });
   }
+  for (unsigned r = 0; r < num_ranks_; ++r) {
+    ready_q_.push(ranks_[r]->ctx->core().now(), r);
+  }
+  const auto live = [this](unsigned r) {
+    return ranks_[r]->status == Status::kReady;
+  };
 
   // Dispatch loop: hand the token to the most-behind ready rank.
   for (;;) {
-    const int next = pick_next();
-    if (next < 0) {
-      bool all_done = true;
-      bool any_failed = false;
-      unsigned nonterminal = 0;
-      unsigned coll_blocked = 0;
-      for (const auto& rank : ranks_) {
-        if (rank->status == Status::kFailed) any_failed = true;
-        if (rank->status != Status::kFinished &&
-            rank->status != Status::kFailed &&
-            rank->status != Status::kDied) {
-          all_done = false;
-          ++nonterminal;
-          if (rank->status == Status::kBlockedCollective) ++coll_blocked;
+    unsigned next = 0;
+    if (!ready_q_.pop_min(next, live)) {
+      std::string diag;
+      const StallOutcome out = resolve_stall(diag);
+      if (out == StallOutcome::kAllDone) break;
+      if (out == StallOutcome::kProgress) continue;
+      // Abort paths (deadlock or rank failure): every surviving rank only
+      // checks aborting_ and unwinds via AbortRun, touching nothing
+      // shared — so release them all at once and collect the returns in
+      // one sweep instead of a semaphore round-trip per rank.
+      unsigned released = 0;
+      for (auto& rank : ranks_) {
+        if (rank->status == Status::kReady) {
+          rank->go.release();
+          ++released;
         }
       }
-      if (all_done) break;
-      if (!any_failed && !dead_ranks_.empty()) {
-        // Node deaths leave survivors stuck in wait structures the dead
-        // ranks can no longer satisfy. Resolve, in order:
-        // 1. Receivers waiting specifically on a dead rank: without FT
-        //    they inherit the death (unwind via NodeDeathFault on
-        //    resume); with FT the recv raises ProcFailedError instead so
-        //    the survivor can recover.
-        bool progressed = false;
-        for (auto& rank : ranks_) {
-          if (rank->status != Status::kBlockedRecv) continue;
-          if (rank->recv_src == RankCtx::kAnySource) continue;
-          if (ranks_[rank->recv_src]->status != Status::kDied) continue;
-          (ft_params_.enabled ? rank->proc_failed : rank->peer_dead) = true;
-          rank->status = Status::kReady;
-          progressed = true;
-        }
-        if (progressed) continue;
-        // 2. Every surviving rank reached the collective: the dead ranks
-        //    will never arrive, so complete it over the members present
-        //    (FT flags the released survivors in finish_collective).
-        if (coll_blocked > 0 && coll_blocked == nonterminal) {
-          finish_collective();
-          continue;
-        }
-        // 3. Remaining receivers (any-source, or waiting on a live rank
-        //    that is itself stuck) can never be satisfied — no rank is
-        //    runnable to send to them. The death cascades (or, with FT,
-        //    surfaces as an error return).
-        for (auto& rank : ranks_) {
-          if (rank->status == Status::kBlockedRecv) {
-            (ft_params_.enabled ? rank->proc_failed : rank->peer_dead) = true;
-            rank->status = Status::kReady;
-            progressed = true;
-          }
-        }
-        if (progressed) continue;
-      }
-      if (!any_failed) {
-        // Nobody is ready, nobody finished everything: deadlock. Build a
-        // diagnostic before unwinding.
-        std::string diag = "MiniMPI deadlock: no runnable rank;";
-        for (unsigned r2 = 0; r2 < num_ranks_; ++r2) {
-          const Rank& rk = *ranks_[r2];
-          if (rk.status == Status::kBlockedRecv) {
-            diag += strfmt(" rank%u=recv(src=%u,tag=%d,mail=%zu)", r2,
-                           rk.recv_src, rk.recv_tag, rk.mailbox.size());
-          } else if (rk.status == Status::kBlockedCollective) {
-            diag += strfmt(" rank%u=coll(kind=%d)", r2, collective_.kind);
-          }
-        }
-        aborting_ = true;
-        for (auto& rank : ranks_) {
-          if (rank->status == Status::kBlockedRecv ||
-              rank->status == Status::kBlockedCollective) {
-            rank->status = Status::kReady;  // wake to unwind via AbortRun
-          }
-        }
-        // Wake them one by one so they can abort.
-        for (auto& rank : ranks_) {
-          if (rank->status == Status::kReady) {
-            rank->go.release();
-            sched_sem_.acquire();
-          }
-        }
+      for (unsigned i = 0; i < released; ++i) sched_sem_.acquire();
+      if (out == StallOutcome::kDeadlock) {
         for (auto& rank : ranks_) rank->thread.join();
         throw std::runtime_error(diag);
       }
-      // A rank failed: abort the rest.
-      aborting_ = true;
-      for (auto& rank : ranks_) {
-        if (rank->status == Status::kBlockedRecv ||
-            rank->status == Status::kBlockedCollective) {
-          rank->status = Status::kReady;
-        }
-      }
-      continue;
+      continue;  // kAbortFailure: the epilogue rethrows the rank error
     }
-    ranks_[static_cast<std::size_t>(next)]->go.release();
+    Rank& rank = *ranks_[next];
+    rank.go.release();
     sched_sem_.acquire();
+    if (rank.status == Status::kReady) {
+      // Yielded mid-program: back in the queue at its advanced clock.
+      ready_q_.invalidate(next);
+      ready_q_.push(rank.ctx->core().now(), next);
+    }
   }
 
   for (auto& rank : ranks_) rank->thread.join();
+}
+
+Machine::StallOutcome Machine::resolve_stall(std::string& diag) {
+  bool all_done = true;
+  bool any_failed = false;
+  unsigned nonterminal = 0;
+  unsigned coll_blocked = 0;
+  for (const auto& rank : ranks_) {
+    const Status st = rank->status;
+    if (st == Status::kFailed) any_failed = true;
+    if (st != Status::kFinished && st != Status::kFailed &&
+        st != Status::kDied) {
+      all_done = false;
+      ++nonterminal;
+      if (st == Status::kBlockedCollective) ++coll_blocked;
+    }
+  }
+  if (all_done) return StallOutcome::kAllDone;
+  if (!any_failed && !dead_ranks_.empty()) {
+    // Node deaths leave survivors stuck in wait structures the dead ranks
+    // can no longer satisfy. Resolve, in order:
+    // 1. Receivers waiting specifically on a dead rank: without FT they
+    //    inherit the death (unwind via NodeDeathFault on resume); with FT
+    //    the recv raises ProcFailedError instead so the survivor can
+    //    recover.
+    bool progressed = false;
+    for (unsigned r = 0; r < num_ranks_; ++r) {
+      Rank& rank = *ranks_[r];
+      if (rank.status != Status::kBlockedRecv) continue;
+      if (rank.recv_src == RankCtx::kAnySource) continue;
+      if (ranks_[rank.recv_src]->status != Status::kDied) continue;
+      (ft_params_.enabled ? rank.proc_failed : rank.peer_dead) = true;
+      make_ready(r);
+      progressed = true;
+    }
+    if (progressed) return StallOutcome::kProgress;
+    // 2. Every surviving rank reached the collective: the dead ranks will
+    //    never arrive, so complete it over the members present (FT flags
+    //    the released survivors in finish_collective).
+    if (coll_blocked > 0 && coll_blocked == nonterminal) {
+      finish_collective();
+      return StallOutcome::kProgress;
+    }
+    // 3. Remaining receivers (any-source, or waiting on a live rank that
+    //    is itself stuck) can never be satisfied — no rank is runnable to
+    //    send to them. The death cascades (or, with FT, surfaces as an
+    //    error return).
+    for (unsigned r = 0; r < num_ranks_; ++r) {
+      Rank& rank = *ranks_[r];
+      if (rank.status == Status::kBlockedRecv) {
+        (ft_params_.enabled ? rank.proc_failed : rank.peer_dead) = true;
+        make_ready(r);
+        progressed = true;
+      }
+    }
+    if (progressed) return StallOutcome::kProgress;
+  }
+  if (!any_failed) {
+    // Nobody is ready, nobody finished everything: deadlock. Build a
+    // diagnostic before unwinding.
+    diag = "MiniMPI deadlock: no runnable rank;";
+    for (unsigned r2 = 0; r2 < num_ranks_; ++r2) {
+      const Rank& rk = *ranks_[r2];
+      if (rk.status == Status::kBlockedRecv) {
+        diag += strfmt(" rank%u=recv(src=%u,tag=%d,mail=%zu)", r2,
+                       rk.recv_src, rk.recv_tag, rk.mailbox.size());
+      } else if (rk.status == Status::kBlockedCollective) {
+        diag += strfmt(" rank%u=coll(kind=%d)", r2, collective_.kind);
+      }
+    }
+  }
+  const StallOutcome out =
+      any_failed ? StallOutcome::kAbortFailure : StallOutcome::kDeadlock;
+  aborting_.store(true, std::memory_order_relaxed);
+  for (unsigned r = 0; r < num_ranks_; ++r) {
+    const Status st = ranks_[r]->status;
+    if (st == Status::kBlockedRecv || st == Status::kBlockedCollective) {
+      make_ready(r);  // wake to unwind via AbortRun
+    }
+  }
+  return out;
+}
+
+void Machine::run_epilogue() {
   for (auto& rank : ranks_) {
     if (rank->error) std::rethrow_exception(rank->error);
   }
-  if (aborting_) {
+  if (aborting_.load(std::memory_order_relaxed)) {
     throw std::runtime_error("run aborted");
   }
   if (!dead_ranks_.empty()) {
@@ -246,11 +287,19 @@ std::vector<unsigned> Machine::dead_nodes() const {
   return nodes;
 }
 
-void Machine::yield_from(unsigned rank) {
+void Machine::make_ready(unsigned rank) {
+  ranks_[rank]->status = Status::kReady;
+  if (epoch_ != nullptr) {
+    epoch_->on_ready(rank);
+  } else {
+    ready_q_.invalidate(rank);
+    ready_q_.push(ranks_[rank]->ctx->core().now(), rank);
+  }
+}
+
+void Machine::consume_wake_flags(unsigned rank) {
   Rank& self = *ranks_[rank];
-  sched_sem_.release();
-  self.go.acquire();
-  if (aborting_) throw AbortRun{};
+  if (aborting_.load(std::memory_order_relaxed)) throw AbortRun{};
   if (self.peer_dead) {
     self.peer_dead = false;
     throw NodeDeathFault{self.ctx->node_id(), /*inherited=*/true};
@@ -264,6 +313,67 @@ void Machine::yield_from(unsigned rank) {
     self.proc_failed = false;
     raise_proc_failed(rank);
   }
+}
+
+void Machine::yield_from(unsigned rank) {
+  Rank& self = *ranks_[rank];
+  sched_sem_.release();
+  self.go.acquire();
+  consume_wake_flags(rank);
+}
+
+void Machine::yield_rank(unsigned rank) {
+  if (epoch_ != nullptr) {
+    epoch_->yield_segment(rank);
+    consume_wake_flags(rank);
+  } else {
+    yield_from(rank);
+  }
+}
+
+void Machine::block_rank(unsigned rank) {
+  if (epoch_ != nullptr) {
+    epoch_->block_fiber(rank);
+    consume_wake_flags(rank);
+  } else {
+    yield_from(rank);
+  }
+}
+
+void Machine::run_at_slot(unsigned rank, const std::function<void()>& fn) {
+  if (epoch_ != nullptr) {
+    epoch_->run_at_slot(rank, fn);
+  } else {
+    fn();  // the token already serializes everything
+  }
+}
+
+const opt::CompiledLoop& Machine::compile_cached(const isa::LoopDesc& desc) {
+  std::string key;
+  key.reserve(desc.name.size() + 1 + 64);
+  key.append(desc.name.data(), desc.name.size());
+  key.push_back('\0');
+  const auto append_pod = [&key](const auto& v) {
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  append_pod(desc.trip);
+  append_pod(desc.body.fp);
+  append_pod(desc.body.ls);
+  append_pod(desc.body.in);
+  append_pod(desc.vectorizable);
+  append_pod(desc.reduction);
+  append_pod(desc.has_calls);
+  append_pod(desc.locality);
+  std::lock_guard<std::mutex> lock(loop_cache_mu_);
+  auto it = loop_cache_.find(key);
+  if (it == loop_cache_.end()) {
+    auto entry = std::make_unique<CachedLoop>();
+    entry->name.assign(desc.name);
+    entry->cl = compiler_.compile(desc);
+    entry->cl.name = entry->name;  // re-point the view at owned storage
+    it = loop_cache_.emplace(std::move(key), std::move(entry)).first;
+  }
+  return it->second->cl;
 }
 
 void Machine::check_revoked(unsigned rank) const {
@@ -319,39 +429,45 @@ void Machine::note_detection(unsigned rank, unsigned node) {
 }
 
 void Machine::revoke_comm(unsigned rank, cycles_t cost) {
-  if (revoked_) return;  // an already-revoked communicator stays revoked
-  revoked_ = true;
-  recovery_log_.push_back(ft::RecoveryEvent{
-      .kind = ft::RecoveryKind::kRevoke,
-      .node = ranks_[rank]->ctx->node_id(),
-      .rank = rank,
-      .cycle = ranks_[rank]->ctx->core().now(),
-      .cost = cost,
-      .aux = 0,
-  });
-  partition_->barrier_net().record_barrier(0);
-  // The revoke notification rides the barrier/interrupt network: every
-  // plain-blocked survivor is interrupted and resumes into RevokedError.
-  // Ranks inside internal FT operations are exempt (recovery must be able
-  // to run to completion on a revoked communicator).
-  bool reset_collective = false;
-  for (auto& rk : ranks_) {
-    if (rk->status == Status::kBlockedRecv) {
-      rk->revoked_wake = true;
-      rk->status = Status::kReady;
-    } else if (rk->status == Status::kBlockedCollective &&
-               !collective_.internal) {
-      rk->revoked_wake = true;
-      rk->status = Status::kReady;
-      reset_collective = true;
+  // The wake-ups mutate scheduler state, so the body runs as a commit
+  // (inline in serial mode; FT implies strict mode, so the parallel slot
+  // is immediate as well).
+  run_at_slot(rank, [this, rank, cost] {
+    if (revoked_) return;  // an already-revoked communicator stays revoked
+    revoked_ = true;
+    recovery_log_.push_back(ft::RecoveryEvent{
+        .kind = ft::RecoveryKind::kRevoke,
+        .node = ranks_[rank]->ctx->node_id(),
+        .rank = rank,
+        .cycle = ranks_[rank]->ctx->core().now(),
+        .cost = cost,
+        .aux = 0,
+    });
+    partition_->barrier_net().record_barrier(0);
+    // The revoke notification rides the barrier/interrupt network: every
+    // plain-blocked survivor is interrupted and resumes into RevokedError.
+    // Ranks inside internal FT operations are exempt (recovery must be
+    // able to run to completion on a revoked communicator).
+    bool reset_collective = false;
+    for (unsigned r = 0; r < num_ranks_; ++r) {
+      Rank& rk = *ranks_[r];
+      if (rk.status == Status::kBlockedRecv) {
+        rk.revoked_wake = true;
+        make_ready(r);
+      } else if (rk.status == Status::kBlockedCollective &&
+                 !collective_.internal) {
+        rk.revoked_wake = true;
+        make_ready(r);
+        reset_collective = true;
+      }
     }
-  }
-  if (reset_collective) {
-    collective_.arrived = 0;
-    collective_.kind = -1;
-    collective_.internal = false;
-    collective_.combine = nullptr;
-  }
+    if (reset_collective) {
+      collective_.arrived = 0;
+      collective_.kind = -1;
+      collective_.internal = false;
+      collective_.combine = nullptr;
+    }
+  });
 }
 
 void Machine::apply_shrink(std::vector<unsigned> group, cycles_t when,
@@ -394,7 +510,7 @@ void Machine::deposit(Message msg, unsigned dst) {
   if (receiver.status == Status::kBlockedRecv &&
       (receiver.recv_src == RankCtx::kAnySource || receiver.recv_src == src) &&
       (receiver.recv_tag == RankCtx::kAnyTag || receiver.recv_tag == tag)) {
-    receiver.status = Status::kReady;
+    make_ready(dst);
   }
 }
 
@@ -420,56 +536,63 @@ void Machine::enter_collective(
   const bool internal = kind <= kCollFtFirst;
   if (!internal) check_revoked(rank);
   Rank& self = *ranks_[rank];
-  Collective& coll = collective_;
   if (ft_params_.enabled && !in_group_[rank]) {
     throw std::logic_error(strfmt(
         "rank %u entered a collective but is not in the shrunk communicator",
         rank));
   }
 
-  if (coll.arrived == 0) {
-    coll.kind = kind;
-    coll.bytes = bytes;
-    coll.root = root;
-    coll.max_arrival = 0;
-    coll.combine = combine;
-    coll.op_latency = op_latency;
-    coll.internal = internal;
-    for (auto& m : coll.members) m = Collective::Member{};
-    if (ft_params_.enabled) {
-      // Only members still alive at first arrival can complete the
-      // rendezvous inline; anyone who dies later simply never arrives and
-      // the scheduler's stall resolution completes over those present.
-      coll.expected = 0;
-      for (const unsigned r : comm_group_) {
-        const Status st = ranks_[r]->status;
-        if (st != Status::kDied && st != Status::kFailed) ++coll.expected;
+  bool blocked = false;
+  run_at_slot(rank, [&] {
+    Collective& coll = collective_;
+    if (coll.arrived == 0) {
+      coll.kind = kind;
+      coll.bytes = bytes;
+      coll.root = root;
+      coll.max_arrival = 0;
+      coll.combine = combine;
+      coll.op_latency = op_latency;
+      coll.internal = internal;
+      for (auto& m : coll.members) m = Collective::Member{};
+      if (ft_params_.enabled) {
+        // Only members still alive at first arrival can complete the
+        // rendezvous inline; anyone who dies later simply never arrives
+        // and the scheduler's stall resolution completes over those
+        // present.
+        coll.expected = 0;
+        for (const unsigned r : comm_group_) {
+          const Status st = ranks_[r]->status;
+          if (st != Status::kDied && st != Status::kFailed) ++coll.expected;
+        }
+      } else {
+        coll.expected = num_ranks_;
       }
-    } else {
-      coll.expected = num_ranks_;
+    } else if (coll.kind != kind || coll.root != root) {
+      throw std::logic_error(
+          strfmt("collective mismatch: rank %u entered kind %d but kind %d "
+                 "in flight",
+                 rank, kind, coll.kind));
     }
-  } else if (coll.kind != kind || coll.root != root) {
-    throw std::logic_error(
-        strfmt("collective mismatch: rank %u entered kind %d but kind %d in "
-               "flight",
-               rank, kind, coll.kind));
-  }
 
-  auto& member = coll.members[rank];
-  member.send = send;
-  member.recv = recv;
-  member.present = true;
-  coll.max_arrival = std::max(coll.max_arrival, self.ctx->core().now());
-  ++coll.arrived;
+    auto& member = coll.members[rank];
+    member.send = send;
+    member.recv = recv;
+    member.present = true;
+    coll.max_arrival = std::max(coll.max_arrival, self.ctx->core().now());
+    ++coll.arrived;
 
-  if (coll.arrived < coll.expected) {
-    self.status = Status::kBlockedCollective;
-    yield_from(rank);
+    if (coll.arrived < coll.expected) {
+      self.status = Status::kBlockedCollective;
+      blocked = true;
+    } else {
+      // Last arrival: perform the data movement and release everyone.
+      finish_collective();
+    }
+  });
+  if (blocked) {
+    block_rank(rank);
     return;  // a later arrival completed the operation and synced our clock
   }
-
-  // Last arrival: perform the data movement and release everyone.
-  finish_collective();
   if (self.proc_failed) {
     self.proc_failed = false;
     raise_proc_failed(rank);
@@ -501,7 +624,7 @@ void Machine::finish_collective() {
     rk.ctx->core().sync_to(done);
     if (failure && coll.members[r].present) rk.proc_failed = true;
     if (rk.status == Status::kBlockedCollective) {
-      rk.status = Status::kReady;
+      make_ready(r);
     }
   }
   coll.arrived = 0;

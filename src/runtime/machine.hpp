@@ -1,26 +1,36 @@
-// The execution machine: a Partition plus a deterministic cooperative
-// scheduler and a message-passing runtime ("MiniMPI") with the semantics
-// the NAS kernels need — blocking send/recv and the usual collectives.
+// The execution machine: a Partition plus a deterministic scheduler and a
+// message-passing runtime ("MiniMPI") with the semantics the NAS kernels
+// need — blocking send/recv and the usual collectives.
 //
-// Concurrency model: one OS thread per rank, but exactly one runs at any
-// moment (token passing through semaphores). The scheduler always resumes
-// the runnable rank whose core clock is furthest behind, so simulated time
-// across the cores of a node advances in lockstep-ish fashion and shared
-// L3/DDR contention emerges naturally. Runs are bit-deterministic.
+// Two dispatchers produce bit-identical runs (MachineConfig::sched):
+//
+//  * kSerial — one OS thread per rank, exactly one running at any moment
+//    (token passing through semaphores). The token always goes to the
+//    runnable rank whose (core clock, rank) key is smallest, via a lazy
+//    min-heap ready queue.
+//  * kParallel — one *fiber* per rank multiplexed onto a bounded worker
+//    pool (runtime/pool.*, runtime/epoch.*). Rank compute segments run
+//    concurrently; every cross-rank interaction executes as an ordered
+//    commit in exactly the serial dispatcher's (cycle, rank) order, so
+//    simulated clocks, dumps and traces stay byte-identical.
 #pragma once
 
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <semaphore>
 #include <span>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "compiler/compiler.hpp"
 #include "ft/ftypes.hpp"
+#include "runtime/sched.hpp"
 #include "sys/partition.hpp"
 
 namespace bgp::fault {
@@ -34,6 +44,7 @@ class FtComm;
 namespace bgp::rt {
 
 class RankCtx;
+class EpochScheduler;
 
 /// Collective op kinds for rendezvous matching. Kinds at or below
 /// kCollFtFirst are internal fault-tolerance operations (agreement,
@@ -72,6 +83,19 @@ struct MachineConfig {
   /// Use fewer ranks than the partition supports (e.g. the paper's 121-rank
   /// SP/BT runs on 32 nodes). 0 = all.
   unsigned num_ranks_override = 0;
+  /// Dispatcher selection; both produce byte-identical runs.
+  SchedMode sched = SchedMode::kSerial;
+  /// Parallel mode: worker-pool size cap. 0 = min(hardware_concurrency,
+  /// nodes). The pool never exceeds the node count (the unit of
+  /// parallelism is a node: its ranks share caches, so they execute
+  /// exclusively).
+  unsigned jobs = 0;
+  /// Parallel mode: stack bytes per rank fiber.
+  std::size_t fiber_stack_bytes = 1024 * 1024;
+  /// Serial mode spawns one OS thread per rank; refuse configurations past
+  /// this cap with a pointer at --sched=parallel (which needs one fiber
+  /// per rank and worker threads only).
+  unsigned max_rank_threads = 4096;
 };
 
 class Machine {
@@ -161,6 +185,7 @@ class Machine {
  private:
   friend class RankCtx;
   friend class ft::FtComm;
+  friend class EpochScheduler;
 
   enum class Status : u8 {
     kReady,
@@ -178,12 +203,16 @@ class Machine {
     cycles_t ready_time = 0;
   };
 
-  /// Per-rank bookkeeping (thread, scheduling state, mailbox).
+  /// Per-rank bookkeeping (scheduling state, mailbox; the thread is only
+  /// used by the serial dispatcher — the parallel one runs fibers).
   struct Rank {
     std::unique_ptr<RankCtx> ctx;
     std::thread thread;
     std::binary_semaphore go{0};
-    Status status = Status::kReady;
+    /// Atomic because the parallel dispatcher's commits write statuses
+    /// under its lock while rank fibers read them lock-free (e.g.
+    /// rank_died() on the send path).
+    std::atomic<Status> status{Status::kReady};
     // recv match spec while blocked
     unsigned recv_src = 0;
     int recv_tag = 0;
@@ -226,15 +255,54 @@ class Machine {
     cycles_t op_latency = 0;
   };
 
-  // -- scheduler internals (called from rank threads via RankCtx) ---------
-  /// Give the token back to the scheduler and wait to be resumed.
+  /// Shared stall handling: what the dispatcher found when no rank was
+  /// runnable, after resolution had a chance to make progress.
+  enum class StallOutcome : u8 {
+    kProgress,      ///< woke someone / completed a collective — keep going
+    kAllDone,       ///< every rank is terminal
+    kDeadlock,      ///< no failure but nobody can run; blocked ranks woken
+                    ///< to unwind, diag describes the wait graph
+    kAbortFailure,  ///< a rank failed; blocked ranks woken to unwind
+  };
+
+  // -- scheduler internals (called from rank threads/fibers via RankCtx) --
+  /// Give the token back to the scheduler and wait to be resumed
+  /// (serial dispatcher only).
   void yield_from(unsigned rank);
-  /// Deposit a message; wakes a matching blocked receiver.
+  /// End-of-segment yield: re-key this rank at its current clock and let
+  /// the dispatcher run whoever is next.
+  void yield_rank(unsigned rank);
+  /// Park after a commit left this rank in a blocked status; returns when
+  /// a later commit makes it ready again.
+  void block_rank(unsigned rank);
+  /// Execute `fn` at this rank's deterministic commit slot: the serial
+  /// dispatcher runs it inline (the token already serializes); the
+  /// parallel one parks the fiber until every earlier (cycle, rank) slot
+  /// has committed. Exceptions from `fn` resurface on the calling rank.
+  void run_at_slot(unsigned rank, const std::function<void()>& fn);
+  /// Abort/death/revocation flags left on this rank by the scheduler while
+  /// it was parked; throws the corresponding error.
+  void consume_wake_flags(unsigned rank);
+  /// Transition `rank` to kReady and tell the active dispatcher.
+  void make_ready(unsigned rank);
+  /// Record a rank lost to a node death (status, death lists, obs instant).
+  void record_rank_death(unsigned rank, bool inherited);
+  /// True when global state may be read mid-segment (fault injection or FT
+  /// recovery): the parallel dispatcher then runs at most one rank at a
+  /// time, in exactly serial order.
+  [[nodiscard]] bool strict_sched() const noexcept {
+    return fault_ != nullptr || ft_params_.enabled;
+  }
+  /// No rank is runnable: resolve dead-peer waits / survivor collectives,
+  /// or declare the run over/deadlocked. Wakes ranks via make_ready.
+  StallOutcome resolve_stall(std::string& diag);
+
+  /// Deposit a message; wakes a matching blocked receiver. Commit context.
   void deposit(Message msg, unsigned dst);
-  /// Try to pop a matching message from `rank`'s mailbox.
+  /// Try to pop a matching message from `rank`'s mailbox. Commit context.
   std::optional<Message> try_match(unsigned rank, unsigned src, int tag);
-  /// Enter a collective; blocks (yields) until all ranks arrived, then the
-  /// last arrival runs `combine` over the member buffers and releases all.
+  /// Enter a collective; blocks until all ranks arrived, then the last
+  /// arrival runs `combine` over the member buffers and releases all.
   void enter_collective(unsigned rank, int kind, u64 bytes, unsigned root,
                         std::span<const std::byte> send,
                         std::span<std::byte> recv,
@@ -248,6 +316,12 @@ class Machine {
   /// cycle. Called before a rank registers in any wait structure, so a
   /// dead rank is never counted as a collective arrival or left blocked.
   void check_fault(unsigned rank);
+
+  /// Lower `desc` under the machine's option set, memoized per Machine:
+  /// every rank re-lowers identical loop nests every timestep, so cache
+  /// the bundles keyed by the full LoopDesc contents (the OptConfig is
+  /// fixed for a Machine's lifetime and needs no key bits).
+  const opt::CompiledLoop& compile_cached(const isa::LoopDesc& desc);
 
   // -- fault-tolerance internals (FT mode only) ---------------------------
   /// Raise ft::RevokedError if the communicator is revoked (entry check of
@@ -275,7 +349,9 @@ class Machine {
   }
 
   void thread_main(unsigned rank, const RankFn& program);
-  [[nodiscard]] int pick_next() const;
+  void run_serial(const RankFn& program);
+  /// Shared run() tail: rethrow rank errors / aborts, log degraded runs.
+  void run_epilogue();
 
   MachineConfig config_;
   std::unique_ptr<sys::Partition> partition_;
@@ -283,7 +359,15 @@ class Machine {
   MpiHooks hooks_;
   unsigned num_ranks_;
   std::vector<std::unique_ptr<Rank>> ranks_;
-  std::binary_semaphore sched_sem_{0};
+  /// Serial dispatcher: rank threads hand the token back through this.
+  /// Counting (not binary) so the abort path can batch-release every
+  /// waiter and collect the returns in one sweep.
+  std::counting_semaphore<1 << 20> sched_sem_{0};
+  /// Serial dispatcher's ready queue (satellite of the same (cycle, rank)
+  /// order the parallel dispatcher commits in).
+  ReadyQueue ready_q_;
+  /// Parallel dispatcher, non-null only inside run().
+  EpochScheduler* epoch_ = nullptr;
   Collective collective_;
   fault::FaultInjector* fault_ = nullptr;
   std::vector<unsigned> dead_ranks_;
@@ -295,8 +379,16 @@ class Machine {
   unsigned comm_epoch_ = 0;
   std::vector<ft::RecoveryEvent> recovery_log_;
   std::vector<bool> death_detected_;  ///< per node, first-detection dedup
-  bool aborting_ = false;
+  std::atomic<bool> aborting_{false};
   bool ran_ = false;
+  /// compile_cached state: the cached bundle owns a copy of the loop name
+  /// so its string_view cannot dangle when the descriptor was a temporary.
+  struct CachedLoop {
+    std::string name;
+    opt::CompiledLoop cl;
+  };
+  std::unordered_map<std::string, std::unique_ptr<CachedLoop>> loop_cache_;
+  std::mutex loop_cache_mu_;
 };
 
 /// Thrown inside rank threads to unwind them when another rank failed.

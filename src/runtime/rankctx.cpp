@@ -62,7 +62,9 @@ void RankCtx::wait_until(cycles_t t) {
 
 void RankCtx::mpi_init() {
   if (machine_.mpi_hooks().on_init) {
-    machine_.mpi_hooks().on_init(*this);
+    // Hooks come from the tools and may touch shared state (counter
+    // registries, output files); run them at this rank's commit slot.
+    machine_.run_at_slot(rank_, [this] { machine_.mpi_hooks().on_init(*this); });
   }
   barrier();
 }
@@ -70,7 +72,8 @@ void RankCtx::mpi_init() {
 void RankCtx::mpi_finalize() {
   barrier();
   if (machine_.mpi_hooks().on_finalize) {
-    machine_.mpi_hooks().on_finalize(*this);
+    machine_.run_at_slot(rank_,
+                         [this] { machine_.mpi_hooks().on_finalize(*this); });
   }
 }
 
@@ -84,7 +87,7 @@ void RankCtx::loop(const isa::LoopDesc& desc,
 void RankCtx::loop(const isa::LoopDesc& desc,
                    std::span<const MemRange> ranges) {
   machine_.check_fault(rank_);
-  const opt::CompiledLoop cl = machine_.compiler().compile(desc);
+  const opt::CompiledLoop& cl = machine_.compile_cached(desc);
   core().execute(cl.ops);
   for (const MemRange& r : ranges) {
     touch_no_yield(r, cl.mem_overlap);
@@ -134,7 +137,7 @@ void RankCtx::parallel_loop(const isa::LoopDesc& desc,
     isa::LoopDesc slice = desc;
     slice.trip = desc.trip / nthreads +
                  (t < desc.trip % nthreads ? 1 : 0);
-    const opt::CompiledLoop cl = machine_.compiler().compile(slice);
+    const opt::CompiledLoop& cl = machine_.compile_cached(slice);
     core.execute(cl.ops);
 
     // Static range split: thread t walks its contiguous slice through the
@@ -230,8 +233,10 @@ void RankCtx::send(unsigned dst, std::span<const std::byte> data, int tag) {
   if (machine_.rank_died(dst)) {
     // FT: a send to a failed peer is detected at the sender (it raises
     // ProcFailedError there); without FT the message is deposited into the
-    // dead rank's mailbox and simply never consumed, as before.
-    machine_.detect_failed_peer(rank_, dst);
+    // dead rank's mailbox and simply never consumed, as before. Detection
+    // appends to the shared recovery log, so it commits.
+    machine_.run_at_slot(rank_,
+                         [this, dst] { machine_.detect_failed_peer(rank_, dst); });
   }
   sys_event(isa::SysEvent::kMpiSends);
   const auto peer = machine_.partition().placement(dst);
@@ -245,11 +250,16 @@ void RankCtx::send(unsigned dst, std::span<const std::byte> data, int tag) {
   msg.payload.assign(data.begin(), data.end());
   msg.ready_time = core().now() + transfer_cycles(peer.node, data.size());
 
-  if (peer.node != placement_.node) {
-    machine_.partition().torus().record_transfer(placement_.node, peer.node,
-                                                 data.size());
-  }
-  machine_.deposit(std::move(msg), dst);
+  // Link accounting and the deposit (which may wake the receiver) touch
+  // cross-rank state: one commit, in the same order the serial dispatcher
+  // interleaves them.
+  machine_.run_at_slot(rank_, [&] {
+    if (peer.node != placement_.node) {
+      machine_.partition().torus().record_transfer(placement_.node, peer.node,
+                                                   data.size());
+    }
+    machine_.deposit(std::move(msg), dst);
+  });
   yield();
 }
 
@@ -259,7 +269,29 @@ void RankCtx::recv(unsigned src, std::span<std::byte> out, int tag) {
   sys_event(isa::SysEvent::kMpiRecvs);
   core().advance(machine_.partition().torus().params().sw_overhead);
   for (;;) {
-    auto msg = machine_.try_match(rank_, src, tag);
+    // Match-or-block is one commit: if a concurrent sender's deposit could
+    // slip between a failed match and the transition to kBlockedRecv, the
+    // wake would be missed. The tracing pulse is billed inside the commit
+    // too so the frozen blocked clock includes it, exactly as the serial
+    // dispatcher sees it.
+    std::optional<Machine::Message> msg;
+    bool blocked = false;
+    machine_.run_at_slot(rank_, [&] {
+      msg = machine_.try_match(rank_, src, tag);
+      if (msg.has_value()) return;
+      // FT: a recv that can never match because the source already failed
+      // is detected here (ULFM semantics: messages sent before the death
+      // are still delivered above; only then does the failure surface).
+      if (src != kAnySource && machine_.rank_died(src)) {
+        machine_.detect_failed_peer(rank_, src);
+      }
+      auto& self = *machine_.ranks_[rank_];
+      self.status = Machine::Status::kBlockedRecv;
+      self.recv_src = src;
+      self.recv_tag = tag;
+      blocked = true;
+      pulse_node();
+    });
     if (msg.has_value()) {
       if (msg->payload.size() != out.size()) {
         throw std::runtime_error(
@@ -271,17 +303,7 @@ void RankCtx::recv(unsigned src, std::span<std::byte> out, int tag) {
       yield();
       return;
     }
-    // FT: a recv that can never match because the source already failed is
-    // detected here (ULFM semantics: messages sent before the death are
-    // still delivered above; only then does the failure surface).
-    if (src != kAnySource && machine_.rank_died(src)) {
-      machine_.detect_failed_peer(rank_, src);
-    }
-    auto& self = *machine_.ranks_[rank_];
-    self.status = Machine::Status::kBlockedRecv;
-    self.recv_src = src;
-    self.recv_tag = tag;
-    yield();
+    if (blocked) machine_.block_rank(rank_);
   }
 }
 

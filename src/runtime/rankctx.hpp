@@ -1,7 +1,9 @@
 // RankCtx: everything a rank program can do — allocate simulated memory,
 // execute compiled loops against its core and the node's caches, and
 // communicate through MiniMPI. One RankCtx per rank, used only from that
-// rank's thread while it holds the scheduler token.
+// rank's thread (serial dispatcher) or fiber (parallel dispatcher); all
+// cross-rank effects go through Machine commits, so rank programs need no
+// locking of their own.
 #pragma once
 
 #include <initializer_list>
@@ -128,7 +130,7 @@ class RankCtx {
   [[nodiscard]] addr_t allocate_bytes(u64 bytes);
   void yield() {
     pulse_node();
-    machine_.yield_from(rank_);
+    machine_.yield_rank(rank_);
   }
   /// Drive the node's tracing pulse hook (if installed) and charge the
   /// modeled sampling overhead it reports to this rank's core.

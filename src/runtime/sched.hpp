@@ -1,0 +1,103 @@
+// Shared scheduling primitives for the two Machine dispatchers.
+//
+// Both the serial token-passing scheduler and the parallel epoch scheduler
+// order work by the same key: (simulated cycle at segment start, rank),
+// lowest first with the lower rank winning ties — exactly what the old
+// O(ranks) pick_next scan computed. ReadyQueue packages that order as a
+// lazy-deletion binary min-heap: pushes are O(log n), stale entries (a
+// rank that was re-keyed or is no longer ready) are skipped at pop time
+// by checking a per-rank sequence number stamped into each entry.
+#pragma once
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bgp::rt {
+
+/// Dispatcher selection (MachineConfig::sched).
+enum class SchedMode : u8 {
+  kSerial,    ///< one thread per rank, token passing (the oracle)
+  kParallel,  ///< bounded worker pool + fibers, ordered interaction commits
+};
+
+/// The dispatch key: ranks run in ascending (cycle, rank) order.
+struct SchedKey {
+  cycles_t cycle = 0;
+  unsigned rank = 0;
+
+  friend bool operator<(const SchedKey& a, const SchedKey& b) noexcept {
+    return a.cycle != b.cycle ? a.cycle < b.cycle : a.rank < b.rank;
+  }
+  friend bool operator<=(const SchedKey& a, const SchedKey& b) noexcept {
+    return !(b < a);
+  }
+};
+
+/// Lazy-deletion min-heap over (cycle, rank). The caller owns a per-rank
+/// sequence counter: push() stamps the current sequence into the entry and
+/// pop_min() hands back candidates for validation — an entry whose stamp
+/// no longer matches the rank's sequence is dead and silently dropped.
+class ReadyQueue {
+ public:
+  ReadyQueue() = default;
+  explicit ReadyQueue(std::size_t num_ranks) : seq_(num_ranks, 0) {}
+
+  /// (Re)size for `num_ranks` ranks, dropping any queued entries.
+  void reset(std::size_t num_ranks) {
+    seq_.assign(num_ranks, 0);
+    heap_ = {};
+  }
+
+  /// Invalidate every queued entry for `rank` and stamp the next push.
+  void invalidate(unsigned rank) noexcept { ++seq_[rank]; }
+
+  /// Queue `rank` at `cycle` under its current sequence.
+  void push(cycles_t cycle, unsigned rank) {
+    heap_.push(Entry{SchedKey{cycle, rank}, seq_[rank]});
+  }
+
+  /// Pop the minimal live entry; returns false when the queue is empty of
+  /// live entries. `live` is the caller's validity check (e.g. "status is
+  /// still kReady") applied on top of the sequence stamp.
+  template <typename LiveFn>
+  bool pop_min(unsigned& rank_out, LiveFn&& live) {
+    if (!peek_min(rank_out, live)) return false;
+    heap_.pop();
+    return true;
+  }
+
+  /// Like pop_min but leaves the minimal live entry queued (stale entries
+  /// above it are still discarded).
+  template <typename LiveFn>
+  bool peek_min(unsigned& rank_out, LiveFn&& live) {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      if (top.seq != seq_[top.key.rank] || !live(top.key.rank)) {
+        heap_.pop();  // re-keyed, re-queued, or no longer ready: stale
+        continue;
+      }
+      rank_out = top.key.rank;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+ private:
+  struct Entry {
+    SchedKey key;
+    u64 seq;
+    friend bool operator>(const Entry& a, const Entry& b) noexcept {
+      return b.key < a.key;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<u64> seq_;
+};
+
+}  // namespace bgp::rt

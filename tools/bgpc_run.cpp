@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   u64 fault_seed = 1;
   ft::FtParams ftp;
   cli::ObsArgs obs_args;
+  cli::SchedArgs sched_args;
 
   cli::FlagSet fs("bgpc_run", "BENCH");
   fs.flag("list", "list benchmarks, modes, classes and event presets",
@@ -110,6 +111,7 @@ int main(int argc, char** argv) {
                "failure-detection latency in cycles (default 2000)",
                &ftp.detect_latency);
   cli::add_obs_flags(fs, obs_args);
+  cli::add_sched_flags(fs, sched_args);
 
   if (argc < 2) {
     fs.print_usage(stderr);
@@ -142,6 +144,7 @@ int main(int argc, char** argv) {
   mc.boot = boot;
   mc.opt = optcfg;
   mc.num_ranks_override = ranks;
+  cli::apply_sched_args(sched_args, mc);
   rt::Machine machine(mc);
 
   fault::FaultInjector injector{[&] {

@@ -125,6 +125,7 @@ int main(int argc, char** argv) {
   trace::TraceConfig tc;
   tc.enabled = true;
   cli::ObsArgs obs_args;
+  cli::SchedArgs sched_args;
 
   cli::FlagSet fs("bgpc_trace", "BENCH");
   fs.flag("list", "list benchmarks, modes and event presets",
@@ -162,6 +163,7 @@ int main(int argc, char** argv) {
                &fault_seed);
   add_mining_flags(fs, mining);
   cli::add_obs_flags(fs, obs_args);
+  cli::add_sched_flags(fs, sched_args);
 
   if (argc < 2) {
     fs.print_usage(stderr);
@@ -198,6 +200,7 @@ int main(int argc, char** argv) {
   mc.num_nodes = nodes;
   mc.mode = mode;
   mc.num_ranks_override = ranks;
+  cli::apply_sched_args(sched_args, mc);
   rt::Machine machine(mc);
   if (injector) machine.set_fault_injector(injector.get());
 

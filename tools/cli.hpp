@@ -23,6 +23,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/obs.hpp"
 #include "obs/promtext.hpp"
+#include "runtime/sched.hpp"
 
 namespace bgp::cli {
 
@@ -245,6 +246,43 @@ class FlagSet {
   std::string positionals_;
   std::vector<Flag> flags_;
 };
+
+/// Scheduler selection shared by the run-a-Machine tools.
+struct SchedArgs {
+  rt::SchedMode sched = rt::SchedMode::kSerial;
+  unsigned jobs = 0;
+};
+
+/// Declare --sched/--jobs once. Both dispatchers produce byte-identical
+/// results; parallel trades the serial oracle's one-thread-per-rank for a
+/// bounded worker pool running rank fibers concurrently.
+inline void add_sched_flags(FlagSet& fs, SchedArgs& a) {
+  fs.value("sched", "MODE",
+           "dispatcher: 'serial' (token passing, one thread per rank) or "
+           "'parallel' (epoch scheduler: rank fibers on a bounded worker "
+           "pool, byte-identical results)",
+           [&a](const char* v) {
+             if (std::strcmp(v, "serial") == 0) {
+               a.sched = rt::SchedMode::kSerial;
+             } else if (std::strcmp(v, "parallel") == 0) {
+               a.sched = rt::SchedMode::kParallel;
+             } else {
+               throw std::invalid_argument(
+                   strfmt("--sched must be serial or parallel, got '%s'", v));
+             }
+           });
+  fs.unsigned_value("jobs", "N",
+                    "parallel scheduler worker threads (0 = hardware "
+                    "concurrency; never more than the node count)",
+                    &a.jobs);
+}
+
+/// Copy the parsed scheduler selection into a MachineConfig.
+template <typename MachineConfigT>
+inline void apply_sched_args(const SchedArgs& a, MachineConfigT& mc) {
+  mc.sched = a.sched;
+  mc.jobs = a.jobs;
+}
 
 /// The observability surface shared by the run-a-Machine tools.
 struct ObsArgs {
