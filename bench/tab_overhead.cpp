@@ -14,10 +14,15 @@
 // instrumentation layer bills zero cycles (the 196 figure must come out
 // unchanged), and with it on, each recorded span stays within its
 // documented per-span budget.
+// The snapshot rows do the same for the counter-service daemon
+// (docs/bgpcd.md): each seqlocked double-buffer publication must stay
+// within the same 96-cycle family as a trace sample, and a final-only
+// publisher (period 0) must bill nothing at all.
 #include <filesystem>
 
 #include "bench/util.hpp"
 #include "core/session.hpp"
+#include "daemon/publisher.hpp"
 
 using namespace bgp;
 
@@ -27,6 +32,8 @@ namespace {
 constexpr cycles_t kPerSampleBudget = 96;
 /// Per-recorded-span budget (documented in docs/observability.md).
 constexpr cycles_t kPerSpanBudget = 16;
+/// Per-snapshot-publication budget (documented in docs/bgpcd.md).
+constexpr cycles_t kPerSnapshotBudget = 96;
 /// Spans recorded by initialize + one start/stop pair (one per call).
 constexpr cycles_t kSpansPerInitStartStop = 3;
 
@@ -101,6 +108,54 @@ TraceProbe probe_loop(bool traced) {
     }
     std::filesystem::remove_all(tdir);
   }
+  return p;
+}
+
+struct SnapProbe {
+  cycles_t loop_cycles = 0;  ///< instrumented-region wall clock
+  u64 publishes = 0;
+  cycles_t modeled_per_snapshot = 0;
+};
+
+/// The probe_loop payload with a snapshot publisher attached (period 0 =
+/// final-only, which must be free; a short period exercises the seqlocked
+/// double-buffer path dozens of times).
+SnapProbe probe_snapshot_loop(bool periodic) {
+  rt::MachineConfig mc;
+  mc.num_nodes = 1;
+  mc.mode = sys::OpMode::kSmp1;
+  rt::Machine machine(mc);
+  pc::Options o;
+  o.write_dumps = false;
+  pc::Session session(machine, o);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "bgpc_tab_overhead_snap";
+  std::filesystem::create_directories(dir);
+  daemon::PublisherConfig pub;
+  pub.period_cycles = periodic ? 10'000 : 0;
+  daemon::SnapshotPublisher publisher(machine, dir / "counters.bgpsnap",
+                                      "tab_overhead", "bench", pub);
+
+  SnapProbe p;
+  machine.run([&](rt::RankCtx& ctx) {
+    session.BGP_Initialize(ctx);
+    isa::LoopDesc d;
+    d.name = "snapshot_payload";
+    d.trip = 5000;
+    d.body.fp_at(isa::FpOp::kFma) = 2;
+    d.body.int_at(isa::IntOp::kAlu) = 2;
+    session.BGP_Start(ctx, 0);
+    const cycles_t t0 = ctx.core().read_timebase();
+    for (unsigned i = 0; i < 40; ++i) ctx.loop(d);
+    p.loop_cycles = ctx.core().read_timebase() - t0;
+    session.BGP_Stop(ctx, 0);
+    session.BGP_Finalize(ctx);
+  });
+  publisher.publish_final();
+  p.publishes = publisher.publishes();
+  p.modeled_per_snapshot = publisher.config().per_snapshot_overhead;
+  std::filesystem::remove_all(dir);
   return p;
 }
 
@@ -201,6 +256,23 @@ int main() {
          strfmt("+%llu over 3 spans; budget %llu cycles",
                 (unsigned long long)obs_delta,
                 (unsigned long long)kPerSpanBudget)});
+
+  // Counter-service layer: the same loop with a snapshot publisher pulsing
+  // every 10k cycles vs final-only. The delta divided by the publication
+  // count is what each seqlocked double-buffer write billed the core.
+  const SnapProbe snap_off = probe_snapshot_loop(false);
+  const SnapProbe snap_on = probe_snapshot_loop(true);
+  const cycles_t snap_delta = snap_on.loop_cycles - snap_off.loop_cycles;
+  const cycles_t per_snapshot =
+      snap_on.publishes > 0 ? snap_delta / snap_on.publishes : 0;
+  t.row({"snapshot: final-only publisher", strfmt("%llu",
+          (unsigned long long)snap_off.loop_cycles),
+         "period 0 installs no pulse hooks: bills 0 cycles"});
+  t.row({"snapshot: one publication", strfmt("%llu",
+          (unsigned long long)per_snapshot),
+         strfmt("billed over %llu publications; budget %llu cycles",
+                (unsigned long long)snap_on.publishes,
+                (unsigned long long)kPerSnapshotBudget)});
   t.print();
 
   const bool trace_in_budget = traced.samples > 0 &&
@@ -220,5 +292,27 @@ int main() {
                 (unsigned long long)kPerSpanBudget,
                 (unsigned long long)per_span);
   }
-  return (init_start_stop == 196 && trace_in_budget && obs_in_budget) ? 0 : 1;
+  const bool snap_in_budget = snap_on.publishes > 0 &&
+                              per_snapshot <= kPerSnapshotBudget &&
+                              snap_on.modeled_per_snapshot <=
+                                  kPerSnapshotBudget;
+  if (!snap_in_budget) {
+    std::printf("FAIL: per-snapshot publication cost exceeds the %llu-cycle "
+                "budget (billed %llu over %llu, modeled %llu)\n",
+                (unsigned long long)kPerSnapshotBudget,
+                (unsigned long long)per_snapshot,
+                (unsigned long long)snap_on.publishes,
+                (unsigned long long)snap_on.modeled_per_snapshot);
+  }
+  const bool snap_final_only_free = snap_off.loop_cycles == plain.loop_cycles;
+  if (!snap_final_only_free) {
+    std::printf("FAIL: a final-only publisher perturbed the region "
+                "(%llu cycles vs %llu without any publisher)\n",
+                (unsigned long long)snap_off.loop_cycles,
+                (unsigned long long)plain.loop_cycles);
+  }
+  return (init_start_stop == 196 && trace_in_budget && obs_in_budget &&
+          snap_in_budget && snap_final_only_free)
+             ? 0
+             : 1;
 }

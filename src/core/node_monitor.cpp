@@ -89,6 +89,15 @@ void NodeMonitor::stop(unsigned set, cycles_t now) {
   }
 }
 
+void NodeMonitor::force_stop_all(cycles_t now) {
+  for (unsigned s = 0; s < active_.size(); ++s) {
+    if (active_[s].active_starts == 0) continue;
+    // Collapse nested starts to one so a single stop() folds the delta.
+    active_[s].active_starts = 1;
+    stop(s, now);
+  }
+}
+
 NodeDump NodeMonitor::finalize() {
   NodeDump dump;
   dump.node_id = node_.id();

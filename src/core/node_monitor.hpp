@@ -31,6 +31,11 @@ class NodeMonitor {
   /// of the set stops, the counter delta is accumulated into the set.
   void stop(unsigned set, cycles_t now);
 
+  /// End every set still being monitored, folding the counter deltas as of
+  /// `now` — the checkpoint path for runs cancelled before the application
+  /// reached its own BGP_Stop calls. No-op for sets that are not active.
+  void force_stop_all(cycles_t now);
+
   /// Write (or just assemble) the dump record. Returns the dump contents.
   [[nodiscard]] NodeDump finalize();
 

@@ -59,8 +59,9 @@ void Session::attach_tracer(unsigned node) {
       monitors_[node]->programmed_mode());
   // The runtime pulses the node at instrumentation points; the hook drains
   // the ring buffer to disk and returns the modeled sampling overhead for
-  // the runtime to charge to the pulsing core.
-  n.set_pulse_hook(
+  // the runtime to charge to the pulsing core. add (not set): a snapshot
+  // publisher may already be pulsing this node.
+  n.add_pulse_hook(
       [t = tracers_[node].get()](cycles_t) { return t->pulse(); });
 }
 
@@ -165,7 +166,12 @@ bool Session::finalize_node(rt::RankCtx& ctx) {
   }
 
   rt::ObsScope write_span(ctx, "dump.write", obs::SpanCat::kDump);
+  write_dump_file(dump, node);
+  return true;
+}
 
+DumpWriteOutcome Session::write_dump_file(const NodeDump& dump,
+                                          unsigned node) {
   auto bytes = NodeMonitor::serialize(dump);
   DumpWriteOutcome outcome;
   outcome.node = node;
@@ -215,7 +221,48 @@ bool Session::finalize_node(rt::RankCtx& ctx) {
     fr->wk().dump_retries->add(outcome.attempts - 1);
     if (!outcome.ok) fr->wk().dump_failures->add(1);
   }
-  return true;
+  return outcome;
+}
+
+void Session::seal_all_traces() {
+  for (unsigned node = 0; node < tracers_.size(); ++node) {
+    trace::NodeTracer* t = tracers_[node].get();
+    if (t == nullptr || t->sealed()) continue;
+    TraceSealOutcome seal;
+    seal.node = node;
+    try {
+      seal.path = t->seal();
+      seal.ok = true;
+      trace_files_.push_back(seal.path);
+      std::sort(trace_files_.begin(), trace_files_.end());
+    } catch (const std::exception& e) {
+      seal.error = e.what();
+    }
+    trace_outcomes_.push_back(std::move(seal));
+  }
+}
+
+void Session::checkpoint_dump() {
+  const unsigned ppn = sys::processes_per_node(machine_.partition().mode());
+  const std::vector<unsigned> dead = machine_.dead_nodes();
+  for (unsigned node = 0; node < monitors_.size(); ++node) {
+    if (!monitors_[node]->initialized()) continue;
+    const unsigned local_ranks =
+        std::min(ppn, machine_.num_ranks() > node * ppn
+                          ? machine_.num_ranks() - node * ppn
+                          : 0u);
+    if (local_ranks == 0) continue;
+    if (finalize_calls_[node] >= local_ranks) continue;  // already dumped
+    if (std::find(dead.begin(), dead.end(), node) != dead.end()) continue;
+    monitors_[node]->force_stop_all(machine_.node_time(node));
+    NodeDump dump = monitors_[node]->finalize();
+    if (machine_.ft_params().enabled) {
+      dump.recovery = machine_.recovery_log();
+    }
+    dumps_.push_back(dump);
+    finalize_calls_[node] = local_ranks;  // idempotence: node is now dumped
+    if (options_.write_dumps) write_dump_file(dump, node);
+  }
 }
 
 void Session::write_node_spans(unsigned node) {

@@ -120,11 +120,27 @@ class Session {
     return span_files_;
   }
 
+  // ---- cancelled-run recovery (signal handlers, daemon drain/kill) --------
+  /// Seal every still-open trace (footer + atomic rename) so no
+  /// half-written `.bgpt.partial` is left behind. BGP_Finalize seals a
+  /// node's trace itself; this covers nodes the cancellation stopped short
+  /// of finalizing. Call after Machine::run() returned or threw.
+  void seal_all_traces();
+  /// Checkpoint-dump every initialized node that never reached its
+  /// finalize: force-stop the active sets at the node's current timebase
+  /// and write the dump through the usual atomic temp+rename path. Dead
+  /// nodes are skipped (their counter state died with them). Call after
+  /// Machine::run() threw rt::RunStopped.
+  void checkpoint_dump();
+
  private:
   void attach_tracer(unsigned node);
   /// The original BGP_Finalize body; true when this call completed the
   /// node (its dump was taken).
   bool finalize_node(rt::RankCtx& ctx);
+  /// Shared atomic dump-write path (temp + rename, bounded retries);
+  /// records the outcome and file list.
+  DumpWriteOutcome write_dump_file(const NodeDump& dump, unsigned node);
   void write_node_spans(unsigned node);
 
   rt::Machine& machine_;

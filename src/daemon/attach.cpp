@@ -1,0 +1,55 @@
+#include "daemon/attach.hpp"
+
+namespace bgp::daemon {
+
+AttachView attach_read(const SnapshotReader& reader) {
+  AttachView view;
+  view.app = reader.app();
+  view.session = reader.session();
+  for (unsigned node = 0; node < reader.num_nodes(); ++node) {
+    NodeSnapshot snap;
+    if (!reader.read_node(node, snap)) {
+      view.unreadable.push_back(node);
+      continue;
+    }
+    view.nodes.push_back(snap);
+    if (snap.state != SnapState::kFinal) view.final_only = false;
+  }
+  (void)reader.read_metrics(view.metrics_text);
+  return view;
+}
+
+AttachView attach_file(const std::filesystem::path& path) {
+  const SnapshotReader reader = SnapshotReader::open_file(path);
+  return attach_read(reader);
+}
+
+pc::NodeDump to_node_dump(const NodeSnapshot& snap, const std::string& app) {
+  pc::NodeDump dump;
+  dump.node_id = snap.node_id;
+  dump.card_id = snap.card_id;
+  dump.counter_mode = snap.mode;
+  dump.app_name = app;
+  pc::SetDump set;
+  set.set_id = 0;
+  // BGP_Initialize clears the counters and BGP_Start follows immediately,
+  // so the raw counter words ARE the set-0 deltas of one pair spanning
+  // boot to the publish cycle. An idle node has no pair yet.
+  set.pairs = snap.state == SnapState::kIdle ? 0 : 1;
+  set.first_start_cycle = 0;
+  set.last_stop_cycle = snap.published_cycle;
+  set.deltas = snap.counters;
+  dump.sets.push_back(set);
+  return dump;
+}
+
+std::vector<pc::NodeDump> to_node_dumps(const AttachView& view) {
+  std::vector<pc::NodeDump> dumps;
+  dumps.reserve(view.nodes.size());
+  for (const NodeSnapshot& snap : view.nodes) {
+    dumps.push_back(to_node_dump(snap, view.app));
+  }
+  return dumps;
+}
+
+}  // namespace bgp::daemon

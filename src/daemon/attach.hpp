@@ -1,0 +1,48 @@
+// Live attach: read a running (or finished) session's snapshot file and
+// reconstruct the in-memory NodeDump shape the post-processing layer mines.
+// The reconstruction is exact for the interface library's standard flow
+// (BGP_Initialize clears the counters, BGP_Start follows immediately), so a
+// mid-flight snapshot is "set 0, one open pair, deltas = the raw counters".
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/dumpformat.hpp"
+#include "daemon/snapfile.hpp"
+
+namespace bgp::daemon {
+
+/// One attached read of the whole snapshot file.
+struct AttachView {
+  std::string app;
+  std::string session;
+  /// Nodes whose snapshot was readable and non-idle, in node order.
+  std::vector<NodeSnapshot> nodes;
+  /// Nodes skipped because their seqlock never stabilized (publisher mid
+  /// write through every retry) or the slot CRC failed.
+  std::vector<unsigned> unreadable;
+  /// The publisher's rendered metrics exposition ("" when none published).
+  std::string metrics_text;
+  /// True when every readable node was kFinal (the run is over).
+  bool final_only = true;
+};
+
+/// Read every node block (and the metrics text) from an open reader.
+[[nodiscard]] AttachView attach_read(const SnapshotReader& reader);
+
+/// Convenience: open `path` and read it once.
+[[nodiscard]] AttachView attach_file(const std::filesystem::path& path);
+
+/// Reconstruct the miner-facing dump for one snapshot: set 0, one
+/// start/stop pair spanning [0, published_cycle], deltas = the raw
+/// counters. kIdle nodes (initialized but not yet counting) yield a dump
+/// with zero pairs.
+[[nodiscard]] pc::NodeDump to_node_dump(const NodeSnapshot& snap,
+                                        const std::string& app);
+
+/// All readable nodes of a view as NodeDumps (kIdle nodes included).
+[[nodiscard]] std::vector<pc::NodeDump> to_node_dumps(const AttachView& view);
+
+}  // namespace bgp::daemon

@@ -1,0 +1,189 @@
+#include "daemon/control.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+
+namespace bgp::daemon {
+
+namespace {
+
+int connect_unix(const std::filesystem::path& path) {
+  const std::string p = path.string();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (p.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error(
+        strfmt("socket path too long (%zu bytes): %s", p.size(), p.c_str()));
+  }
+  std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(strfmt("socket: %s", std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(
+        strfmt("cannot connect to %s: %s", p.c_str(), std::strerror(err)));
+  }
+  return fd;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) throw std::runtime_error("control socket write failed");
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Read up to the next '\n' (exclusive). False on EOF before any byte.
+bool read_line(int fd, std::string& line) {
+  line.clear();
+  char c;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0) return !line.empty();
+    if (c == '\n') return true;
+    line.push_back(c);
+    if (line.size() > 1 * MiB) {
+      throw std::runtime_error("control request line too long");
+    }
+  }
+}
+
+}  // namespace
+
+json::Value control_error(const std::string& code, const std::string& detail) {
+  json::Value err = json::Value::object();
+  err.set("code", json::Value(code));
+  err.set("detail", json::Value(detail));
+  json::Value v = json::Value::object();
+  v.set("ok", json::Value(false));
+  v.set("error", std::move(err));
+  return v;
+}
+
+json::Value control_ok() {
+  json::Value v = json::Value::object();
+  v.set("ok", json::Value(true));
+  return v;
+}
+
+ControlServer::~ControlServer() { stop(); }
+
+void ControlServer::start(const std::filesystem::path& socket_path,
+                          ControlHandler handler) {
+  handler_ = std::move(handler);
+  path_ = socket_path;
+  const std::string p = path_.string();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (p.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error(
+        strfmt("socket path too long (%zu bytes): %s", p.size(), p.c_str()));
+  }
+  std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
+  ::unlink(p.c_str());  // a stale socket from a dead daemon
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(strfmt("socket: %s", std::strerror(errno)));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(
+        strfmt("cannot listen on %s: %s", p.c_str(), std::strerror(err)));
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void ControlServer::stop() {
+  if (listen_fd_ < 0) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& t : conns) t.join();
+  ::unlink(path_.string().c_str());
+}
+
+void ControlServer::accept_loop() {
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // shutdown() or a fatal error
+    }
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conns_.emplace_back([this, client] {
+      serve(client);
+      ::close(client);
+    });
+  }
+}
+
+void ControlServer::serve(int client_fd) {
+  std::string line;
+  for (;;) {
+    try {
+      if (!read_line(client_fd, line)) return;
+    } catch (const std::exception&) {
+      return;  // oversized line: drop the connection
+    }
+    if (line.empty()) continue;
+    json::Value resp;
+    try {
+      const json::Value req = json::Value::parse(line);
+      resp = handler_(req);
+    } catch (const json::JsonError& e) {
+      resp = control_error("bad_request", e.what());
+    } catch (const std::exception& e) {
+      resp = control_error("internal", e.what());
+    }
+    try {
+      send_all(client_fd, resp.dump() + "\n");
+    } catch (const std::exception&) {
+      return;
+    }
+  }
+}
+
+json::Value control_request(const std::filesystem::path& socket_path,
+                            const json::Value& request) {
+  const int fd = connect_unix(socket_path);
+  json::Value resp;
+  try {
+    send_all(fd, request.dump() + "\n");
+    std::string line;
+    if (!read_line(fd, line)) {
+      throw std::runtime_error("daemon closed the control connection");
+    }
+    resp = json::Value::parse(line);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return resp;
+}
+
+}  // namespace bgp::daemon

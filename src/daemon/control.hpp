@@ -1,0 +1,66 @@
+// The daemon's control channel: newline-delimited JSON over a Unix domain
+// socket. Each connection carries a sequence of request objects (one per
+// line); the daemon answers each with one response line. Success is
+// {"ok":true,...}; failures are structured, {"ok":false,"error":{"code":
+// "...","detail":"..."}} — machine-checkable codes, human detail.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/json.hpp"
+
+namespace bgp::daemon {
+
+/// Handles one decoded request; returns the response value. Thrown
+/// json::JsonError becomes a `bad_request` response, other exceptions an
+/// `internal` one.
+using ControlHandler = std::function<json::Value(const json::Value& request)>;
+
+/// Build the standard failure response shape.
+[[nodiscard]] json::Value control_error(const std::string& code,
+                                        const std::string& detail);
+/// Build an {"ok":true} response to extend.
+[[nodiscard]] json::Value control_ok();
+
+class ControlServer {
+ public:
+  ControlServer() = default;
+  ~ControlServer();
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  /// Bind and listen on `socket_path` (unlinking a stale socket first),
+  /// then serve connections on background threads. Throws on bind failure.
+  void start(const std::filesystem::path& socket_path, ControlHandler handler);
+
+  /// Stop accepting, join every connection thread, unlink the socket.
+  void stop();
+
+  [[nodiscard]] const std::filesystem::path& socket_path() const noexcept {
+    return path_;
+  }
+
+ private:
+  void accept_loop();
+  void serve(int client_fd);
+
+  ControlHandler handler_;
+  std::filesystem::path path_;
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::mutex conn_mu_;  ///< guards conns_
+  std::vector<std::thread> conns_;
+};
+
+/// Client side: connect to `socket_path`, send one request line, read one
+/// response line. Throws std::runtime_error on connect/IO failure and
+/// json::JsonError on an unparseable response.
+[[nodiscard]] json::Value control_request(
+    const std::filesystem::path& socket_path, const json::Value& request);
+
+}  // namespace bgp::daemon

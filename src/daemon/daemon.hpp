@@ -1,0 +1,64 @@
+// The composed daemon: a Service (session manager) fronted by the control
+// socket (submit/list/status/kill/drain/shutdown/ping) and the HTTP
+// observability surface (/metrics, /sessions, /healthz). Embeddable — the
+// integration tests run a Daemon in-process; tools/bgpcd wraps it in a
+// main() with signal-driven drain.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+
+#include "daemon/control.hpp"
+#include "daemon/httpd.hpp"
+#include "daemon/service.hpp"
+
+namespace bgp::daemon {
+
+struct DaemonConfig {
+  ServiceConfig service;
+  std::filesystem::path socket_path;  ///< empty = <work_dir>/bgpcd.sock
+  unsigned short http_port = 0;       ///< 0 = ephemeral
+  unsigned http_threads = 2;
+};
+
+class Daemon {
+ public:
+  /// Starts the control and HTTP servers. Throws on bind failure.
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  [[nodiscard]] Service& service() noexcept { return service_; }
+  [[nodiscard]] const std::filesystem::path& socket_path() const noexcept {
+    return control_.socket_path();
+  }
+  [[nodiscard]] unsigned short http_port() const noexcept {
+    return http_.port();
+  }
+
+  /// Graceful-shutdown entry (what SIGTERM triggers): stop admissions and
+  /// wake run_until_drained(). Safe from any thread; idempotent. NOT
+  /// async-signal-safe — signal handlers should set a flag/poke a pipe and
+  /// call this from a normal thread (tools/bgpcd does).
+  void begin_drain();
+
+  /// Block until begin_drain() was called and every session ended, then
+  /// stop both servers. Returns the number of sessions that ended kFailed
+  /// (0 = clean exit).
+  unsigned run_until_drained();
+
+ private:
+  json::Value handle(const json::Value& req);
+
+  Service service_;
+  ControlServer control_;
+  HttpServer http_;
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  bool drain_requested_ = false;
+};
+
+}  // namespace bgp::daemon

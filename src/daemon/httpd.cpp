@@ -1,0 +1,155 @@
+#include "daemon/httpd.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+
+namespace bgp::daemon {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+/// Read until the end of the request headers (or the buffer limit).
+bool read_request_head(int fd, std::string& head) {
+  char buf[2048];
+  while (head.size() < 16 * 1024) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::route(std::string path, HttpHandler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+unsigned short HttpServer::start(unsigned short port, unsigned threads) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(strfmt("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(
+        strfmt("cannot listen on 127.0.0.1:%u: %s", port, std::strerror(err)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < std::max(1u, threads); ++i) {
+    workers_.emplace_back([this] { accept_loop(); });
+  }
+  return port_;
+}
+
+void HttpServer::stop() {
+  if (listen_fd_ < 0) return;
+  // shutdown() kicks every worker out of its blocking accept(); close()
+  // afterwards releases the descriptor.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // shutdown() or a fatal error: the worker retires
+    }
+    serve(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::serve(int client_fd) {
+  std::string head;
+  if (!read_request_head(client_fd, head)) return;
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t eol = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  HttpResponse resp;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp = HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"};
+  } else {
+    const std::string method = line.substr(0, sp1);
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const std::size_t q = path.find('?'); q != std::string::npos) {
+      path.resize(q);
+    }
+    if (method != "GET") {
+      resp = HttpResponse{405, "text/plain; charset=utf-8",
+                          "only GET is supported\n"};
+    } else if (const auto it = routes_.find(path); it != routes_.end()) {
+      try {
+        resp = it->second(path);
+      } catch (const std::exception& e) {
+        resp = HttpResponse{500, "text/plain; charset=utf-8",
+                            strfmt("handler error: %s\n", e.what())};
+      }
+    } else {
+      resp = HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+    }
+  }
+  std::string out = strfmt(
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      resp.status, status_text(resp.status), resp.content_type.c_str(),
+      resp.body.size());
+  out += resp.body;
+  send_all(client_fd, out);
+}
+
+}  // namespace bgp::daemon

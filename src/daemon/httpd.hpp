@@ -1,0 +1,54 @@
+// Tiny HTTP/1.0 server for the daemon's observability surface (/metrics,
+// /sessions, /healthz): a listening TCP socket on loopback and a small
+// pool of blocking-accept threads, each serving one GET request per
+// connection. No keep-alive, no TLS, no external dependencies — scrape
+// targets (curl, Prometheus) speak this subset happily.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bgp::daemon {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Handler for one route; `path` is the request path without query string.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register a handler for an exact path. Must precede start().
+  void route(std::string path, HttpHandler handler);
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral), listen, and spawn `threads`
+  /// accept workers. Returns the bound port. Throws on bind failure.
+  unsigned short start(unsigned short port, unsigned threads = 2);
+
+  /// Stop accepting, join the workers. Idempotent.
+  void stop();
+
+  [[nodiscard]] unsigned short port() const noexcept { return port_; }
+
+ private:
+  void accept_loop();
+  void serve(int client_fd);
+
+  std::map<std::string, HttpHandler> routes_;
+  std::vector<std::thread> workers_;
+  int listen_fd_ = -1;
+  unsigned short port_ = 0;
+};
+
+}  // namespace bgp::daemon

@@ -1,0 +1,87 @@
+// Snapshot publisher: periodically copies each node's UPC counters (and
+// optionally a metrics registry's Prometheus exposition) into the session's
+// snapshot file. Pacing runs on the *simulated* timeline through the node
+// pulse-hook mechanism — the same instrumentation points the trace sampler
+// uses — so each publication bills a modeled overhead to the pulsing core
+// and the run stays deterministic: two runs with the same options publish
+// at the same cycles and dump identical bytes.
+//
+// Thread safety: a node's pulse hook only ever runs on the thread currently
+// executing that node (both dispatchers guarantee node exclusivity), so
+// per-node publisher state needs no locks and reading the node's plain
+// counter array is race-free. Cross-thread publication into the mmap goes
+// through SnapshotWriter's seqlocked slots.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "daemon/snapfile.hpp"
+#include "runtime/machine.hpp"
+
+namespace bgp::obs {
+class MetricsRegistry;
+}
+
+namespace bgp::daemon {
+
+struct PublisherConfig {
+  /// Publication period in simulated cycles (0 = no periodic publishing;
+  /// publish_final still writes the end-of-run snapshot). 500 us of
+  /// simulated time by default — frequent enough for live attach, ~200
+  /// snapshots over a class-A CG run.
+  cycles_t period_cycles = 425'000;
+  /// Modeled cost billed to the pulsing core per publication (same budget
+  /// family as trace sampling's 64-cycle snapshots; the seqlocked
+  /// double-buffer write is cheaper than the tracer's ring push + drain).
+  cycles_t per_snapshot_overhead = 48;
+  /// Capacity of the metrics-text slots in the snapshot file.
+  std::size_t metrics_capacity = kSnapMetricsCapacity;
+};
+
+class SnapshotPublisher {
+ public:
+  /// Creates the snapshot file and installs a pulse hook on every node of
+  /// `machine`'s partition. The publisher must outlive the machine's run.
+  SnapshotPublisher(rt::Machine& machine, const std::filesystem::path& path,
+                    const std::string& app, const std::string& session,
+                    const PublisherConfig& config = {});
+
+  /// Attach a metrics registry whose Prometheus exposition is published
+  /// alongside node 0's counters (and at publish_final). Not owned; call
+  /// before the run starts.
+  void set_metrics_source(const obs::MetricsRegistry* reg) noexcept {
+    metrics_ = reg;
+  }
+
+  /// Publish every node's final counter state (state = kFinal). Call after
+  /// Machine::run() returned or threw; bills nothing (the run is over).
+  void publish_final();
+
+  [[nodiscard]] const SnapshotWriter& writer() const noexcept {
+    return *writer_;
+  }
+  /// Total periodic publications so far (all nodes).
+  [[nodiscard]] u64 publishes() const noexcept {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const PublisherConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  cycles_t on_pulse(unsigned node, cycles_t now);
+  void publish_node_now(unsigned node, SnapState state, cycles_t now);
+
+  rt::Machine& machine_;
+  PublisherConfig config_;
+  std::unique_ptr<SnapshotWriter> writer_;
+  const obs::MetricsRegistry* metrics_ = nullptr;
+  /// Next publication deadline per node; only the node's executing thread
+  /// touches its entry.
+  std::vector<cycles_t> next_due_;
+  std::atomic<u64> publishes_{0};
+};
+
+}  // namespace bgp::daemon

@@ -1,0 +1,425 @@
+#include "daemon/service.hpp"
+
+#include <algorithm>
+
+#include "common/strfmt.hpp"
+#include "core/session.hpp"
+#include "fault/fault.hpp"
+#include "ft/ftcomm.hpp"
+#include "nas/kernel.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/obs_scope.hpp"
+
+namespace bgp::daemon {
+
+namespace {
+
+/// The structured rejection codes, pre-registered as labeled series so the
+/// /metrics render never races a lazy registration.
+constexpr const char* kRejectionCodes[] = {
+    "draining",        "duplicate_session",  "invalid_session",
+    "over_quota_ranks", "over_quota_sessions", "over_quota_bytes",
+    "bad_request",
+};
+
+bool is_live(SessionState s) noexcept {
+  return s == SessionState::kQueued || s == SessionState::kRunning;
+}
+
+}  // namespace
+
+std::string_view to_string(SessionState s) noexcept {
+  switch (s) {
+    case SessionState::kQueued: return "queued";
+    case SessionState::kRunning: return "running";
+    case SessionState::kFinished: return "finished";
+    case SessionState::kFailed: return "failed";
+    case SessionState::kKilled: return "killed";
+  }
+  return "?";
+}
+
+Service::Service(ServiceConfig config) : config_(std::move(config)) {
+  std::filesystem::create_directories(config_.work_dir);
+  admitted_ = &metrics_.counter("bgpcd_sessions_admitted_total",
+                                "Job submissions accepted");
+  for (const char* code : kRejectionCodes) {
+    rejected_by_[code] =
+        &metrics_.counter("bgpcd_sessions_rejected_total",
+                          "Job submissions rejected, by structured code",
+                          {{"reason", code}});
+  }
+  finished_ = &metrics_.counter("bgpcd_sessions_done_total",
+                                "Sessions reaching a terminal state",
+                                {{"state", "finished"}});
+  failed_ = &metrics_.counter("bgpcd_sessions_done_total",
+                              "Sessions reaching a terminal state",
+                              {{"state", "failed"}});
+  killed_ = &metrics_.counter("bgpcd_sessions_done_total",
+                              "Sessions reaching a terminal state",
+                              {{"state", "killed"}});
+  snapshots_ = &metrics_.counter("bgpcd_snapshot_publishes_total",
+                                 "Periodic snapshot publications (all nodes)");
+  running_ = &metrics_.gauge("bgpcd_sessions_running",
+                             "Sessions currently queued or running");
+  resident_ = &metrics_.gauge("bgpcd_resident_bytes",
+                              "Modeled resident bytes of live sessions");
+  draining_g_ =
+      &metrics_.gauge("bgpcd_draining", "1 while the daemon refuses work");
+}
+
+Service::~Service() {
+  begin_drain();
+  wait_idle();
+}
+
+void Service::count_rejection(const std::string& code) {
+  const auto it = rejected_by_.find(code);
+  if (it != rejected_by_.end()) it->second->add();
+}
+
+SubmitResult Service::submit(const JobSpec& spec) {
+  SubmitResult res;
+  const auto reject = [&](const char* code, std::string detail) {
+    res.ok = false;
+    res.error_code = code;
+    res.detail = std::move(detail);
+    count_rejection(code);
+    return res;
+  };
+
+  if (!spec.session.empty() && !valid_session_name(spec.session)) {
+    return reject("invalid_session",
+                  strfmt("'%s' is not a valid session name",
+                         spec.session.c_str()));
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  if (draining_) {
+    return reject("draining", "the daemon is draining and admits no work");
+  }
+  std::string name = spec.session;
+  if (name.empty()) {
+    do {
+      name = strfmt("s%04u", seq_++);
+    } while (std::any_of(sessions_.begin(), sessions_.end(),
+                         [&](const auto& s) { return s->name == name; }));
+  } else if (std::any_of(sessions_.begin(), sessions_.end(),
+                         [&](const auto& s) { return s->name == name; })) {
+    return reject("duplicate_session",
+                  strfmt("session '%s' already exists", name.c_str()));
+  }
+  const unsigned live = live_sessions_locked();
+  if (live >= config_.quotas.max_sessions) {
+    return reject("over_quota_sessions",
+                  strfmt("%u sessions live, quota is %u", live,
+                         config_.quotas.max_sessions));
+  }
+  if (spec.effective_ranks() > config_.quotas.max_ranks) {
+    return reject("over_quota_ranks",
+                  strfmt("%u ranks requested, quota is %u per session",
+                         spec.effective_ranks(), config_.quotas.max_ranks));
+  }
+  const u64 want = estimate_resident_bytes(spec);
+  const u64 have = resident_now_locked();
+  if (have + want > config_.quotas.max_resident_bytes) {
+    return reject(
+        "over_quota_bytes",
+        strfmt("job needs ~%llu bytes, %llu of the %llu-byte budget in use",
+               static_cast<unsigned long long>(want),
+               static_cast<unsigned long long>(have),
+               static_cast<unsigned long long>(
+                   config_.quotas.max_resident_bytes)));
+  }
+
+  auto s = std::make_unique<ActiveSession>();
+  s->name = name;
+  s->spec = spec;
+  s->spec.session = name;
+  s->dir = config_.work_dir / name;
+  s->snapshot_path = s->dir / "counters.bgpsnap";
+  s->resident_bytes = want;
+  ActiveSession& ref = *s;
+  sessions_.push_back(std::move(s));
+  admitted_->add();
+  ref.thread = std::thread([this, &ref] { run_session(ref); });
+
+  res.ok = true;
+  res.session = name;
+  res.dump_dir = ref.dir;
+  res.snapshot_path = ref.snapshot_path;
+  return res;
+}
+
+void Service::run_session(ActiveSession& s) {
+  const JobSpec& spec = s.spec;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.kill_requested) {
+      s.state = SessionState::kKilled;
+      s.detail = "killed before start";
+      killed_->add();
+      return;
+    }
+    s.state = SessionState::kRunning;
+  }
+  try {
+    std::filesystem::create_directories(s.dir);
+
+    // The construction below mirrors bgpc_run exactly: a finished daemon
+    // session's dump files are byte-identical to a same-seed batch run with
+    // the same snapshot configuration.
+    rt::MachineConfig mc;
+    mc.num_nodes = spec.nodes;
+    mc.mode = spec.mode;
+    mc.num_ranks_override = spec.ranks;
+    mc.sched = spec.sched;
+    mc.jobs = spec.jobs;
+    rt::Machine machine(mc);
+
+    fault::FaultInjector injector{[&] {
+      fault::FaultSpec fsp;
+      fsp.node_deaths = spec.deaths;
+      return fault::FaultPlan::random(spec.fault_seed, spec.nodes, fsp);
+    }()};
+    if (spec.deaths > 0) machine.set_fault_injector(&injector);
+    machine.set_ft_params(spec.ftp);
+
+    pc::Options opts;
+    opts.app_name = std::string(nas::name(spec.bench));
+    opts.dump_dir = s.dir;
+    opts.trace.enabled = spec.trace;
+    opts.trace.interval_cycles = spec.interval_cycles;
+    opts.trace.preset = spec.preset;
+    opts.trace.trace_dir = s.dir;
+    opts.obs.enabled = spec.obs;
+    pc::Session session(machine, opts);
+    session.link_with_mpi();
+
+    PublisherConfig pub_cfg = config_.snapshot;
+    if (spec.snapshot_period_cycles.has_value()) {
+      pub_cfg.period_cycles = *spec.snapshot_period_cycles;
+    }
+    SnapshotPublisher publisher(machine, s.snapshot_path, opts.app_name,
+                                s.name, pub_cfg);
+    if (session.flight_recorder() != nullptr) {
+      publisher.set_metrics_source(&session.flight_recorder()->metrics());
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(s.mu);
+      s.machine = &machine;
+      // A kill that arrived between thread start and here must not be lost.
+      if (s.kill_requested) machine.request_stop();
+    }
+    // Null the machine handle before the Machine object dies — on every
+    // exit path, including unwinding — so kill() never chases a dangling
+    // pointer. Declared after `machine`, so it runs first.
+    struct MachineHandleGuard {
+      ActiveSession* s;
+      ~MachineHandleGuard() {
+        std::lock_guard<std::mutex> lk(s->mu);
+        s->machine = nullptr;
+      }
+    } unpublish{&s};
+
+    auto kernel = nas::make_kernel(spec.bench, spec.cls);
+    const std::string region = "region." + opts.app_name;
+    bool stopped = false;
+    try {
+      if (spec.ftp.enabled) {
+        machine.run([&](rt::RankCtx& ctx) {
+          ft::run_guarded(ctx, [&](rt::RankCtx& c) {
+            c.mpi_init();
+            rt::ObsScope span(c, region, obs::SpanCat::kRegion);
+            kernel->run(c);
+          });
+          ft::finalize_guarded(ctx);
+        });
+      } else {
+        machine.run([&](rt::RankCtx& ctx) {
+          ctx.mpi_init();
+          {
+            rt::ObsScope span(ctx, region, obs::SpanCat::kRegion);
+            kernel->run(ctx);
+          }
+          ctx.mpi_finalize();
+        });
+      }
+    } catch (const rt::RunStopped&) {
+      // Kill/drain checkpoint: seal in-flight traces, dump every node that
+      // never reached its finalize — all through the atomic write paths.
+      stopped = true;
+      session.seal_all_traces();
+      session.checkpoint_dump();
+    }
+    publisher.publish_final();
+    snapshots_->add(publisher.publishes());
+
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.sim_cycles = machine.elapsed();
+    s.dump_files = session.dump_files().size();
+    s.trace_files = session.trace_files().size();
+    if (stopped) {
+      s.state = SessionState::kKilled;
+      s.detail = strfmt("stopped mid-run; %zu checkpoint dump(s) written",
+                        s.dump_files);
+      killed_->add();
+    } else {
+      const std::vector<unsigned> dead = machine.dead_nodes();
+      if (spec.ftp.enabled && !dead.empty()) {
+        bool writes_ok = true;
+        for (const pc::DumpWriteOutcome& o : session.write_outcomes()) {
+          writes_ok = writes_ok && o.ok;
+        }
+        s.verified =
+            writes_ok && s.dump_files == std::size_t{spec.nodes} - dead.size();
+        s.detail = strfmt("degraded FT run: %zu node death(s), %zu survivor "
+                          "dump(s)",
+                          dead.size(), s.dump_files);
+      } else {
+        s.verified = kernel->result().verified;
+        s.detail = kernel->result().detail;
+      }
+      s.state = SessionState::kFinished;
+      finished_->add();
+    }
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.machine = nullptr;
+    s.state = SessionState::kFailed;
+    s.detail = e.what();
+    failed_->add();
+  }
+}
+
+SessionStatus Service::snapshot_status(const ActiveSession& s) const {
+  SessionStatus st;
+  st.name = s.name;
+  st.spec = s.spec;
+  st.resident_bytes = s.resident_bytes;
+  st.dump_dir = s.dir;
+  st.snapshot_path = s.snapshot_path;
+  std::lock_guard<std::mutex> lk(s.mu);
+  st.state = s.state;
+  st.detail = s.detail;
+  st.verified = s.verified;
+  st.dump_files = s.dump_files;
+  st.trace_files = s.trace_files;
+  st.sim_cycles = s.sim_cycles;
+  return st;
+}
+
+std::vector<SessionStatus> Service::list() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SessionStatus> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) out.push_back(snapshot_status(*s));
+  return out;
+}
+
+bool Service::status(const std::string& name, SessionStatus* out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& s : sessions_) {
+    if (s->name == name) {
+      *out = snapshot_status(*s);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Service::kill(const std::string& name, std::string* err) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& s : sessions_) {
+    if (s->name != name) continue;
+    std::lock_guard<std::mutex> slk(s->mu);
+    if (!is_live(s->state)) {
+      if (err != nullptr) {
+        *err = strfmt("session '%s' is already %s", name.c_str(),
+                      std::string(to_string(s->state)).c_str());
+      }
+      return false;
+    }
+    s->kill_requested = true;
+    if (s->machine != nullptr) s->machine->request_stop();
+    return true;
+  }
+  if (err != nullptr) *err = strfmt("no session named '%s'", name.c_str());
+  return false;
+}
+
+void Service::begin_drain() {
+  std::lock_guard<std::mutex> lk(mu_);
+  draining_ = true;
+}
+
+bool Service::draining() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return draining_;
+}
+
+void Service::wait_idle() {
+  // join_mu_ serializes concurrent waiters (joining one std::thread twice
+  // is UB); mu_ is released during the joins so list()/status() stay
+  // responsive while sessions wind down. sessions_ entries are append-only
+  // and their addresses stable.
+  std::lock_guard<std::mutex> jlk(join_mu_);
+  std::vector<ActiveSession*> live;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& s : sessions_) live.push_back(s.get());
+  }
+  for (ActiveSession* s : live) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+u64 Service::resident_now_locked() const {
+  u64 total = 0;
+  for (const auto& s : sessions_) {
+    std::lock_guard<std::mutex> slk(s->mu);
+    if (is_live(s->state)) total += s->resident_bytes;
+  }
+  return total;
+}
+
+unsigned Service::live_sessions_locked() const {
+  unsigned n = 0;
+  for (const auto& s : sessions_) {
+    std::lock_guard<std::mutex> slk(s->mu);
+    if (is_live(s->state)) ++n;
+  }
+  return n;
+}
+
+void Service::update_metrics() {
+  std::lock_guard<std::mutex> lk(mu_);
+  running_->set(static_cast<double>(live_sessions_locked()));
+  resident_->set(static_cast<double>(resident_now_locked()));
+  draining_g_->set(draining_ ? 1.0 : 0.0);
+}
+
+json::Value to_json(const SessionStatus& st) {
+  json::Value v = json::Value::object();
+  v.set("session", json::Value(st.name));
+  v.set("state", json::Value(std::string(to_string(st.state))));
+  v.set("spec", st.spec.to_json());
+  if (!st.detail.empty()) v.set("detail", json::Value(st.detail));
+  v.set("verified", json::Value(st.verified));
+  v.set("dump_files", json::Value(u64{st.dump_files}));
+  v.set("trace_files", json::Value(u64{st.trace_files}));
+  v.set("resident_bytes", json::Value(st.resident_bytes));
+  v.set("sim_cycles", json::Value(st.sim_cycles));
+  v.set("dump_dir", json::Value(st.dump_dir.string()));
+  v.set("snapshot", json::Value(st.snapshot_path.string()));
+  return v;
+}
+
+json::Value Service::sessions_json() const {
+  json::Value arr = json::Value::array();
+  for (const SessionStatus& st : list()) arr.push(to_json(st));
+  return arr;
+}
+
+}  // namespace bgp::daemon

@@ -1,0 +1,163 @@
+// The daemon's session manager: admits jobs under quota, runs each session
+// on its own thread (Machine + pc::Session + SnapshotPublisher, exactly the
+// bgpc_run construction so finished dumps are byte-identical to batch
+// runs), exposes list/status/kill, and drains gracefully — stop admissions,
+// let running sessions finish, checkpoint nothing by force (kill is
+// explicit). The daemon's own health metrics live in a private
+// MetricsRegistry rendered by the /metrics endpoint.
+#pragma once
+
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/jobspec.hpp"
+#include "daemon/publisher.hpp"
+#include "obs/metrics.hpp"
+
+namespace bgp::daemon {
+
+enum class SessionState : u8 {
+  kQueued,
+  kRunning,
+  kFinished,  ///< ran to completion (dump files final)
+  kFailed,    ///< threw; detail holds the error
+  kKilled,    ///< stopped via kill/drain; checkpoint dumps written
+};
+
+[[nodiscard]] std::string_view to_string(SessionState s) noexcept;
+
+struct SessionStatus;
+/// The wire form of one session's status (the /sessions array element).
+[[nodiscard]] json::Value to_json(const SessionStatus& st);
+
+/// A point-in-time copy of one session's public state.
+struct SessionStatus {
+  std::string name;
+  JobSpec spec;
+  SessionState state = SessionState::kQueued;
+  std::string detail;  ///< error text / verification summary
+  bool verified = false;
+  std::size_t dump_files = 0;
+  std::size_t trace_files = 0;
+  u64 resident_bytes = 0;
+  cycles_t sim_cycles = 0;
+  std::filesystem::path dump_dir;
+  std::filesystem::path snapshot_path;
+};
+
+struct ServiceConfig {
+  /// Per-session working directories and snapshot files live here.
+  std::filesystem::path work_dir = "bgpcd_work";
+  Quotas quotas;
+  /// Defaults for sessions that do not pick their own snapshot period.
+  PublisherConfig snapshot;
+};
+
+struct SubmitResult {
+  bool ok = false;
+  std::string error_code;  ///< structured: over_quota_*, draining, ...
+  std::string detail;
+  std::string session;
+  std::filesystem::path dump_dir;
+  std::filesystem::path snapshot_path;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config);
+  /// Drains and joins every session thread.
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admission control + session start. Structured rejection codes:
+  /// `draining`, `duplicate_session`, `over_quota_sessions`,
+  /// `over_quota_ranks`, `over_quota_bytes`.
+  SubmitResult submit(const JobSpec& spec);
+
+  [[nodiscard]] std::vector<SessionStatus> list() const;
+  [[nodiscard]] bool status(const std::string& name, SessionStatus* out) const;
+
+  /// Request a mid-run stop; the session checkpoints (seals traces, writes
+  /// dumps atomically) and lands in kKilled. False with *err set when the
+  /// session is unknown or already terminal.
+  bool kill(const std::string& name, std::string* err);
+
+  /// Stop admitting; running sessions keep going.
+  void begin_drain();
+  [[nodiscard]] bool draining() const;
+  /// Join every session thread (idempotent).
+  void wait_idle();
+
+  /// The daemon's own metrics (admissions, rejections, session states,
+  /// resident bytes) — the /metrics exposition source.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// Refresh the gauges (running sessions, resident bytes) before export.
+  void update_metrics();
+
+  /// Count a structured rejection (also used by the control layer for
+  /// protocol-level `bad_request`s).
+  void count_rejection(const std::string& code);
+
+  /// The /sessions listing as a JSON array.
+  [[nodiscard]] json::Value sessions_json() const;
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct ActiveSession {
+    std::string name;
+    JobSpec spec;
+    std::filesystem::path dir;
+    std::filesystem::path snapshot_path;
+    u64 resident_bytes = 0;
+    std::thread thread;
+
+    /// Guards everything below (state transitions, machine handle).
+    mutable std::mutex mu;
+    SessionState state = SessionState::kQueued;
+    std::string detail;
+    bool verified = false;
+    std::size_t dump_files = 0;
+    std::size_t trace_files = 0;
+    cycles_t sim_cycles = 0;
+    rt::Machine* machine = nullptr;  ///< non-null only while running
+    bool kill_requested = false;
+  };
+
+  void run_session(ActiveSession& s);
+  [[nodiscard]] SessionStatus snapshot_status(const ActiveSession& s) const;
+  [[nodiscard]] u64 resident_now_locked() const;
+  [[nodiscard]] unsigned live_sessions_locked() const;
+
+  ServiceConfig config_;
+  mutable std::mutex mu_;  ///< guards sessions_ membership + draining_
+  std::mutex join_mu_;     ///< serializes wait_idle callers
+  bool draining_ = false;
+  unsigned seq_ = 0;  ///< auto-name counter
+  /// Append-only (finished sessions stay listed); deque for stable refs.
+  std::deque<std::unique_ptr<ActiveSession>> sessions_;
+
+  obs::MetricsRegistry metrics_;
+  obs::Counter* admitted_ = nullptr;
+  /// One pre-registered series per structured rejection code (registering
+  /// lazily would race the /metrics render).
+  std::map<std::string, obs::Counter*> rejected_by_;
+  obs::Counter* finished_ = nullptr;
+  obs::Counter* failed_ = nullptr;
+  obs::Counter* killed_ = nullptr;
+  obs::Counter* snapshots_ = nullptr;
+  obs::Gauge* running_ = nullptr;
+  obs::Gauge* resident_ = nullptr;
+  obs::Gauge* draining_g_ = nullptr;
+};
+
+}  // namespace bgp::daemon

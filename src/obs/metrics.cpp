@@ -103,12 +103,14 @@ MetricsRegistry::Instance& MetricsRegistry::instance(Family& fam,
 
 Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
                                   LabelSet labels) {
+  const std::lock_guard<std::mutex> lk(*mu_);
   return instance(family(name, help, MetricType::kCounter), std::move(labels))
       .counter;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
                               LabelSet labels) {
+  const std::lock_guard<std::mutex> lk(*mu_);
   return instance(family(name, help, MetricType::kGauge), std::move(labels))
       .gauge;
 }
@@ -117,6 +119,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::string_view help,
                                       std::vector<double> bounds,
                                       LabelSet labels) {
+  const std::lock_guard<std::mutex> lk(*mu_);
   Instance& inst =
       instance(family(name, help, MetricType::kHistogram), std::move(labels));
   if (inst.histogram == nullptr) {
@@ -125,7 +128,8 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return *inst.histogram;
 }
 
-std::size_t MetricsRegistry::num_series() const noexcept {
+std::size_t MetricsRegistry::num_series() const {
+  const std::lock_guard<std::mutex> lk(*mu_);
   std::size_t n = 0;
   for (const Family& f : families_) n += f.instances.size();
   return n;

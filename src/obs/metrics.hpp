@@ -5,19 +5,21 @@
 // registry stay valid for its lifetime (instances live in deques), so
 // subsystems fetch their counter once and bump a pointer afterwards.
 //
-// Registration (counter()/gauge()/histogram()) still relies on the
-// serialized phases of a run (tools register everything before
-// Machine::run), but *updates* are lock-free atomics: under the parallel
-// epoch scheduler, rank segments on different nodes bump shared series
-// concurrently. Counter increments and histogram observations are
-// commutative (integer adds; histogram sums are integral cycle counts
-// well under 2^53, so double addition is exact), which keeps rendered
-// output byte-identical regardless of update interleaving.
+// Registration (counter()/gauge()/histogram()) is serialized by an
+// internal mutex and renderers snapshot under the same lock
+// (families_lock()), so a daemon thread can register series while another
+// thread renders the exposition. *Updates* are lock-free atomics: under
+// the parallel epoch scheduler, rank segments on different nodes bump
+// shared series concurrently. Counter increments and histogram
+// observations are commutative (integer adds; histogram sums are integral
+// cycle counts well under 2^53, so double addition is exact), which keeps
+// rendered output byte-identical regardless of update interleaving.
 #pragma once
 
 #include <atomic>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -129,17 +131,30 @@ class MetricsRegistry {
   Histogram& histogram(std::string_view name, std::string_view help,
                        std::vector<double> bounds, LabelSet labels = {});
 
+  /// The family table. Safe to iterate without a lock only when no
+  /// concurrent registration can happen; renderers that may race one hold
+  /// families_lock() across the iteration.
   [[nodiscard]] const std::deque<Family>& families() const noexcept {
     return families_;
   }
+  /// Serializes against registration (instances/families never move or
+  /// disappear — deques — but the table may grow underneath an unlocked
+  /// iteration).
+  [[nodiscard]] std::unique_lock<std::mutex> families_lock() const {
+    return std::unique_lock<std::mutex>(*mu_);
+  }
   /// Total number of (family, label set) series.
-  [[nodiscard]] std::size_t num_series() const noexcept;
+  [[nodiscard]] std::size_t num_series() const;
 
  private:
   Family& family(std::string_view name, std::string_view help,
                  MetricType type);
   Instance& instance(Family& fam, LabelSet&& labels);
 
+  /// Guards registration and renderer iteration. Behind a unique_ptr so
+  /// the registry (and FlightRecorder, which holds one by value) stays
+  /// movable; handles and locks stay valid across a move.
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
   std::deque<Family> families_;
 };
 

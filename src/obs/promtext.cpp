@@ -73,6 +73,10 @@ std::string prometheus_key(std::string_view name, const LabelSet& labels) {
 
 std::string render_prometheus(const MetricsRegistry& reg) {
   std::string out;
+  // Renders may race registration (the daemon registers per-session series
+  // while /metrics scrapes run); hold the registration lock across the
+  // iteration.
+  const auto lock = reg.families_lock();
   for (const auto& fam : reg.families()) {
     out += "# HELP " + fam.name + " " + escape_help(fam.help) + "\n";
     out += "# TYPE " + fam.name + " " +

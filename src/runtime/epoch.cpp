@@ -133,6 +133,9 @@ void EpochScheduler::sweep_locked() {
 void EpochScheduler::node_loop(unsigned node) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    // Honor request_stop() promptly: segments end here constantly, and
+    // make_ready/on_ready need mu_, which we hold.
+    if (machine_.service_stop()) sweep_locked();
     const int r = pick_local_locked(node);
     if (r < 0) break;
     RankState& s = states_[static_cast<std::size_t>(r)];
@@ -263,7 +266,10 @@ void EpochScheduler::run() {
     });
     if (terminal_count_ == n) break;
     // No executor is active: either a wake raced the last node_loop exit,
-    // or nobody can run at all.
+    // or nobody can run at all. A pending stop must be serviced before
+    // resolve_stall, or a stop during a full block would be misread as a
+    // deadlock.
+    machine_.service_stop();
     drain_commits_locked();
     sweep_locked();
     if (active_nodes_ > 0) continue;

@@ -130,6 +130,7 @@ void Machine::run_serial(const RankFn& program) {
 
   // Dispatch loop: hand the token to the most-behind ready rank.
   for (;;) {
+    service_stop();
     unsigned next = 0;
     if (!ready_q_.pop_min(next, live)) {
       std::string diag;
@@ -248,11 +249,27 @@ Machine::StallOutcome Machine::resolve_stall(std::string& diag) {
   return out;
 }
 
+bool Machine::service_stop() {
+  if (!stop_requested_.load(std::memory_order_relaxed)) return false;
+  if (aborting_.load(std::memory_order_relaxed)) return false;
+  aborting_.store(true, std::memory_order_relaxed);
+  for (unsigned r = 0; r < num_ranks_; ++r) {
+    const Status st = ranks_[r]->status;
+    if (st == Status::kBlockedRecv || st == Status::kBlockedCollective) {
+      make_ready(r);  // wake to unwind via AbortRun
+    }
+  }
+  return true;
+}
+
 void Machine::run_epilogue() {
   for (auto& rank : ranks_) {
     if (rank->error) std::rethrow_exception(rank->error);
   }
   if (aborting_.load(std::memory_order_relaxed)) {
+    // A requested stop reuses the abort unwinding machinery but is a
+    // deliberate cancellation, not a failure.
+    if (stop_requested_.load(std::memory_order_relaxed)) throw RunStopped{};
     throw std::runtime_error("run aborted");
   }
   if (!dead_ranks_.empty()) {

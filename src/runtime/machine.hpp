@@ -182,6 +182,19 @@ class Machine {
   /// Longest execution time across the whole partition.
   [[nodiscard]] cycles_t elapsed() const;
 
+  /// Ask a running program to stop at the next scheduling point. Safe from
+  /// any thread and from signal handlers (a single lock-free atomic store):
+  /// the dispatcher notices, unwinds every rank, and run() throws
+  /// RunStopped — after which traces can be sealed and checkpoint dumps
+  /// written through the usual atomic paths. A no-op once the run is over;
+  /// requesting a stop before run() stops it at the first dispatch.
+  void request_stop() noexcept {
+    stop_requested_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class RankCtx;
   friend class ft::FtComm;
@@ -296,6 +309,11 @@ class Machine {
   /// No rank is runnable: resolve dead-peer waits / survivor collectives,
   /// or declare the run over/deadlocked. Wakes ranks via make_ready.
   StallOutcome resolve_stall(std::string& diag);
+  /// Honor a pending request_stop(): flip the machine into the abort path
+  /// and wake blocked ranks so they unwind. Returns true when a stop was
+  /// serviced. Dispatcher context only (serial loop, or under the epoch
+  /// scheduler's lock — make_ready has the same requirement).
+  bool service_stop();
 
   /// Deposit a message; wakes a matching blocked receiver. Commit context.
   void deposit(Message msg, unsigned dst);
@@ -380,6 +398,7 @@ class Machine {
   std::vector<ft::RecoveryEvent> recovery_log_;
   std::vector<bool> death_detected_;  ///< per node, first-detection dedup
   std::atomic<bool> aborting_{false};
+  std::atomic<bool> stop_requested_{false};
   bool ran_ = false;
   /// compile_cached state: the cached bundle owns a copy of the loop name
   /// so its string_view cannot dangle when the descriptor was a temporary.
@@ -393,6 +412,11 @@ class Machine {
 
 /// Thrown inside rank threads to unwind them when another rank failed.
 struct AbortRun {};
+
+/// Thrown out of Machine::run() when the program was cancelled through
+/// request_stop() (operator signal, daemon kill). Not an error: the caller
+/// decides whether to checkpoint-dump the partial run.
+struct RunStopped {};
 
 /// Thrown inside a rank thread when its node suffers an injected death (or,
 /// with `inherited`, when the rank was blocked on a dead peer and the death

@@ -7,6 +7,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "cpu/core.hpp"
 #include "mem/hierarchy.hpp"
@@ -61,18 +62,29 @@ class Node {
   /// by the runtime; TB is globally synchronized on real hardware).
   [[nodiscard]] cycles_t timebase() const noexcept;
 
-  /// Instrumentation pulse hook: monitoring agents (the tracing sampler)
-  /// register here and the runtime pulses the node at instrumentation
-  /// points (loop boundaries). The hook returns the modeled overhead in
-  /// cycles the pulsing core must absorb (0 when nothing was due).
+  /// Instrumentation pulse hook: monitoring agents (the tracing sampler,
+  /// the snapshot publisher) register here and the runtime pulses the node
+  /// at instrumentation points (loop boundaries). Each hook returns the
+  /// modeled overhead in cycles the pulsing core must absorb (0 when
+  /// nothing was due); multiple agents stack and their overheads add.
   using PulseHook = std::function<cycles_t(cycles_t now)>;
-  void set_pulse_hook(PulseHook hook) { pulse_hook_ = std::move(hook); }
+  void set_pulse_hook(PulseHook hook) {
+    pulse_hooks_.clear();
+    add_pulse_hook(std::move(hook));
+  }
+  /// Register an additional agent without displacing the ones already
+  /// installed (the tracer and the snapshot publisher coexist).
+  void add_pulse_hook(PulseHook hook) {
+    if (hook) pulse_hooks_.push_back(std::move(hook));
+  }
   [[nodiscard]] bool has_pulse_hook() const noexcept {
-    return static_cast<bool>(pulse_hook_);
+    return !pulse_hooks_.empty();
   }
   /// Deliver a pulse; cheap no-op when no hook is installed.
   cycles_t pulse(cycles_t now) {
-    return pulse_hook_ ? pulse_hook_(now) : 0;
+    cycles_t overhead = 0;
+    for (auto& hook : pulse_hooks_) overhead += hook(now);
+    return overhead;
   }
 
  private:
@@ -90,7 +102,7 @@ class Node {
   BootOptions boot_;
   upc::UpcUnit upc_;
   UpcSink sink_;
-  PulseHook pulse_hook_;
+  std::vector<PulseHook> pulse_hooks_;
   std::unique_ptr<mem::MemoryHierarchy> mem_;
   std::array<std::unique_ptr<cpu::Core>, isa::kCoresPerNode> cores_;
 };

@@ -28,7 +28,11 @@ isa::LoopDesc fma_loop(u64 trip) {
 class DumpFault : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "bgpc_dump_fault_test";
+    // Unique per test: ctest -j runs fixture tests concurrently.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("bgpc_dump_fault_") + info->name());
+    fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

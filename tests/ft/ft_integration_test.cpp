@@ -114,7 +114,10 @@ FtOutcome run_ft(const fs::path& dir) {
 class FtRecovery : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "bgpc_ft_integration";
+    // Unique per test: ctest -j runs fixture tests concurrently.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("bgpc_ft_itg_") + info->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
@@ -201,7 +204,7 @@ TEST_F(FtRecovery, WithoutTheFtFlagTheMinerStillSeesMissingNodes) {
 }
 
 TEST_F(FtRecovery, SameSeedIsByteIdentical) {
-  const fs::path other = fs::temp_directory_path() / "bgpc_ft_integration2";
+  const fs::path other = dir_.parent_path() / (dir_.filename().string() + "2");
   fs::remove_all(other);
   fs::create_directories(other);
 

@@ -92,7 +92,10 @@ RunOutcome run_faulted(const fs::path& dir) {
 class FaultInjection : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "bgpc_fault_integration";
+    // Unique per test: ctest -j runs fixture tests concurrently.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("bgpc_fault_itg_") + info->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
@@ -148,7 +151,7 @@ TEST_F(FaultInjection, StrictModeRefusesAndListsEveryProblem) {
 }
 
 TEST_F(FaultInjection, SameSeedIsByteIdentical) {
-  const fs::path other = fs::temp_directory_path() / "bgpc_fault_integration2";
+  const fs::path other = dir_.parent_path() / (dir_.filename().string() + "2");
   fs::remove_all(other);
   fs::create_directories(other);
 

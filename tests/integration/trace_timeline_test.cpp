@@ -128,7 +128,10 @@ TracedOutcome run_traced(const fs::path& dir) {
 class TraceTimeline : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "bgpc_trace_integration";
+    // Unique per test: ctest -j runs fixture tests concurrently.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("bgpc_trace_itg_") + info->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
@@ -180,7 +183,7 @@ TEST_F(TraceTimeline, SurvivingTracesMineToAPhaseReport) {
 }
 
 TEST_F(TraceTimeline, SameSeedIsByteIdentical) {
-  const fs::path other = fs::temp_directory_path() / "bgpc_trace_integration2";
+  const fs::path other = dir_.parent_path() / (dir_.filename().string() + "2");
   fs::remove_all(other);
   fs::create_directories(other);
 

@@ -1,0 +1,102 @@
+// Concurrent text exposition: hammer a MetricsRegistry from N threads —
+// bumping existing series and registering brand-new ones — while another
+// thread renders and re-parses the Prometheus exposition in a loop. Every
+// render must parse cleanly and counters must be monotone across
+// consecutive scrapes (the live daemon /metrics contract).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/promtext.hpp"
+
+namespace bgp::obs {
+namespace {
+
+TEST(MetricsConcurrency, RenderStaysParseableAndMonotoneUnderChurn) {
+  MetricsRegistry reg;
+  Counter& base = reg.counter("churn_ops_total", "ops");
+  Gauge& g = reg.gauge("churn_level", "level");
+  Histogram& h =
+      reg.histogram("churn_latency", "latency", {1.0, 10.0, 100.0});
+
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      // Each writer keeps registering fresh labeled series (the racy part:
+      // family/instance tables grow underneath the renderer) while bumping
+      // the shared ones.
+      for (u64 i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        base.add();
+        g.set(double(i));
+        h.observe(double(i % 200));
+        Counter& labeled = reg.counter(
+            "churn_labeled_total", "per-writer series",
+            {{"writer", std::to_string(t)},
+             {"shard", std::to_string(i % 16)}});
+        labeled.add();
+      }
+    });
+  }
+
+  std::map<std::string, double> prev;
+  u64 scrapes = 0;
+  while (scrapes < 300) {
+    const std::string text = render_prometheus(reg);
+    std::map<std::string, double> now;
+    ASSERT_NO_THROW(now = parse_prometheus(text)) << text;
+    // Counters never go backwards between scrapes; series never vanish.
+    for (const auto& [key, value] : prev) {
+      if (key.find("_total") == std::string::npos &&
+          key.find("_count") == std::string::npos &&
+          key.find("_bucket") == std::string::npos) {
+        continue;  // gauges move freely
+      }
+      const auto it = now.find(key);
+      ASSERT_NE(it, now.end()) << key << " vanished from the exposition";
+      EXPECT_GE(it->second, value) << key << " went backwards";
+    }
+    prev = std::move(now);
+    ++scrapes;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+
+  // Quiescent sanity: the final render accounts for every write.
+  const auto final_scrape = parse_prometheus(render_prometheus(reg));
+  EXPECT_EQ(final_scrape.at("churn_ops_total"), double(base.value()));
+  double labeled_sum = 0;
+  for (const auto& [key, value] : final_scrape) {
+    if (key.rfind("churn_labeled_total{", 0) == 0) labeled_sum += value;
+  }
+  EXPECT_EQ(labeled_sum, double(base.value()));
+  EXPECT_EQ(final_scrape.at("churn_latency_count"), double(h.count()));
+}
+
+TEST(MetricsConcurrency, NumSeriesIsSafeDuringRegistration) {
+  MetricsRegistry reg;
+  std::atomic<bool> stop{false};
+  std::thread registrar([&] {
+    for (u64 i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      reg.counter("series_total", "s", {{"i", std::to_string(i % 64)}});
+    }
+  });
+  std::size_t last = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t n = reg.num_series();
+    EXPECT_GE(n, last);  // series are never dropped
+    last = n;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  registrar.join();
+  EXPECT_LE(reg.num_series(), 64u);
+}
+
+}  // namespace
+}  // namespace bgp::obs

@@ -114,7 +114,10 @@ ObsOutcome run_ft(const fs::path& dir, bool obs_on,
 class ObsIntegration : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "bgpc_obs_integration";
+    // Unique per test: ctest -j runs fixture tests concurrently.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("bgpc_obs_itg_") + info->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
@@ -228,7 +231,7 @@ TEST_F(ObsIntegration, SurvivorSpanFilesReproduceThe196CycleFigure) {
 }
 
 TEST_F(ObsIntegration, ZeroOverheadObsLeavesDumpsByteIdenticalToObsOff) {
-  const fs::path other = fs::temp_directory_path() / "bgpc_obs_integration2";
+  const fs::path other = dir_.parent_path() / (dir_.filename().string() + "2");
   fs::remove_all(other);
   fs::create_directories(other);
 
@@ -247,7 +250,7 @@ TEST_F(ObsIntegration, ZeroOverheadObsLeavesDumpsByteIdenticalToObsOff) {
 }
 
 TEST_F(ObsIntegration, SameSeedSameTraceAndMetrics) {
-  const fs::path other = fs::temp_directory_path() / "bgpc_obs_integration3";
+  const fs::path other = dir_.parent_path() / (dir_.filename().string() + "3");
   fs::remove_all(other);
   fs::create_directories(other);
 

@@ -45,7 +45,10 @@ trace::IntervalRecord rec(u64 index, u32 spanned, u64 fma, u64 instr) {
 class Timeline : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "bgpc_timeline_test";
+    // Unique per test: ctest -j runs fixture tests concurrently.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("bgpc_timeline_") + info->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

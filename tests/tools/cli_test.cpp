@@ -1,0 +1,84 @@
+// The shared CLI helpers: duration parsing with mandatory unit suffixes,
+// the exact ns -> simulated-cycles conversion, and FlagSet's typed flag
+// table (duration flags, repeated flags, error exits).
+#include <gtest/gtest.h>
+
+#include "cli.hpp"
+
+namespace bgp::cli {
+namespace {
+
+TEST(ParseDuration, AcceptsEveryUnitSuffix) {
+  EXPECT_EQ(parse_duration_ns("--t", "425000ns"), 425'000u);
+  EXPECT_EQ(parse_duration_ns("--t", "800us"), 800'000u);
+  EXPECT_EQ(parse_duration_ns("--t", "250ms"), 250'000'000u);
+  EXPECT_EQ(parse_duration_ns("--t", "2s"), 2'000'000'000u);
+  EXPECT_EQ(parse_duration_ns("--t", "0ns"), 0u);
+}
+
+TEST(ParseDuration, AcceptsFractionsRoundedToWholeNs) {
+  EXPECT_EQ(parse_duration_ns("--t", "1.5ms"), 1'500'000u);
+  EXPECT_EQ(parse_duration_ns("--t", "0.5us"), 500u);
+  EXPECT_EQ(parse_duration_ns("--t", "2.6ns"), 3u);  // rounds, not truncates
+}
+
+TEST(ParseDuration, RejectsBareNumbersJunkAndNegatives) {
+  EXPECT_THROW((void)parse_duration_ns("--t", "500"), std::invalid_argument);
+  EXPECT_THROW((void)parse_duration_ns("--t", "5m"), std::invalid_argument);
+  EXPECT_THROW((void)parse_duration_ns("--t", "ms"), std::invalid_argument);
+  EXPECT_THROW((void)parse_duration_ns("--t", "-1s"), std::invalid_argument);
+  EXPECT_THROW((void)parse_duration_ns("--t", ""), std::invalid_argument);
+  EXPECT_THROW((void)parse_duration_ns("--t", "1e12s"),
+               std::invalid_argument);  // overflows the ns range
+  try {
+    (void)parse_duration_ns("--snapshot-period", "500");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    // The message names the flag and the accepted units.
+    EXPECT_NE(std::string(e.what()).find("--snapshot-period"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("ns, us, ms, s"), std::string::npos);
+  }
+}
+
+TEST(DurationToCycles, ExactAt850MHz) {
+  // 17 cycles per 20 ns, computed in integers: no floating-point drift.
+  EXPECT_EQ(duration_to_cycles(0), 0u);
+  EXPECT_EQ(duration_to_cycles(20), 17u);
+  EXPECT_EQ(duration_to_cycles(1'000'000'000), 850'000'000u);  // 1 s
+  EXPECT_EQ(duration_to_cycles(500'000), 425'000u);            // 500 us
+  // A full hour of simulated time stays exact (no u64 overflow en route).
+  EXPECT_EQ(duration_to_cycles(u64{3'600} * 1'000'000'000),
+            u64{3'060'000'000'000});
+}
+
+TEST(FlagSet, DurationAndRepeatedFlags) {
+  cycles_t period = 0;
+  u64 ns = 0;
+  std::vector<std::string> preloads;
+  FlagSet fs("t");
+  fs.duration_cycles_value("snapshot-period", "DUR", "", &period)
+      .duration_ns_value("timeout", "DUR", "", &ns)
+      .repeated_value("preload", "JOB", "", &preloads);
+
+  const char* argv[] = {"t", "--snapshot-period=500us", "--timeout=2s",
+                        "--preload=a", "--preload=b"};
+  EXPECT_EQ(fs.parse(5, const_cast<char**>(argv), 1), std::nullopt);
+  EXPECT_EQ(period, 425'000u);
+  EXPECT_EQ(ns, 2'000'000'000u);
+  EXPECT_EQ(preloads, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(FlagSet, BadDurationValueExitsTwo) {
+  cycles_t period = 0;
+  FlagSet fs("t");
+  fs.duration_cycles_value("snapshot-period", "DUR", "", &period);
+  const char* argv[] = {"t", "--snapshot-period=500"};
+  EXPECT_EQ(fs.parse(2, const_cast<char**>(argv), 1), std::optional<int>{2});
+  const char* unknown[] = {"t", "--frobnicate"};
+  EXPECT_EQ(fs.parse(2, const_cast<char**>(unknown), 1),
+            std::optional<int>{2});
+}
+
+}  // namespace
+}  // namespace bgp::cli

@@ -41,7 +41,10 @@ IntervalRecord rec(u64 index, u32 spanned = 1) {
 class TraceIo : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "bgpc_trace_io_test";
+    // Unique per test: ctest -j runs fixture tests concurrently.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("bgpc_trace_io_") + info->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

@@ -19,18 +19,76 @@
 
 #include "cli.hpp"
 #include "common/strfmt.hpp"
+#include "daemon/attach.hpp"
 #include "postproc/aggregate.hpp"
 #include "postproc/pipeline.hpp"
+#include "postproc/report.hpp"
 
 using namespace bgp;
+
+namespace {
+
+/// --attach: mine a live (or final) snapshot file instead of a dump
+/// directory. The snapshot's raw counters reconstruct as one open set-0
+/// pair per node, so the standard aggregate/record pipeline applies
+/// mid-flight.
+int attach_mine(const std::filesystem::path& snap, unsigned set, bool quiet) {
+  daemon::AttachView view;
+  try {
+    view = daemon::attach_file(snap);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bgpc_mine --attach: %s\n", e.what());
+    return 1;
+  }
+  const std::vector<pc::NodeDump> dumps = daemon::to_node_dumps(view);
+  std::size_t counting = 0, final_count = 0;
+  for (const daemon::NodeSnapshot& n : view.nodes) {
+    if (n.state == daemon::SnapState::kCounting) ++counting;
+    if (n.state == daemon::SnapState::kFinal) ++final_count;
+  }
+  const post::Aggregate agg(dumps, set);
+  const post::AppRecord rec = post::make_record(view.app, agg);
+  if (!quiet) {
+    std::printf("attached to %s: session %s, app %s — %s\n",
+                snap.string().c_str(), view.session.c_str(),
+                view.app.c_str(),
+                view.final_only ? "run finished (final snapshot)"
+                                : "LIVE mid-run snapshot");
+    std::printf("  nodes: %zu readable (%zu counting, %zu final), %zu "
+                "unreadable\n",
+                view.nodes.size(), counting, final_count,
+                view.unreadable.size());
+    cycles_t newest = 0;
+    for (const daemon::NodeSnapshot& n : view.nodes) {
+      newest = std::max(newest, n.published_cycle);
+    }
+    std::printf("  newest publication: cycle %llu (%.3f ms simulated)\n",
+                static_cast<unsigned long long>(newest),
+                1e3 * static_cast<double>(newest) / kCoreClockHz);
+    std::printf("  exec cycles (mean node max): %.0f\n", rec.exec_cycles);
+    std::printf("  MFLOPS/node so far:          %.2f\n", rec.mflops_per_node);
+    std::printf("  L3<->DDR traffic/node:       %s\n",
+                human_bytes(rec.ddr_traffic_bytes).c_str());
+    std::printf("  L3 read miss ratio:          %.2f%%\n",
+                100.0 * rec.l3_read_miss_ratio);
+  }
+  return view.unreadable.empty() ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   post::MineOptions opts;
   std::string metrics_file, stats_file, full_file;
+  std::filesystem::path attach_path;
   bool quiet = false;
   cli::ObsArgs obs_args;
 
   cli::FlagSet fs("bgpc_mine", "DIR APP");
+  fs.path_value("attach", "SNAPFILE",
+                "mine a daemon/bgpc_run snapshot file (live attach) instead "
+                "of a dump directory",
+                &attach_path);
   fs.unsigned_value("set", "N", "instrumentation set to mine (default 0)",
                     &opts.set);
   fs.string_value("metrics", "FILE", "write the per-application metrics record",
@@ -56,6 +114,7 @@ int main(int argc, char** argv) {
 
   if (argc >= 2 && argv[1][0] == '-') {
     if (const auto rc = fs.parse(argc, argv, 1)) return *rc;
+    if (!attach_path.empty()) return attach_mine(attach_path, opts.set, quiet);
     fs.print_usage(stderr);
     return 2;
   }

@@ -13,11 +13,45 @@
 
 #include "cli.hpp"
 #include "common/strfmt.hpp"
+#include "daemon/attach.hpp"
 #include "obs/span_io.hpp"
 
 using namespace bgp;
 
 namespace {
+
+/// --attach: print a live view of a session's snapshot file — per-node
+/// lifecycle state and publication cycle, plus the metrics exposition the
+/// publisher mirrored into the file.
+int attach_view(const std::filesystem::path& snap, bool quiet) {
+  daemon::AttachView view;
+  try {
+    view = daemon::attach_file(snap);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bgpc_obs --attach: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s: session %s, app %s — %s\n", snap.string().c_str(),
+              view.session.c_str(), view.app.c_str(),
+              view.final_only ? "final" : "LIVE");
+  for (const daemon::NodeSnapshot& n : view.nodes) {
+    const char* state = n.state == daemon::SnapState::kIdle ? "idle"
+                        : n.state == daemon::SnapState::kCounting
+                            ? "counting"
+                            : "final";
+    std::printf("  node %3u card %3u mode %u  %-8s @ cycle %llu\n", n.node_id,
+                n.card_id, n.mode, state,
+                static_cast<unsigned long long>(n.published_cycle));
+  }
+  for (const unsigned n : view.unreadable) {
+    std::printf("  node %3u UNREADABLE (writer churn or corruption)\n", n);
+  }
+  if (!quiet && !view.metrics_text.empty()) {
+    std::printf("\npublished metrics exposition:\n%s",
+                view.metrics_text.c_str());
+  }
+  return view.unreadable.empty() ? 0 : 1;
+}
 
 void print_profile(const std::vector<obs::ProfileRow>& rows, unsigned top) {
   std::printf("%-22s %-10s %10s %14s %10s %12s\n", "span", "cat", "calls",
@@ -45,7 +79,12 @@ int main(int argc, char** argv) {
   unsigned top = 20;
   bool quiet = false;
 
+  std::filesystem::path attach_path;
   cli::FlagSet fs("bgpc_obs", "DIR APP");
+  fs.path_value("attach", "SNAPFILE",
+                "inspect a daemon/bgpc_run snapshot file (live attach) "
+                "instead of span files",
+                &attach_path);
   fs.path_value("trace", "FILE",
                 "re-export the merged spans as Chrome trace-event JSON",
                 &trace_file);
@@ -56,6 +95,7 @@ int main(int argc, char** argv) {
 
   if (argc >= 2 && argv[1][0] == '-') {
     if (const auto rc = fs.parse(argc, argv, 1)) return *rc;
+    if (!attach_path.empty()) return attach_view(attach_path, quiet);
     fs.print_usage(stderr);
     return 2;
   }

@@ -10,12 +10,16 @@
 //
 //   bgpc_run BENCH [options]       (see --help for the full flag list)
 //   bgpc_run --list                list benchmarks, modes, classes, presets
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 
 #include "cli.hpp"
 #include "common/strfmt.hpp"
+#include "daemon/publisher.hpp"
 #include "fault/fault.hpp"
 #include "ft/ftcomm.hpp"
 #include "nas/kernel.hpp"
@@ -27,6 +31,22 @@
 using namespace bgp;
 
 namespace {
+
+/// SIGINT/SIGTERM turn into a cooperative Machine stop: the dispatcher
+/// finishes the instruction block in flight, traces are sealed and every
+/// initialized node checkpoint-dumps through the atomic write path, so an
+/// interrupted run leaves minable files instead of torn ones.
+std::atomic<rt::Machine*> g_machine{nullptr};
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_stop_signal(int sig) {
+  g_signal = sig;
+  // Both the load and request_stop() are lock-free atomics —
+  // async-signal-safe.
+  if (rt::Machine* m = g_machine.load(std::memory_order_relaxed)) {
+    m->request_stop();
+  }
+}
 
 int list_choices() {
   std::printf("benchmarks:");
@@ -60,6 +80,8 @@ int main(int argc, char** argv) {
   ft::FtParams ftp;
   cli::ObsArgs obs_args;
   cli::SchedArgs sched_args;
+  std::filesystem::path snapshot_file;
+  daemon::PublisherConfig snap_cfg;
 
   cli::FlagSet fs("bgpc_run", "BENCH");
   fs.flag("list", "list benchmarks, modes, classes and event presets",
@@ -110,6 +132,26 @@ int main(int argc, char** argv) {
   fs.u64_value("ft-detect-latency", "N",
                "failure-detection latency in cycles (default 2000)",
                &ftp.detect_latency);
+  fs.value("interval", "DUR",
+           "trace sampling interval as simulated time with a unit suffix "
+           "(e.g. 12us); the duration twin of --interval-cycles",
+           [&](const char* v) {
+             tc.interval_cycles =
+                 cli::duration_to_cycles(cli::parse_duration_ns("--interval", v));
+             if (tc.interval_cycles == 0) {
+               throw std::invalid_argument(
+                   "--interval is shorter than one 850 MHz cycle");
+             }
+           });
+  fs.path_value("snapshot-file", "PATH",
+                "publish live counter snapshots to this mmap-able file "
+                "(attach with bgpc_mine/bgpc_obs --attach)",
+                &snapshot_file);
+  fs.duration_cycles_value(
+      "snapshot-period", "DUR",
+      "snapshot publication period as simulated time with a unit suffix "
+      "(default 500us; needs --snapshot-file)",
+      &snap_cfg.period_cycles);
   cli::add_obs_flags(fs, obs_args);
   cli::add_sched_flags(fs, sched_args);
 
@@ -187,27 +229,66 @@ int main(int argc, char** argv) {
                 ftp.enabled ? ", FT recovery enabled" : "");
   }
 
+  std::unique_ptr<daemon::SnapshotPublisher> publisher;
+  if (!snapshot_file.empty()) {
+    publisher = std::make_unique<daemon::SnapshotPublisher>(
+        machine, snapshot_file, opts.app_name, opts.app_name, snap_cfg);
+    if (session.flight_recorder() != nullptr) {
+      publisher->set_metrics_source(&session.flight_recorder()->metrics());
+    }
+    std::printf("publishing snapshots to %s every %llu cycles\n",
+                snapshot_file.string().c_str(),
+                static_cast<unsigned long long>(snap_cfg.period_cycles));
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = on_stop_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  g_machine.store(&machine, std::memory_order_relaxed);
+
   auto kernel = nas::make_kernel(bench, cls);
   const std::string region = "region." + opts.app_name;
-  if (ftp.enabled) {
-    machine.run([&](rt::RankCtx& ctx) {
-      ft::run_guarded(ctx, [&](rt::RankCtx& c) {
-        c.mpi_init();
-        rt::ObsScope span(c, region, obs::SpanCat::kRegion);
-        kernel->run(c);
+  bool stopped = false;
+  try {
+    if (ftp.enabled) {
+      machine.run([&](rt::RankCtx& ctx) {
+        ft::run_guarded(ctx, [&](rt::RankCtx& c) {
+          c.mpi_init();
+          rt::ObsScope span(c, region, obs::SpanCat::kRegion);
+          kernel->run(c);
+        });
+        ft::finalize_guarded(ctx);
       });
-      ft::finalize_guarded(ctx);
-    });
-  } else {
-    machine.run([&](rt::RankCtx& ctx) {
-      ctx.mpi_init();
-      {
-        rt::ObsScope span(ctx, region, obs::SpanCat::kRegion);
-        kernel->run(ctx);
-      }
-      ctx.mpi_finalize();
-    });
+    } else {
+      machine.run([&](rt::RankCtx& ctx) {
+        ctx.mpi_init();
+        {
+          rt::ObsScope span(ctx, region, obs::SpanCat::kRegion);
+          kernel->run(ctx);
+        }
+        ctx.mpi_finalize();
+      });
+    }
+  } catch (const rt::RunStopped&) {
+    stopped = true;
   }
+  g_machine.store(nullptr, std::memory_order_relaxed);
+
+  if (stopped) {
+    // Interrupted: seal what was recording and checkpoint-dump every
+    // initialized node so the partial run stays minable.
+    session.seal_all_traces();
+    session.checkpoint_dump();
+    if (publisher) publisher->publish_final();
+    std::printf("interrupted at %llu cycles: sealed %zu trace(s), wrote %zu "
+                "checkpoint dump(s) to %s\n",
+                static_cast<unsigned long long>(machine.elapsed()),
+                session.trace_files().size(), session.dump_files().size(),
+                dump_dir.string().c_str());
+    return 128 + static_cast<int>(g_signal);
+  }
+  if (publisher) publisher->publish_final();
 
   const std::vector<unsigned> dead = machine.dead_nodes();
   if (ftp.enabled && !dead.empty()) {

@@ -146,6 +146,17 @@ int main(int argc, char** argv) {
                throw std::invalid_argument("--interval-cycles must be positive");
              }
            });
+  fs.value("interval", "DUR",
+           "sampling interval as simulated time with a unit suffix "
+           "(e.g. 12us); the duration twin of --interval-cycles",
+           [&](const char* v) {
+             tc.interval_cycles =
+                 cli::duration_to_cycles(cli::parse_duration_ns("--interval", v));
+             if (tc.interval_cycles == 0) {
+               throw std::invalid_argument(
+                   "--interval is shorter than one 850 MHz cycle");
+             }
+           });
   fs.value("events", "PRESET", "default|fp|mix|mem (see --list)",
            [&](const char* v) {
              tc.preset = v;  // validated against the catalogue

@@ -95,6 +95,50 @@ inline double parse_double(const char* flag, const char* text, double lo,
   return v;
 }
 
+/// Parse a duration with a unit suffix (`250ms`, `2s`, `800us`, `425000ns`)
+/// into nanoseconds. The suffix is mandatory: a bare number is ambiguous
+/// and rejected with a pointer at the accepted units. Fractional values
+/// (`1.5ms`) are accepted; the result is rounded to whole nanoseconds.
+inline u64 parse_duration_ns(const char* flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  const auto fail = [&]() -> std::invalid_argument {
+    return std::invalid_argument(
+        strfmt("%s needs a duration with a unit suffix (ns, us, ms, s), "
+               "e.g. 250ms or 2s; got '%s'",
+               flag, text));
+  };
+  if (end == text || errno == ERANGE || v < 0) throw fail();
+  double scale = 0;
+  if (std::strcmp(end, "ns") == 0) {
+    scale = 1.0;
+  } else if (std::strcmp(end, "us") == 0) {
+    scale = 1e3;
+  } else if (std::strcmp(end, "ms") == 0) {
+    scale = 1e6;
+  } else if (std::strcmp(end, "s") == 0) {
+    scale = 1e9;
+  } else {
+    throw fail();
+  }
+  const double ns = v * scale;
+  if (ns > 1.8e19) {
+    throw std::invalid_argument(strfmt("%s: %s is out of range", flag, text));
+  }
+  return static_cast<u64>(ns + 0.5);
+}
+
+/// A duration expressed in *simulated* cycles of the 850 MHz core clock:
+/// `250ms` of simulated time is 212.5M cycles. Used by the sampling-period
+/// flags (--interval, --snapshot-period), which pace modeled activity on
+/// the simulated timeline.
+inline cycles_t duration_to_cycles(u64 ns) {
+  // kCoreClockHz = 850e6 -> 0.85 cycles per ns; keep the arithmetic exact
+  // in integers: 17 cycles per 20 ns.
+  return static_cast<cycles_t>((static_cast<unsigned __int128>(ns) * 17) / 20);
+}
+
 /// Typed flag table. Tools declare their flags once; parse() consumes
 /// argv, auto-answers --help and --version, and turns unknown flags or
 /// bad values into usage + exit 2 (returned, not called — main stays in
@@ -152,6 +196,32 @@ class FlagSet {
                         std::string help, std::string* out) {
     return value(std::move(name), std::move(metavar), std::move(help),
                  [out](const char* v) { *out = v; });
+  }
+  /// Duration flag (`--name=250ms`); stores nanoseconds.
+  FlagSet& duration_ns_value(std::string name, std::string metavar,
+                             std::string help, u64* out) {
+    const std::string f = "--" + name;
+    return value(std::move(name), std::move(metavar), std::move(help),
+                 [out, f](const char* v) {
+                   *out = parse_duration_ns(f.c_str(), v);
+                 });
+  }
+  /// Duration flag interpreted on the simulated 850 MHz timeline; stores
+  /// core-clock cycles (`2s` -> 1.7e9 cycles).
+  FlagSet& duration_cycles_value(std::string name, std::string metavar,
+                                 std::string help, cycles_t* out) {
+    const std::string f = "--" + name;
+    return value(std::move(name), std::move(metavar), std::move(help),
+                 [out, f](const char* v) {
+                   *out = duration_to_cycles(parse_duration_ns(f.c_str(), v));
+                 });
+  }
+  /// Repeatable flag: every occurrence appends (the single-value helpers
+  /// above overwrite, so `--preload=a --preload=b` would lose `a`).
+  FlagSet& repeated_value(std::string name, std::string metavar,
+                          std::string help, std::vector<std::string>* out) {
+    return value(std::move(name), std::move(metavar), std::move(help),
+                 [out](const char* v) { out->push_back(v); });
   }
   FlagSet& path_value(std::string name, std::string metavar, std::string help,
                       std::filesystem::path* out) {
