@@ -1,0 +1,80 @@
+// Microbenchmark for the write-ahead session journal: append latency for a
+// representative lifecycle record (the cost every admit/finish pays on the
+// control path) and replay throughput (the cost a restart pays per journal
+// record). Appends land on a tmpfs-backed temp file so the numbers measure
+// framing + CRC + the write syscall, not disk seeks.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "daemon/journal.hpp"
+
+namespace fs = std::filesystem;
+using namespace bgp;
+using namespace bgp::daemon;
+
+namespace {
+
+fs::path bench_path() {
+  return fs::temp_directory_path() / "bgpcd_journal_bench.jrnl";
+}
+
+JournalRecord sample_record() {
+  JournalRecord rec;
+  rec.op = journal_op::kFinish;
+  rec.session = "s0042";
+  json::Value body = json::Value::object();
+  body.set("state", json::Value("finished"));
+  body.set("detail", json::Value("verified: 8/8 ranks OK"));
+  body.set("verified", json::Value(true));
+  body.set("dump_files", json::Value(u64{8}));
+  body.set("trace_files", json::Value(u64{8}));
+  body.set("sim_cycles", json::Value(u64{123'456'789}));
+  rec.body = body;
+  return rec;
+}
+
+void BM_JournalAppend(benchmark::State& state) {
+  const fs::path path = bench_path();
+  fs::remove(path);
+  JournalWriter writer(path);
+  const JournalRecord rec = sample_record();
+  for (auto _ : state) {
+    writer.append(rec);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["journal_bytes"] =
+      static_cast<double>(fs::file_size(path));
+  fs::remove(path);
+}
+BENCHMARK(BM_JournalAppend);
+
+void BM_JournalEncodeFrame(benchmark::State& state) {
+  const JournalRecord rec = sample_record();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_journal_frame(rec));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_JournalEncodeFrame);
+
+void BM_JournalReplay(benchmark::State& state) {
+  const fs::path path = bench_path();
+  fs::remove(path);
+  const auto records = static_cast<unsigned>(state.range(0));
+  {
+    JournalWriter writer(path);
+    const JournalRecord rec = sample_record();
+    for (unsigned i = 0; i < records; ++i) writer.append(rec);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replay_journal(path));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * records);
+  fs::remove(path);
+}
+BENCHMARK(BM_JournalReplay)->Arg(64)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

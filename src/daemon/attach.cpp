@@ -1,5 +1,10 @@
 #include "daemon/attach.hpp"
 
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+#include "daemon/backoff.hpp"
+
 namespace bgp::daemon {
 
 AttachView attach_read(const SnapshotReader& reader) {
@@ -8,12 +13,20 @@ AttachView attach_read(const SnapshotReader& reader) {
   view.session = reader.session();
   for (unsigned node = 0; node < reader.num_nodes(); ++node) {
     NodeSnapshot snap;
-    if (!reader.read_node(node, snap)) {
-      view.unreadable.push_back(node);
-      continue;
+    switch (reader.read_node_status(node, snap)) {
+      case SnapReadStatus::kOk:
+        view.nodes.push_back(snap);
+        if (snap.state != SnapState::kFinal) view.final_only = false;
+        break;
+      case SnapReadStatus::kBusy:
+        view.unreadable.push_back(node);
+        view.busy.push_back(node);
+        break;
+      case SnapReadStatus::kCorrupt:
+        view.unreadable.push_back(node);
+        view.corrupt.push_back(node);
+        break;
     }
-    view.nodes.push_back(snap);
-    if (snap.state != SnapState::kFinal) view.final_only = false;
   }
   (void)reader.read_metrics(view.metrics_text);
   return view;
@@ -22,6 +35,25 @@ AttachView attach_read(const SnapshotReader& reader) {
 AttachView attach_file(const std::filesystem::path& path) {
   const SnapshotReader reader = SnapshotReader::open_file(path);
   return attach_read(reader);
+}
+
+AttachView attach_file_retry(const std::filesystem::path& path,
+                             const AttachRetry& retry) {
+  const unsigned attempts = std::max(retry.attempts, 1u);
+  Backoff backoff(retry.base_delay_ms, retry.max_delay_ms, retry.jitter_seed);
+  AttachView view;
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    // Re-open each attempt: the writer may have grown/replaced the file.
+    const SnapshotReader reader = SnapshotReader::open_file(path);
+    view = attach_read(reader);
+    if (view.busy.empty()) return view;
+    if (attempt + 1 < attempts) backoff.sleep(attempt);
+  }
+  throw std::runtime_error(strfmt(
+      "node %u of %s is seqlock-busy after %u attach attempts — the "
+      "writer is gone or the snapshot is stale (daemon crashed "
+      "mid-publish?); a fresh run must recreate the file",
+      view.busy.front(), path.c_str(), attempts));
 }
 
 pc::NodeDump to_node_dump(const NodeSnapshot& snap, const std::string& app) {

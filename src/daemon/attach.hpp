@@ -21,8 +21,15 @@ struct AttachView {
   /// Nodes whose snapshot was readable and non-idle, in node order.
   std::vector<NodeSnapshot> nodes;
   /// Nodes skipped because their seqlock never stabilized (publisher mid
-  /// write through every retry) or the slot CRC failed.
+  /// write through every retry) or the slot CRC failed. Union of `busy`
+  /// and `corrupt`, kept for compatibility.
   std::vector<unsigned> unreadable;
+  /// Subset of unreadable: seqlock never stabilized. On a live file this
+  /// is a racing writer (retry helps); on a dead writer's file it means
+  /// the writer crashed mid-publish and the slot is stale forever.
+  std::vector<unsigned> busy;
+  /// Subset of unreadable: stable sequence, CRC mismatch (bit rot).
+  std::vector<unsigned> corrupt;
   /// The publisher's rendered metrics exposition ("" when none published).
   std::string metrics_text;
   /// True when every readable node was kFinal (the run is over).
@@ -34,6 +41,26 @@ struct AttachView {
 
 /// Convenience: open `path` and read it once.
 [[nodiscard]] AttachView attach_file(const std::filesystem::path& path);
+
+/// Bounded-retry attach for files whose writer may be live, slow, or dead.
+struct AttachRetry {
+  /// Total attach attempts before giving up on busy nodes.
+  unsigned attempts = 8;
+  /// Backoff between attempts: base * 2^attempt, capped, jittered ±50%.
+  unsigned base_delay_ms = 2;
+  unsigned max_delay_ms = 100;
+  /// 0 = derive a seed (non-reproducible); fixed values make tests exact.
+  u64 jitter_seed = 0;
+};
+
+/// attach_file that retries while nodes are seqlock-busy (a live writer
+/// publishing). If nodes are still busy after the final attempt the writer
+/// is gone or wedged: throws std::runtime_error with a clear
+/// "writer gone / snapshot stale" message instead of spinning forever.
+/// Corrupt (CRC-failing) nodes never throw — they stay listed in
+/// `corrupt`/`unreadable` and the caller mines what is readable.
+[[nodiscard]] AttachView attach_file_retry(const std::filesystem::path& path,
+                                           const AttachRetry& retry = {});
 
 /// Reconstruct the miner-facing dump for one snapshot: set 0, one
 /// start/stop pair spanning [0, published_cycle], deltas = the raw

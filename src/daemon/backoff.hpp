@@ -1,0 +1,55 @@
+// Jittered exponential backoff shared by every daemon-facing retry loop
+// (control clients, live attach). Deliberately tiny and dependency-free:
+// a splitmix-style generator seeded explicitly, so tests that pin the seed
+// get exact delay sequences while production callers derive a seed from
+// the clock and decorrelate from each other.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/types.hpp"
+
+namespace bgp::daemon {
+
+class Backoff {
+ public:
+  /// seed 0 derives one from the steady clock (decorrelated retriers).
+  explicit Backoff(unsigned base_delay_ms, unsigned max_delay_ms,
+                   u64 seed = 0)
+      : base_ms_(std::max(base_delay_ms, 1u)),
+        max_ms_(std::max(max_delay_ms, base_delay_ms)),
+        state_(seed != 0 ? seed
+                         : static_cast<u64>(std::chrono::steady_clock::now()
+                                                .time_since_epoch()
+                                                .count()) |
+                               1) {}
+
+  /// Delay before retry `attempt` (0-based): base * 2^attempt capped at
+  /// max, then jittered uniformly into [50%, 150%].
+  [[nodiscard]] unsigned delay_ms(unsigned attempt) {
+    u64 exp = base_ms_;
+    for (unsigned i = 0; i < attempt && exp < max_ms_; ++i) exp *= 2;
+    exp = std::min<u64>(exp, max_ms_);
+    // splitmix64 step for the jitter draw.
+    state_ += 0x9E3779B97F4A7C15ull;
+    u64 z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    const u64 half = std::max<u64>(exp / 2, 1);
+    return static_cast<unsigned>(exp - half + (z % (2 * half + 1)));
+  }
+
+  void sleep(unsigned attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms(attempt)));
+  }
+
+ private:
+  u64 base_ms_;
+  u64 max_ms_;
+  u64 state_;
+};
+
+}  // namespace bgp::daemon

@@ -1,19 +1,33 @@
 #include "daemon/control.hpp"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
 
 #include "common/strfmt.hpp"
+#include "daemon/backoff.hpp"
+#include "fault/fault.hpp"
 
 namespace bgp::daemon {
 
 namespace {
+
+/// Apply SO_RCVTIMEO/SO_SNDTIMEO; 0 leaves the socket blocking forever.
+void set_io_deadline(int fd, unsigned timeout_ms) {
+  if (timeout_ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
 
 int connect_unix(const std::filesystem::path& path) {
   const std::string p = path.string();
@@ -42,17 +56,26 @@ void send_all(int fd, const std::string& data) {
   while (off < data.size()) {
     const ssize_t n =
         ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      throw std::runtime_error("control socket write timed out");
+    }
     if (n <= 0) throw std::runtime_error("control socket write failed");
     off += static_cast<std::size_t>(n);
   }
 }
 
 /// Read up to the next '\n' (exclusive). False on EOF before any byte.
+/// A receive deadline expiring mid-line throws (the peer stalled).
 bool read_line(int fd, std::string& line) {
   line.clear();
   char c;
   for (;;) {
     const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      throw std::runtime_error("control socket read timed out");
+    }
     if (n <= 0) return !line.empty();
     if (c == '\n') return true;
     line.push_back(c);
@@ -64,10 +87,20 @@ bool read_line(int fd, std::string& line) {
 
 }  // namespace
 
+bool is_retryable_code(std::string_view code) noexcept {
+  // Transient conditions: the same request may succeed once pressure
+  // clears or an operator fixes the disk. Everything else (bad_request,
+  // duplicate_session, not_found, over_quota_ranks — a spec bigger than
+  // the machine never fits, draining — the daemon is going away) is final.
+  return code == "journal_unwritable" || code == "over_quota_sessions" ||
+         code == "over_quota_bytes";
+}
+
 json::Value control_error(const std::string& code, const std::string& detail) {
   json::Value err = json::Value::object();
   err.set("code", json::Value(code));
   err.set("detail", json::Value(detail));
+  err.set("retryable", json::Value(is_retryable_code(code)));
   json::Value v = json::Value::object();
   v.set("ok", json::Value(false));
   v.set("error", std::move(err));
@@ -78,6 +111,18 @@ json::Value control_ok() {
   json::Value v = json::Value::object();
   v.set("ok", json::Value(true));
   return v;
+}
+
+bool control_response_retryable(const json::Value& resp) {
+  const json::Value* ok = resp.get("ok");
+  if (!ok || ok->as_bool()) return false;
+  const json::Value* err = resp.get("error");
+  if (!err) return false;
+  if (const json::Value* retryable = err->get("retryable")) {
+    return retryable->as_bool();
+  }
+  const json::Value* code = err->get("code");
+  return code != nullptr && is_retryable_code(code->as_string());
 }
 
 ControlServer::~ControlServer() { stop(); }
@@ -142,12 +187,13 @@ void ControlServer::accept_loop() {
 }
 
 void ControlServer::serve(int client_fd) {
+  set_io_deadline(client_fd, io_timeout_ms_);
   std::string line;
   for (;;) {
     try {
       if (!read_line(client_fd, line)) return;
     } catch (const std::exception&) {
-      return;  // oversized line: drop the connection
+      return;  // oversized line or stalled client: drop the connection
     }
     if (line.empty()) continue;
     json::Value resp;
@@ -159,6 +205,9 @@ void ControlServer::serve(int client_fd) {
     } catch (const std::exception& e) {
       resp = control_error("internal", e.what());
     }
+    if (faults_ != nullptr && faults_->next_control_response_reset()) {
+      return;  // injected reset: the client sees EOF instead of an answer
+    }
     try {
       send_all(client_fd, resp.dump() + "\n");
     } catch (const std::exception&) {
@@ -168,8 +217,9 @@ void ControlServer::serve(int client_fd) {
 }
 
 json::Value control_request(const std::filesystem::path& socket_path,
-                            const json::Value& request) {
+                            const json::Value& request, unsigned timeout_ms) {
   const int fd = connect_unix(socket_path);
+  set_io_deadline(fd, timeout_ms);
   json::Value resp;
   try {
     send_all(fd, request.dump() + "\n");
@@ -184,6 +234,33 @@ json::Value control_request(const std::filesystem::path& socket_path,
   }
   ::close(fd);
   return resp;
+}
+
+json::Value control_request_retry(const std::filesystem::path& socket_path,
+                                  const json::Value& request,
+                                  const ControlRetry& retry) {
+  const unsigned attempts = std::max(retry.attempts, 1u);
+  Backoff backoff(retry.base_delay_ms, retry.max_delay_ms, retry.jitter_seed);
+  std::string last_error;
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    try {
+      json::Value resp = control_request(socket_path, request,
+                                         retry.timeout_ms);
+      if (!control_response_retryable(resp)) return resp;
+      const json::Value* err = resp.get("error");
+      const json::Value* detail = err ? err->get("detail") : nullptr;
+      last_error = strfmt("retryable response: %s",
+                          detail ? detail->as_string().c_str() : "(no detail)");
+      if (attempt + 1 == attempts) return resp;  // surface the real error
+    } catch (const std::exception& e) {
+      // Transport failure: the daemon may be restarting — retry.
+      last_error = e.what();
+    }
+    if (attempt + 1 < attempts) backoff.sleep(attempt);
+  }
+  throw std::runtime_error(strfmt("control request failed after %u attempts: "
+                                  "%s",
+                                  attempts, last_error.c_str()));
 }
 
 }  // namespace bgp::daemon

@@ -14,6 +14,10 @@
 
 #include "daemon/json.hpp"
 
+namespace bgp::fault {
+class DaemonFaultInjector;
+}
+
 namespace bgp::daemon {
 
 /// Handles one decoded request; returns the response value. Thrown
@@ -21,11 +25,20 @@ namespace bgp::daemon {
 /// `internal` one.
 using ControlHandler = std::function<json::Value(const json::Value& request)>;
 
-/// Build the standard failure response shape.
+/// Whether a structured error code names a transient condition a client
+/// should retry with backoff (quota pressure, degraded daemon) as opposed
+/// to one that will never succeed verbatim (bad request, duplicate name).
+[[nodiscard]] bool is_retryable_code(std::string_view code) noexcept;
+
+/// Build the standard failure response shape:
+/// {"ok":false,"error":{"code","detail","retryable"}}.
 [[nodiscard]] json::Value control_error(const std::string& code,
                                         const std::string& detail);
 /// Build an {"ok":true} response to extend.
 [[nodiscard]] json::Value control_ok();
+
+/// True iff `resp` is an {"ok":false} response flagged retryable.
+[[nodiscard]] bool control_response_retryable(const json::Value& resp);
 
 class ControlServer {
  public:
@@ -41,6 +54,16 @@ class ControlServer {
   /// Stop accepting, join every connection thread, unlink the socket.
   void stop();
 
+  /// Per-connection read/write deadline (before start()); a client that
+  /// stalls longer than this mid-request is dropped. 0 disables.
+  void set_io_timeout_ms(unsigned ms) noexcept { io_timeout_ms_ = ms; }
+
+  /// Inject socket resets (before start()): when the injector schedules
+  /// one, the response is dropped and the connection closed instead.
+  void set_fault_injector(fault::DaemonFaultInjector* faults) noexcept {
+    faults_ = faults;
+  }
+
   [[nodiscard]] const std::filesystem::path& socket_path() const noexcept {
     return path_;
   }
@@ -52,15 +75,38 @@ class ControlServer {
   ControlHandler handler_;
   std::filesystem::path path_;
   int listen_fd_ = -1;
+  unsigned io_timeout_ms_ = 30'000;
+  fault::DaemonFaultInjector* faults_ = nullptr;
   std::thread acceptor_;
   std::mutex conn_mu_;  ///< guards conns_
   std::vector<std::thread> conns_;
 };
 
 /// Client side: connect to `socket_path`, send one request line, read one
-/// response line. Throws std::runtime_error on connect/IO failure and
+/// response line, with a per-request I/O deadline (0 = block forever).
+/// Throws std::runtime_error on connect/IO failure or timeout and
 /// json::JsonError on an unparseable response.
 [[nodiscard]] json::Value control_request(
-    const std::filesystem::path& socket_path, const json::Value& request);
+    const std::filesystem::path& socket_path, const json::Value& request,
+    unsigned timeout_ms = 10'000);
+
+/// Retry policy for control_request_retry.
+struct ControlRetry {
+  unsigned attempts = 5;
+  unsigned base_delay_ms = 25;
+  unsigned max_delay_ms = 1'000;
+  unsigned timeout_ms = 10'000;  ///< per-attempt I/O deadline
+  u64 jitter_seed = 0;           ///< 0 = derive (decorrelated clients)
+};
+
+/// control_request with jittered exponential backoff. Retries transport
+/// failures (connect refused/reset, timeout, EOF — the daemon may be
+/// restarting) and structured responses flagged retryable; returns fatal
+/// {"ok":false} responses to the caller immediately (retrying a
+/// bad_request can never help). Throws std::runtime_error when every
+/// attempt failed at the transport layer.
+[[nodiscard]] json::Value control_request_retry(
+    const std::filesystem::path& socket_path, const json::Value& request,
+    const ControlRetry& retry = {});
 
 }  // namespace bgp::daemon

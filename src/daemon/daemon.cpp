@@ -8,11 +8,14 @@ namespace bgp::daemon {
 Daemon::Daemon(DaemonConfig config) : service_(std::move(config.service)) {
   std::filesystem::path sock = config.socket_path;
   if (sock.empty()) sock = service_.config().work_dir / "bgpcd.sock";
+  control_.set_io_timeout_ms(config.control_io_timeout_ms);
+  control_.set_fault_injector(service_.config().faults);
   control_.start(sock, [this](const json::Value& req) { return handle(req); });
 
+  http_.set_io_timeout_ms(config.http_io_timeout_ms);
   http_.route("/healthz", [this](const std::string&) {
     return HttpResponse{200, "text/plain; charset=utf-8",
-                        service_.draining() ? "draining\n" : "ok\n"};
+                        service_.health_text() + "\n"};
   });
   http_.route("/metrics", [this](const std::string&) {
     service_.update_metrics();

@@ -21,6 +21,10 @@ struct DaemonConfig {
   std::filesystem::path socket_path;  ///< empty = <work_dir>/bgpcd.sock
   unsigned short http_port = 0;       ///< 0 = ephemeral
   unsigned http_threads = 2;
+  /// Per-connection socket deadlines (0 = no deadline). Slow or half-open
+  /// clients get dropped instead of pinning a worker thread.
+  unsigned control_io_timeout_ms = 30'000;
+  unsigned http_io_timeout_ms = 5'000;
 };
 
 class Daemon {

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -26,11 +27,14 @@ const char* status_text(int status) {
   }
 }
 
-/// Read until the end of the request headers (or the buffer limit).
+/// Read until the end of the request headers (or the buffer limit). The
+/// socket carries an SO_RCVTIMEO deadline: a half-open or trickling client
+/// surfaces as EAGAIN here and the connection is dropped.
 bool read_request_head(int fd, std::string& head) {
   char buf[2048];
   while (head.size() < 16 * 1024) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     head.append(buf, static_cast<std::size_t>(n));
     if (head.find("\r\n\r\n") != std::string::npos ||
@@ -46,7 +50,8 @@ void send_all(int fd, const std::string& data) {
   while (off < data.size()) {
     const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
                              MSG_NOSIGNAL);
-    if (n <= 0) return;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // peer gone or send deadline expired: drop
     off += static_cast<std::size_t>(n);
   }
 }
@@ -113,6 +118,13 @@ void HttpServer::accept_loop() {
 }
 
 void HttpServer::serve(int client_fd) {
+  if (io_timeout_ms_ != 0) {
+    timeval tv{};
+    tv.tv_sec = io_timeout_ms_ / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((io_timeout_ms_ % 1000) * 1000);
+    (void)::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   std::string head;
   if (!read_request_head(client_fd, head)) return;
   // Request line: METHOD SP PATH SP VERSION.

@@ -39,6 +39,11 @@ class HttpServer {
   /// Stop accepting, join the workers. Idempotent.
   void stop();
 
+  /// Per-connection read/write deadline (before start()). A slow or
+  /// half-open client is dropped when it expires, so one bad scraper
+  /// can't wedge an accept worker. 0 disables (not recommended).
+  void set_io_timeout_ms(unsigned ms) noexcept { io_timeout_ms_ = ms; }
+
   [[nodiscard]] unsigned short port() const noexcept { return port_; }
 
  private:
@@ -48,6 +53,7 @@ class HttpServer {
   std::map<std::string, HttpHandler> routes_;
   std::vector<std::thread> workers_;
   int listen_fd_ = -1;
+  unsigned io_timeout_ms_ = 5'000;
   unsigned short port_ = 0;
 };
 

@@ -13,7 +13,8 @@ SnapshotPublisher::SnapshotPublisher(rt::Machine& machine,
     : machine_(machine), config_(config) {
   const unsigned n = machine.partition().num_nodes();
   writer_ = std::make_unique<SnapshotWriter>(path, app, session, n,
-                                             config.metrics_capacity);
+                                             config.metrics_capacity,
+                                             config.faults);
   next_due_.assign(n, config_.period_cycles);
   if (config_.period_cycles == 0) return;  // final-only snapshots
   for (unsigned node = 0; node < n; ++node) {

@@ -38,6 +38,9 @@ struct PublisherConfig {
   cycles_t per_snapshot_overhead = 48;
   /// Capacity of the metrics-text slots in the snapshot file.
   std::size_t metrics_capacity = kSnapMetricsCapacity;
+  /// Optional daemon fault injector (torn-publish crash simulation);
+  /// forwarded to the SnapshotWriter. Not owned.
+  fault::DaemonFaultInjector* faults = nullptr;
 };
 
 class SnapshotPublisher {

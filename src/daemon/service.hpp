@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "daemon/jobspec.hpp"
+#include "daemon/journal.hpp"
 #include "daemon/publisher.hpp"
 #include "obs/metrics.hpp"
 
@@ -28,6 +29,7 @@ enum class SessionState : u8 {
   kFinished,  ///< ran to completion (dump files final)
   kFailed,    ///< threw; detail holds the error
   kKilled,    ///< stopped via kill/drain; checkpoint dumps written
+  kAborted,   ///< orphaned by a daemon crash; salvage dumps may exist
 };
 
 [[nodiscard]] std::string_view to_string(SessionState s) noexcept;
@@ -49,6 +51,12 @@ struct SessionStatus {
   cycles_t sim_cycles = 0;
   std::filesystem::path dump_dir;
   std::filesystem::path snapshot_path;
+  /// Non-empty for kAborted sessions whose last checkpoint was salvaged
+  /// into minable dumps.
+  std::filesystem::path salvage_dir;
+  /// True when this session was re-listed from the journal (a previous
+  /// daemon life ran it).
+  bool recovered = false;
 };
 
 struct ServiceConfig {
@@ -57,6 +65,26 @@ struct ServiceConfig {
   Quotas quotas;
   /// Defaults for sessions that do not pick their own snapshot period.
   PublisherConfig snapshot;
+  /// Write-ahead session journal; empty = <work_dir>/bgpcd.journal.
+  std::filesystem::path journal_path;
+  /// Replay the journal at startup (re-list finished sessions, abort +
+  /// salvage orphans). Off only for throwaway test services.
+  bool recover = true;
+  /// Daemon-surface fault injector (journal/snapshot/socket); not owned.
+  fault::DaemonFaultInjector* faults = nullptr;
+};
+
+/// What startup recovery found and did; rendered into
+/// <work_dir>/recovery.log and kept for /metrics and tests.
+struct RecoveryReport {
+  bool journal_found = false;
+  std::size_t records_replayed = 0;
+  std::size_t bytes_dropped = 0;  ///< torn/corrupt journal tail
+  std::string tail_error;
+  unsigned relisted = 0;        ///< terminal sessions listed again
+  unsigned orphans_aborted = 0; ///< in-flight sessions marked kAborted
+  unsigned dumps_salvaged = 0;  ///< node dumps recovered from snapshots
+  std::vector<std::string> log; ///< human-readable recovery narrative
 };
 
 struct SubmitResult {
@@ -78,7 +106,7 @@ class Service {
 
   /// Admission control + session start. Structured rejection codes:
   /// `draining`, `duplicate_session`, `over_quota_sessions`,
-  /// `over_quota_ranks`, `over_quota_bytes`.
+  /// `over_quota_ranks`, `over_quota_bytes`, `journal_unwritable`.
   SubmitResult submit(const JobSpec& spec);
 
   [[nodiscard]] std::vector<SessionStatus> list() const;
@@ -94,6 +122,19 @@ class Service {
   [[nodiscard]] bool draining() const;
   /// Join every session thread (idempotent).
   void wait_idle();
+
+  /// True once a journal append failed: the daemon serves reads and lets
+  /// running sessions finish but admits nothing new (graceful degradation
+  /// instead of crashing on a full disk).
+  [[nodiscard]] bool read_only() const;
+  /// "ok" / "degraded" (read-only) / "draining" — the /healthz body.
+  [[nodiscard]] std::string health_text() const;
+
+  /// What startup recovery replayed/salvaged (empty report when
+  /// config.recover was false or no journal existed).
+  [[nodiscard]] const RecoveryReport& recovery() const noexcept {
+    return recovery_;
+  }
 
   /// The daemon's own metrics (admissions, rejections, session states,
   /// resident bytes) — the /metrics exposition source.
@@ -119,7 +160,7 @@ class Service {
     std::filesystem::path dir;
     std::filesystem::path snapshot_path;
     u64 resident_bytes = 0;
-    std::thread thread;
+    std::thread thread;  ///< not joinable for recovered sessions
 
     /// Guards everything below (state transitions, machine handle).
     mutable std::mutex mu;
@@ -131,12 +172,27 @@ class Service {
     cycles_t sim_cycles = 0;
     rt::Machine* machine = nullptr;  ///< non-null only while running
     bool kill_requested = false;
+    std::filesystem::path salvage_dir;
+    bool recovered = false;
   };
 
   void run_session(ActiveSession& s);
   [[nodiscard]] SessionStatus snapshot_status(const ActiveSession& s) const;
   [[nodiscard]] u64 resident_now_locked() const;
   [[nodiscard]] unsigned live_sessions_locked() const;
+
+  /// Append a lifecycle record; a write failure latches read-only mode
+  /// (never throws out of a session thread).
+  void journal_append(const char* op, const std::string& session,
+                      json::Value body);
+  void enter_read_only(const std::string& reason);
+  /// Replay the journal: re-list terminal sessions, abort + salvage
+  /// orphans, advance the auto-name counter past recovered names.
+  void recover_from_journal();
+  /// Salvage an orphan's last BGPSNAP checkpoint into
+  /// <session_dir>/salvage/*.bgpc; returns the dump count.
+  unsigned salvage_session(ActiveSession& s);
+  void write_recovery_log() const;
 
   ServiceConfig config_;
   mutable std::mutex mu_;  ///< guards sessions_ membership + draining_
@@ -145,6 +201,12 @@ class Service {
   unsigned seq_ = 0;  ///< auto-name counter
   /// Append-only (finished sessions stay listed); deque for stable refs.
   std::deque<std::unique_ptr<ActiveSession>> sessions_;
+
+  std::unique_ptr<JournalWriter> journal_;  ///< null when unopenable
+  mutable std::mutex ro_mu_;                ///< guards the two below
+  bool read_only_ = false;
+  std::string read_only_reason_;
+  RecoveryReport recovery_;
 
   obs::MetricsRegistry metrics_;
   obs::Counter* admitted_ = nullptr;
@@ -155,9 +217,14 @@ class Service {
   obs::Counter* failed_ = nullptr;
   obs::Counter* killed_ = nullptr;
   obs::Counter* snapshots_ = nullptr;
+  obs::Counter* journal_records_ = nullptr;
+  obs::Counter* journal_errors_ = nullptr;
+  obs::Counter* recovered_sessions_ = nullptr;
+  obs::Counter* salvaged_dumps_ = nullptr;
   obs::Gauge* running_ = nullptr;
   obs::Gauge* resident_ = nullptr;
   obs::Gauge* draining_g_ = nullptr;
+  obs::Gauge* read_only_g_ = nullptr;
 };
 
 }  // namespace bgp::daemon

@@ -11,6 +11,7 @@
 
 #include "common/crc.hpp"
 #include "common/strfmt.hpp"
+#include "fault/fault.hpp"
 
 namespace bgp::daemon {
 
@@ -110,13 +111,24 @@ std::string read_name(const std::byte* src) {
 
 }  // namespace
 
+const char* to_string(SnapReadStatus status) noexcept {
+  switch (status) {
+    case SnapReadStatus::kOk: return "ok";
+    case SnapReadStatus::kBusy: return "busy";
+    case SnapReadStatus::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
 SnapshotWriter::SnapshotWriter(const std::filesystem::path& path,
                                const std::string& app,
                                const std::string& session, unsigned num_nodes,
-                               std::size_t metrics_capacity)
+                               std::size_t metrics_capacity,
+                               fault::DaemonFaultInjector* faults)
     : path_(path),
       num_nodes_(num_nodes),
-      metrics_capacity_(round8(metrics_capacity)) {
+      metrics_capacity_(round8(metrics_capacity)),
+      faults_(faults) {
   const Geometry g = make_geometry(num_nodes, metrics_capacity);
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
@@ -190,6 +202,13 @@ void SnapshotWriter::publish_node(
 
   const u64 next = 1 - active.load(std::memory_order_relaxed);
   seq.fetch_add(1, std::memory_order_acq_rel);  // odd: publish in flight
+  if (faults_ != nullptr && faults_->next_snapshot_publish_torn()) {
+    // A crash mid-publish: half the slot lands, the seqlock stays odd.
+    // Readers must classify this as writer-gone, never spin forever.
+    store_words_relaxed(block + 16 + next * kSlotBytes, staged,
+                        kSlotWords / 2);
+    return;
+  }
   store_words_relaxed(block + 16 + next * kSlotBytes, staged, kSlotWords);
   active.store(next, std::memory_order_release);
   seq.fetch_add(1, std::memory_order_release);  // even: stable again
@@ -301,7 +320,13 @@ void SnapshotReader::init(const std::byte* data, std::size_t size) {
 
 bool SnapshotReader::read_node(unsigned node, NodeSnapshot& out,
                                unsigned max_retries) const {
-  if (node >= num_nodes_) return false;
+  return read_node_status(node, out, max_retries) == SnapReadStatus::kOk;
+}
+
+SnapReadStatus SnapshotReader::read_node_status(unsigned node,
+                                                NodeSnapshot& out,
+                                                unsigned max_retries) const {
+  if (node >= num_nodes_) return SnapReadStatus::kCorrupt;
   const std::byte* block = base_ + kHeaderBytes + node * kNodeBlockBytes;
   auto seq = word_ref(block);
   auto active = word_ref(block + 8);
@@ -317,7 +342,7 @@ bool SnapshotReader::read_node(unsigned node, NodeSnapshot& out,
                            (kSlotWords - 1) * sizeof(u64)});
     if (staged[kSlotWords - 1] != crc) {
       // Stable sequence but bad checksum: foreign corruption, not a race.
-      return false;
+      return SnapReadStatus::kCorrupt;
     }
     out.published_cycle = staged[0];
     out.mode = static_cast<u32>(staged[1]);
@@ -326,9 +351,12 @@ bool SnapshotReader::read_node(unsigned node, NodeSnapshot& out,
     out.card_id = static_cast<u32>(staged[4]);
     std::memcpy(out.counters.data(), &staged[5],
                 sizeof(u64) * out.counters.size());
-    return true;
+    return SnapReadStatus::kOk;
   }
-  return false;
+  // The sequence never stabilized: either a live writer is publishing
+  // faster than we can copy (transient) or the writer died mid-publish
+  // and the lock is held forever (stale). The caller decides via retry.
+  return SnapReadStatus::kBusy;
 }
 
 bool SnapshotReader::read_metrics(std::string& out,

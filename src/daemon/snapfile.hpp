@@ -26,6 +26,10 @@
 #include "common/types.hpp"
 #include "isa/events.hpp"
 
+namespace bgp::fault {
+class DaemonFaultInjector;
+}
+
 namespace bgp::daemon {
 
 inline constexpr char kSnapMagic[8] = {'B', 'G', 'P', 'S',
@@ -62,7 +66,8 @@ class SnapshotWriter {
  public:
   SnapshotWriter(const std::filesystem::path& path, const std::string& app,
                  const std::string& session, unsigned num_nodes,
-                 std::size_t metrics_capacity = kSnapMetricsCapacity);
+                 std::size_t metrics_capacity = kSnapMetricsCapacity,
+                 fault::DaemonFaultInjector* faults = nullptr);
   ~SnapshotWriter();
   SnapshotWriter(const SnapshotWriter&) = delete;
   SnapshotWriter& operator=(const SnapshotWriter&) = delete;
@@ -88,7 +93,20 @@ class SnapshotWriter {
   std::size_t metrics_capacity_ = 0;
   std::byte* map_ = nullptr;
   std::size_t map_bytes_ = 0;
+  fault::DaemonFaultInjector* faults_ = nullptr;
 };
+
+/// Why a slot read failed — readers that outlive the writer (post-crash
+/// attach, salvage) must distinguish a writer that died mid-publish
+/// (seqlock held forever → kBusy, the "writer gone / snapshot stale" case)
+/// from on-disk corruption (kCorrupt).
+enum class SnapReadStatus : u8 {
+  kOk = 0,
+  kBusy = 1,     ///< seqlock never stabilized within the retry budget
+  kCorrupt = 2,  ///< stable sequence but CRC mismatch, or node out of range
+};
+
+[[nodiscard]] const char* to_string(SnapReadStatus status) noexcept;
 
 /// Reader side: maps the file (or wraps an in-process writer's view) and
 /// copies out consistent slots.
@@ -117,6 +135,10 @@ class SnapshotReader {
   /// writer churn) or a CRC mismatch (foreign corruption).
   [[nodiscard]] bool read_node(unsigned node, NodeSnapshot& out,
                                unsigned max_retries = 64) const;
+  /// read_node with the failure cause split out (kBusy = writer mid-publish
+  /// or dead with the seqlock held; kCorrupt = CRC mismatch).
+  [[nodiscard]] SnapReadStatus read_node_status(
+      unsigned node, NodeSnapshot& out, unsigned max_retries = 64) const;
   /// Copy a consistent metrics exposition. Empty text with `true` simply
   /// means nothing was published yet.
   [[nodiscard]] bool read_metrics(std::string& out,

@@ -205,4 +205,156 @@ bool FaultInjector::next_write_fails(u32 node) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Daemon-surface faults.
+
+const char* to_string(DaemonFaultKind kind) noexcept {
+  switch (kind) {
+    case DaemonFaultKind::kJournalTorn: return "journal-torn";
+    case DaemonFaultKind::kJournalError: return "journal-error";
+    case DaemonFaultKind::kJournalEintr: return "journal-eintr";
+    case DaemonFaultKind::kSnapshotTorn: return "snapshot-torn";
+    case DaemonFaultKind::kSocketReset: return "socket-reset";
+  }
+  return "unknown";
+}
+
+std::string describe(const DaemonFaultEvent& e) {
+  switch (e.kind) {
+    case DaemonFaultKind::kJournalTorn:
+      return strfmt("journal-torn: append %u keeps %u bytes", e.after,
+                    e.keep_bytes);
+    case DaemonFaultKind::kJournalError:
+      return e.persistent
+                 ? strfmt("journal-error: append %u, persistent", e.after)
+                 : strfmt("journal-error: append %u", e.after);
+    case DaemonFaultKind::kJournalEintr:
+      return strfmt("journal-eintr: append %u", e.after);
+    case DaemonFaultKind::kSnapshotTorn:
+      return strfmt("snapshot-torn: publication %u", e.after);
+    case DaemonFaultKind::kSocketReset:
+      return strfmt("socket-reset: response %u", e.after);
+  }
+  return "unknown daemon fault";
+}
+
+DaemonFaultInjector::DaemonFaultInjector(std::vector<DaemonFaultEvent> plan)
+    : plan_(std::move(plan)) {}
+
+DaemonFaultInjector DaemonFaultInjector::random(u64 seed,
+                                                const DaemonFaultSpec& spec) {
+  Xoshiro256pp rng(seed ^ 0xDAE40FF417Bull);
+  const u32 window = std::max<u32>(spec.window, 1);
+  std::vector<DaemonFaultEvent> plan;
+  auto add = [&](DaemonFaultKind kind, unsigned count) {
+    for (unsigned i = 0; i < count; ++i) {
+      DaemonFaultEvent e;
+      e.kind = kind;
+      e.after = static_cast<u32>(rng.next_below(window));
+      if (kind == DaemonFaultKind::kJournalTorn) {
+        e.keep_bytes = static_cast<u32>(rng.next_below(spec.torn_keep_max + 1));
+      }
+      plan.push_back(e);
+    }
+  };
+  add(DaemonFaultKind::kJournalTorn, spec.journal_torn);
+  add(DaemonFaultKind::kJournalError, spec.journal_errors);
+  add(DaemonFaultKind::kJournalEintr, spec.journal_eintr);
+  add(DaemonFaultKind::kSnapshotTorn, spec.snapshot_torn);
+  add(DaemonFaultKind::kSocketReset, spec.socket_resets);
+  if (spec.journal_enospc_sticky) {
+    DaemonFaultEvent e;
+    e.kind = DaemonFaultKind::kJournalError;
+    e.after = static_cast<u32>(rng.next_below(window));
+    e.persistent = true;
+    plan.push_back(e);
+  }
+  return DaemonFaultInjector(std::move(plan));
+}
+
+DaemonFaultInjector::JournalFault DaemonFaultInjector::next_journal_append() {
+  std::lock_guard<std::mutex> lock(mu_);
+  JournalFault f;
+  if (journal_stuck_) {
+    f.kind = JournalFault::Kind::kError;
+    f.persistent = true;
+    return f;  // latched: logged when it first fired
+  }
+  const u64 ordinal = journal_ops_++;
+  // Priority when several events share an ordinal: a persistent error beats
+  // everything (the disk is full), then torn, then transient error, EINTR.
+  const DaemonFaultEvent* hit = nullptr;
+  for (const DaemonFaultEvent& e : plan_) {
+    if (e.after != ordinal) continue;
+    switch (e.kind) {
+      case DaemonFaultKind::kJournalError:
+        if (e.persistent) {
+          hit = &e;
+        } else if (!hit || hit->kind == DaemonFaultKind::kJournalEintr) {
+          hit = &e;
+        }
+        break;
+      case DaemonFaultKind::kJournalTorn:
+        if (!hit || !(hit->kind == DaemonFaultKind::kJournalError &&
+                      hit->persistent)) {
+          hit = &e;
+        }
+        break;
+      case DaemonFaultKind::kJournalEintr:
+        if (!hit) hit = &e;
+        break;
+      default: break;
+    }
+  }
+  if (!hit) return f;
+  log_.push_back(describe(*hit));
+  switch (hit->kind) {
+    case DaemonFaultKind::kJournalTorn:
+      f.kind = JournalFault::Kind::kTorn;
+      f.keep_bytes = hit->keep_bytes;
+      break;
+    case DaemonFaultKind::kJournalError:
+      f.kind = JournalFault::Kind::kError;
+      f.persistent = hit->persistent;
+      if (hit->persistent) journal_stuck_ = true;
+      break;
+    case DaemonFaultKind::kJournalEintr:
+      f.kind = JournalFault::Kind::kEintr;
+      break;
+    default: break;
+  }
+  return f;
+}
+
+bool DaemonFaultInjector::next_snapshot_publish_torn() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 ordinal = snapshot_ops_++;
+  for (const DaemonFaultEvent& e : plan_) {
+    if (e.kind != DaemonFaultKind::kSnapshotTorn || e.after != ordinal) {
+      continue;
+    }
+    log_.push_back(describe(e));
+    return true;
+  }
+  return false;
+}
+
+bool DaemonFaultInjector::next_control_response_reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 ordinal = socket_ops_++;
+  for (const DaemonFaultEvent& e : plan_) {
+    if (e.kind != DaemonFaultKind::kSocketReset || e.after != ordinal) {
+      continue;
+    }
+    log_.push_back(describe(e));
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> DaemonFaultInjector::injected_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
 }  // namespace bgp::fault

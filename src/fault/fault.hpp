@@ -17,6 +17,7 @@
 // reproducible from its seed.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -136,6 +137,93 @@ class FaultInjector {
   FaultPlan plan_;
   std::unordered_map<u32, u64> write_failures_left_;  ///< per node
   std::vector<std::string> log_;
+};
+
+// ---------------------------------------------------------------------------
+// Daemon-surface faults.
+//
+// bgpcd adds failure surfaces the per-run injector above never sees: the
+// write-ahead session journal (torn appends, ENOSPC, EINTR), the BGPSNAP
+// publisher (a crash mid-publish leaves a slot's seqlock held), and the
+// control socket (a connection reset before the response lands). These are
+// ordinal-scheduled ("the Nth append"), not cycle-scheduled, because the
+// daemon surfaces run on host time, and they are consumed concurrently from
+// control and session threads, so the injector is internally locked.
+
+enum class DaemonFaultKind : u8 {
+  kJournalTorn,   ///< the Nth journal append persists only a prefix
+  kJournalError,  ///< the Nth journal append fails as if ENOSPC
+  kJournalEintr,  ///< the Nth journal append is interrupted once (EINTR)
+  kSnapshotTorn,  ///< the Nth snapshot publication dies with the seqlock held
+  kSocketReset,   ///< the Nth control response is dropped, connection reset
+};
+
+[[nodiscard]] const char* to_string(DaemonFaultKind kind) noexcept;
+
+struct DaemonFaultEvent {
+  DaemonFaultKind kind{};
+  /// Fires on the (after+1)-th operation of its category (0 = first).
+  u32 after = 0;
+  u32 keep_bytes = 0;      ///< kJournalTorn: frame bytes that reach the disk
+  bool persistent = false;  ///< kJournalError: the disk stays full forever
+};
+
+[[nodiscard]] std::string describe(const DaemonFaultEvent& e);
+
+/// Knobs for DaemonFaultInjector::random().
+struct DaemonFaultSpec {
+  unsigned journal_torn = 0;
+  unsigned journal_errors = 0;  ///< transient write failures
+  unsigned journal_eintr = 0;
+  unsigned snapshot_torn = 0;
+  unsigned socket_resets = 0;
+  bool journal_enospc_sticky = false;  ///< one persistent failure at the end
+  /// Ordinals are drawn uniformly from [0, window).
+  u32 window = 16;
+  /// kJournalTorn keep_bytes drawn from [0, torn_keep_max].
+  u32 torn_keep_max = 64;
+};
+
+/// Consume-style oracle for one daemon lifetime. Thread-safe: control
+/// threads and session threads query it concurrently.
+class DaemonFaultInjector {
+ public:
+  DaemonFaultInjector() = default;
+  explicit DaemonFaultInjector(std::vector<DaemonFaultEvent> plan);
+
+  /// Deterministic: identical (seed, spec) yield identical plans.
+  [[nodiscard]] static DaemonFaultInjector random(u64 seed,
+                                                  const DaemonFaultSpec& spec);
+
+  struct JournalFault {
+    enum class Kind : u8 { kNone, kTorn, kError, kEintr };
+    Kind kind = Kind::kNone;
+    u32 keep_bytes = 0;
+    bool persistent = false;
+  };
+  /// Fault (if any) scheduled for the next journal append. A persistent
+  /// kError latches: every later append fails too (the disk stays full).
+  [[nodiscard]] JournalFault next_journal_append();
+
+  /// True if the next snapshot publication should die mid-write, leaving
+  /// the slot's seqlock odd (a reader must classify this as writer-gone).
+  [[nodiscard]] bool next_snapshot_publish_torn();
+
+  /// True if the next control response should be dropped and the
+  /// connection reset instead of answered.
+  [[nodiscard]] bool next_control_response_reset();
+
+  /// Everything injected so far, in injection order.
+  [[nodiscard]] std::vector<std::string> injected_log() const;
+
+ private:
+  std::vector<DaemonFaultEvent> plan_;
+  u64 journal_ops_ = 0;
+  u64 snapshot_ops_ = 0;
+  u64 socket_ops_ = 0;
+  bool journal_stuck_ = false;  ///< persistent kJournalError latched
+  std::vector<std::string> log_;
+  mutable std::mutex mu_;
 };
 
 }  // namespace bgp::fault

@@ -31,6 +31,13 @@ TEST(ParseDuration, RejectsBareNumbersJunkAndNegatives) {
   EXPECT_THROW((void)parse_duration_ns("--t", "1e12s"),
                std::invalid_argument);  // overflows the ns range
   try {
+    (void)parse_duration_ns("--t", "1e12s");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("overflows"), std::string::npos)
+        << e.what();
+  }
+  try {
     (void)parse_duration_ns("--snapshot-period", "500");
     FAIL();
   } catch (const std::invalid_argument& e) {
@@ -39,6 +46,24 @@ TEST(ParseDuration, RejectsBareNumbersJunkAndNegatives) {
               std::string::npos);
     EXPECT_NE(std::string(e.what()).find("ns, us, ms, s"), std::string::npos);
   }
+}
+
+TEST(ParseDuration, RejectsValuesPastInt64AndNaN) {
+  // 9.3e18 ns fits u64 but not int64: a silent wrap downstream. Rejected.
+  EXPECT_THROW((void)parse_duration_ns("--t", "9300000000000000000ns"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_duration_ns("--t", "1.8e19ns"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_duration_ns("--t", "10000000000s"),
+               std::invalid_argument);
+  // NaN fails every comparison — it must not sneak past the negative check
+  // into an undefined float->integer cast.
+  EXPECT_THROW((void)parse_duration_ns("--t", "nans"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_duration_ns("--t", "infs"),
+               std::invalid_argument);
+  // The largest representable duration still parses (~292 years).
+  EXPECT_GT(parse_duration_ns("--t", "9000000000000000000ns"), 0u);
 }
 
 TEST(DurationToCycles, ExactAt850MHz) {

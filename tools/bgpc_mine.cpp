@@ -32,10 +32,13 @@ namespace {
 /// directory. The snapshot's raw counters reconstruct as one open set-0
 /// pair per node, so the standard aggregate/record pipeline applies
 /// mid-flight.
-int attach_mine(const std::filesystem::path& snap, unsigned set, bool quiet) {
+int attach_mine(const std::filesystem::path& snap, unsigned set, bool quiet,
+                unsigned retries) {
   daemon::AttachView view;
   try {
-    view = daemon::attach_file(snap);
+    daemon::AttachRetry retry;
+    if (retries != 0) retry.attempts = retries;
+    view = daemon::attach_file_retry(snap, retry);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bgpc_mine --attach: %s\n", e.what());
     return 1;
@@ -89,6 +92,11 @@ int main(int argc, char** argv) {
                 "mine a daemon/bgpc_run snapshot file (live attach) instead "
                 "of a dump directory",
                 &attach_path);
+  unsigned attach_retries = 0;
+  fs.positive_value("attach-retries", "N",
+                    "--attach: re-read attempts while the writer holds a "
+                    "node's seqlock (default 8; each backs off with jitter)",
+                    &attach_retries);
   fs.unsigned_value("set", "N", "instrumentation set to mine (default 0)",
                     &opts.set);
   fs.string_value("metrics", "FILE", "write the per-application metrics record",
@@ -114,7 +122,9 @@ int main(int argc, char** argv) {
 
   if (argc >= 2 && argv[1][0] == '-') {
     if (const auto rc = fs.parse(argc, argv, 1)) return *rc;
-    if (!attach_path.empty()) return attach_mine(attach_path, opts.set, quiet);
+    if (!attach_path.empty()) {
+      return attach_mine(attach_path, opts.set, quiet, attach_retries);
+    }
     fs.print_usage(stderr);
     return 2;
   }

@@ -23,10 +23,13 @@ namespace {
 /// --attach: print a live view of a session's snapshot file — per-node
 /// lifecycle state and publication cycle, plus the metrics exposition the
 /// publisher mirrored into the file.
-int attach_view(const std::filesystem::path& snap, bool quiet) {
+int attach_view(const std::filesystem::path& snap, bool quiet,
+                unsigned retries) {
   daemon::AttachView view;
   try {
-    view = daemon::attach_file(snap);
+    daemon::AttachRetry retry;
+    if (retries != 0) retry.attempts = retries;
+    view = daemon::attach_file_retry(snap, retry);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bgpc_obs --attach: %s\n", e.what());
     return 1;
@@ -85,6 +88,11 @@ int main(int argc, char** argv) {
                 "inspect a daemon/bgpc_run snapshot file (live attach) "
                 "instead of span files",
                 &attach_path);
+  unsigned attach_retries = 0;
+  fs.positive_value("attach-retries", "N",
+                    "--attach: re-read attempts while the writer holds a "
+                    "node's seqlock (default 8; each backs off with jitter)",
+                    &attach_retries);
   fs.path_value("trace", "FILE",
                 "re-export the merged spans as Chrome trace-event JSON",
                 &trace_file);
@@ -95,7 +103,9 @@ int main(int argc, char** argv) {
 
   if (argc >= 2 && argv[1][0] == '-') {
     if (const auto rc = fs.parse(argc, argv, 1)) return *rc;
-    if (!attach_path.empty()) return attach_view(attach_path, quiet);
+    if (!attach_path.empty()) {
+      return attach_view(attach_path, quiet, attach_retries);
+    }
     fs.print_usage(stderr);
     return 2;
   }

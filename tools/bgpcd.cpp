@@ -15,6 +15,7 @@
 // (or checkpoint when killed), the exit code is 0 when no session failed.
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -86,6 +87,24 @@ int serve(int argc, char** argv) {
   ::signal(SIGPIPE, SIG_IGN);
 
   daemon::Daemon d(cfg);
+  const daemon::RecoveryReport& rec = d.service().recovery();
+  if (rec.journal_found) {
+    std::printf(
+        "bgpcd: journal replayed %zu record(s): %u session(s) re-listed, "
+        "%u orphan(s) aborted, %u dump(s) salvaged\n",
+        rec.records_replayed, rec.relisted, rec.orphans_aborted,
+        rec.dumps_salvaged);
+    if (rec.bytes_dropped != 0) {
+      std::printf("bgpcd: dropped %zu torn journal byte(s): %s\n",
+                  rec.bytes_dropped, rec.tail_error.c_str());
+    }
+    for (const std::string& line : rec.log) {
+      std::printf("bgpcd: recovery: %s\n", line.c_str());
+    }
+  }
+  if (d.service().read_only()) {
+    std::printf("bgpcd: WARNING: journal unwritable, serving read-only\n");
+  }
   std::printf("bgpcd: control socket %s\n",
               d.socket_path().string().c_str());
   std::printf("bgpcd: http://127.0.0.1:%u/metrics /sessions /healthz\n",
@@ -116,22 +135,37 @@ int serve(int argc, char** argv) {
   return failed == 0 ? 0 : 1;
 }
 
-/// Shared client plumbing: parse --socket, send `req`, print the response,
-/// exit 0 on {"ok":true}.
+/// Shared client plumbing: parse --socket/--retries/--timeout, send `req`
+/// with jittered-backoff retries, print the response, exit 0 on
+/// {"ok":true}.
 int run_client(const char* sub, int argc, char** argv, int first,
                json::Value req, const std::filesystem::path& socket_default,
                bool* wait_out = nullptr) {
   std::filesystem::path socket = socket_default;
+  daemon::ControlRetry retry;
+  u64 timeout_ns = 0;
   cli::FlagSet fs(strfmt("bgpcd %s", sub));
   fs.path_value("socket", "PATH", "control socket (default bgpcd_work/bgpcd.sock)",
                 &socket);
+  fs.positive_value("retries", "N",
+                    "attempts per request when the daemon is unreachable or "
+                    "answers with a retryable error (default 5)",
+                    &retry.attempts);
+  fs.duration_ns_value("timeout", "DUR",
+                       "per-request socket deadline, e.g. 5s or 500ms "
+                       "(default 10s)",
+                       &timeout_ns);
   if (wait_out != nullptr) {
     fs.toggle("wait", "poll until the session reaches a terminal state",
               wait_out);
   }
   if (const auto rc = fs.parse(argc, argv, first)) return *rc;
+  if (timeout_ns != 0) {
+    retry.timeout_ms = static_cast<unsigned>(
+        std::min<u64>(timeout_ns / 1'000'000, ~0u));
+  }
   try {
-    json::Value resp = daemon::control_request(socket, req);
+    json::Value resp = daemon::control_request_retry(socket, req, retry);
     std::printf("%s\n", resp.dump().c_str());
     const json::Value* ok = resp.get("ok");
     if (ok == nullptr || !ok->as_bool()) return 1;
@@ -143,7 +177,7 @@ int run_client(const char* sub, int argc, char** argv, int first,
       status_req.set("session", *session);
       for (;;) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        resp = daemon::control_request(socket, status_req);
+        resp = daemon::control_request_retry(socket, status_req, retry);
         const json::Value* s = resp.get("session");
         const json::Value* state = s != nullptr ? s->get("state") : nullptr;
         if (state == nullptr) return 1;

@@ -109,7 +109,10 @@ inline u64 parse_duration_ns(const char* flag, const char* text) {
                "e.g. 250ms or 2s; got '%s'",
                flag, text));
   };
-  if (end == text || errno == ERANGE || v < 0) throw fail();
+  // `!(v >= 0)` instead of `v < 0`: NaN fails every comparison, so the
+  // negated form rejects it too (a NaN would otherwise reach the
+  // float->integer cast below, which is undefined behavior).
+  if (end == text || errno == ERANGE || !(v >= 0)) throw fail();
   double scale = 0;
   if (std::strcmp(end, "ns") == 0) {
     scale = 1.0;
@@ -123,8 +126,15 @@ inline u64 parse_duration_ns(const char* flag, const char* text) {
     throw fail();
   }
   const double ns = v * scale;
-  if (ns > 1.8e19) {
-    throw std::invalid_argument(strfmt("%s: %s is out of range", flag, text));
+  // Cap at int64 max, not u64 max: downstream arithmetic (cycle
+  // conversion, deadline addition) does signed math on these values, and a
+  // double cannot represent u64 max exactly anyway — casting one past the
+  // representable range silently wraps. 9.2e18 ns is ~292 years, so the
+  // cap costs nothing real.
+  constexpr double kMaxNs = 9.223372036854775e18;
+  if (!(ns <= kMaxNs)) {
+    throw std::invalid_argument(
+        strfmt("%s: %s overflows the nanosecond range", flag, text));
   }
   return static_cast<u64>(ns + 0.5);
 }
