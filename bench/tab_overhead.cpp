@@ -18,11 +18,18 @@
 // (docs/bgpcd.md): each seqlocked double-buffer publication must stay
 // within the same 96-cycle family as a trace sample, and a final-only
 // publisher (period 0) must bill nothing at all.
+// The host-observability rows prove the host timeline is invisible to the
+// simulated one: the same periodic-publisher run with a host-latency
+// histogram attached (PublisherConfig.host_publish_seconds) must print
+// byte-identical table rows — host instrumentation measures real
+// nanoseconds but bills zero simulated cycles.
 #include <filesystem>
 
 #include "bench/util.hpp"
 #include "core/session.hpp"
 #include "daemon/publisher.hpp"
+#include "obs/host_clock.hpp"
+#include "obs/metrics.hpp"
 
 using namespace bgp;
 
@@ -119,8 +126,11 @@ struct SnapProbe {
 
 /// The probe_loop payload with a snapshot publisher attached (period 0 =
 /// final-only, which must be free; a short period exercises the seqlocked
-/// double-buffer path dozens of times).
-SnapProbe probe_snapshot_loop(bool periodic) {
+/// double-buffer path dozens of times). An optional host histogram rides
+/// along exactly as in the live daemon — it must not change any simulated
+/// number.
+SnapProbe probe_snapshot_loop(bool periodic,
+                              obs::Histogram* host_publish = nullptr) {
   rt::MachineConfig mc;
   mc.num_nodes = 1;
   mc.mode = sys::OpMode::kSmp1;
@@ -134,6 +144,7 @@ SnapProbe probe_snapshot_loop(bool periodic) {
   std::filesystem::create_directories(dir);
   daemon::PublisherConfig pub;
   pub.period_cycles = periodic ? 10'000 : 0;
+  pub.host_publish_seconds = host_publish;
   daemon::SnapshotPublisher publisher(machine, dir / "counters.bgpsnap",
                                       "tab_overhead", "bench", pub);
 
@@ -265,14 +276,43 @@ int main() {
   const cycles_t snap_delta = snap_on.loop_cycles - snap_off.loop_cycles;
   const cycles_t per_snapshot =
       snap_on.publishes > 0 ? snap_delta / snap_on.publishes : 0;
+  // The publication row, rendered once for the plain run and once for the
+  // run with a host-latency histogram attached: the cells must come out
+  // byte-identical or host observability is leaking into the simulation.
+  const auto snap_row = [&](const SnapProbe& on, cycles_t per_snap) {
+    return std::vector<std::string>{
+        "snapshot: one publication",
+        strfmt("%llu", (unsigned long long)per_snap),
+        strfmt("billed over %llu publications; budget %llu cycles",
+               (unsigned long long)on.publishes,
+               (unsigned long long)kPerSnapshotBudget)};
+  };
   t.row({"snapshot: final-only publisher", strfmt("%llu",
           (unsigned long long)snap_off.loop_cycles),
          "period 0 installs no pulse hooks: bills 0 cycles"});
-  t.row({"snapshot: one publication", strfmt("%llu",
-          (unsigned long long)per_snapshot),
-         strfmt("billed over %llu publications; budget %llu cycles",
-                (unsigned long long)snap_on.publishes,
-                (unsigned long long)kPerSnapshotBudget)});
+  const std::vector<std::string> plain_row = snap_row(snap_on, per_snapshot);
+  t.row(plain_row);
+
+  // Host-observability rerun: same periodic publisher, now with the
+  // daemon's bgpcd_snapshot_publish_seconds histogram attached.
+  obs::MetricsRegistry host_reg;
+  obs::Histogram& host_hist = host_reg.histogram(
+      "bgpcd_snapshot_publish_seconds", "seqlock publish host latency",
+      obs::host_latency_bounds());
+  const SnapProbe snap_host_off = probe_snapshot_loop(false, &host_hist);
+  const SnapProbe snap_host = probe_snapshot_loop(true, &host_hist);
+  const cycles_t host_delta = snap_host.loop_cycles - snap_host_off.loop_cycles;
+  const cycles_t per_snapshot_host =
+      snap_host.publishes > 0 ? host_delta / snap_host.publishes : 0;
+  const std::vector<std::string> host_row =
+      snap_row(snap_host, per_snapshot_host);
+  const bool host_rows_identical =
+      host_row == plain_row && snap_host_off.loop_cycles == snap_off.loop_cycles;
+  t.row({"snapshot + host histogram", host_row[1],
+         strfmt("%s; host saw %llu observations",
+                host_rows_identical ? "row byte-identical to the one above"
+                                    : "ROW DIVERGED",
+                (unsigned long long)host_hist.count())});
   t.print();
 
   const bool trace_in_budget = traced.samples > 0 &&
@@ -311,8 +351,25 @@ int main() {
                 (unsigned long long)snap_off.loop_cycles,
                 (unsigned long long)plain.loop_cycles);
   }
+  // Both host-instrumented runs share the histogram: the periodic run's
+  // pulses plus one publish_final per run (final publications time the
+  // seqlock write too but are not counted in publishes()).
+  const bool host_hist_observed = host_hist.count() == snap_host.publishes + 2;
+  if (!host_rows_identical) {
+    std::printf("FAIL: attaching a host-latency histogram changed the "
+                "simulated publication rows (%s / %s vs %s / %s)\n",
+                host_row[1].c_str(), host_row[2].c_str(),
+                plain_row[1].c_str(), plain_row[2].c_str());
+  }
+  if (!host_hist_observed) {
+    std::printf("FAIL: the host histogram missed publications "
+                "(count %llu, expected %llu periodic + 2 final)\n",
+                (unsigned long long)host_hist.count(),
+                (unsigned long long)snap_host.publishes);
+  }
   return (init_start_stop == 196 && trace_in_budget && obs_in_budget &&
-          snap_in_budget && snap_final_only_free)
+          snap_in_budget && snap_final_only_free && host_rows_identical &&
+          host_hist_observed)
              ? 0
              : 1;
 }

@@ -13,7 +13,9 @@
 
 #include "common/strfmt.hpp"
 #include "daemon/backoff.hpp"
+#include "daemon/hostobs.hpp"
 #include "fault/fault.hpp"
+#include "obs/host_clock.hpp"
 
 namespace bgp::daemon {
 
@@ -196,23 +198,67 @@ void ControlServer::serve(int client_fd) {
       return;  // oversized line or stalled client: drop the connection
     }
     if (line.empty()) continue;
+
+    // Host-timeline request tracing: mint a correlation ID, time the
+    // three phases (the read above is excluded — that clock would mostly
+    // measure the client thinking), emit one structured event.
+    ControlContext ctx;
+    if (host_ != nullptr) ctx.request_id = host_->next_request_id();
+    obs::HostTimer timer;
+    double parse_s = 0.0;
+    double dispatch_s = 0.0;
+    std::string cmd;
     json::Value resp;
     try {
       const json::Value req = json::Value::parse(line);
-      resp = handler_(req);
+      parse_s = timer.observe(host_ != nullptr ? host_->control_parse
+                                               : nullptr);
+      timer.restart();
+      if (const json::Value* c = req.is_object() ? req.get("cmd") : nullptr) {
+        cmd = c->as_string();
+      }
+      resp = handler_(req, ctx);
     } catch (const json::JsonError& e) {
       resp = control_error("bad_request", e.what());
     } catch (const std::exception& e) {
       resp = control_error("internal", e.what());
     }
+    dispatch_s = timer.observe(host_ != nullptr ? host_->control_dispatch
+                                                : nullptr);
     if (faults_ != nullptr && faults_->next_control_response_reset()) {
       return;  // injected reset: the client sees EOF instead of an answer
     }
+    const std::string wire = resp.dump() + "\n";
+    bool sent = true;
+    timer.restart();
     try {
-      send_all(client_fd, resp.dump() + "\n");
+      send_all(client_fd, wire);
     } catch (const std::exception&) {
-      return;
+      sent = false;
     }
+    const double respond_s =
+        timer.observe(host_ != nullptr ? host_->control_respond : nullptr);
+    if (host_ != nullptr && host_->enabled(obs::EventLevel::kDebug)) {
+      bool req_ok = false;
+      try {
+        const json::Value* ok = resp.get("ok");
+        req_ok = ok != nullptr && ok->as_bool();
+      } catch (const json::JsonError&) {
+        // a handler returning a non-standard shape; report ok=false
+      }
+      obs::HostEvent ev("control_request");
+      ev.str("req", ctx.request_id)
+          .str("cmd", cmd)
+          .boolean("ok", req_ok)
+          .num("bytes_in", u64{line.size()})
+          .num("bytes_out", u64{wire.size()})
+          .num("parse_s", parse_s)
+          .num("dispatch_s", dispatch_s)
+          .num("respond_s", respond_s);
+      if (!sent) ev.boolean("send_failed", true);
+      host_->emit(obs::EventLevel::kDebug, ev);
+    }
+    if (!sent) return;
   }
 }
 

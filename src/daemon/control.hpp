@@ -20,10 +20,21 @@ class DaemonFaultInjector;
 
 namespace bgp::daemon {
 
+class HostObs;
+
+/// Per-request context handed to the handler: the correlation ID the
+/// server minted for this request (threaded into journal records and host
+/// events so one grep reconstructs the whole request path).
+struct ControlContext {
+  std::string request_id;
+};
+
 /// Handles one decoded request; returns the response value. Thrown
 /// json::JsonError becomes a `bad_request` response, other exceptions an
 /// `internal` one.
-using ControlHandler = std::function<json::Value(const json::Value& request)>;
+using ControlHandler =
+    std::function<json::Value(const json::Value& request,
+                              const ControlContext& ctx)>;
 
 /// Whether a structured error code names a transient condition a client
 /// should retry with backoff (quota pressure, degraded daemon) as opposed
@@ -64,6 +75,11 @@ class ControlServer {
     faults_ = faults;
   }
 
+  /// Attach host observability (before start()): request IDs come from
+  /// its counter, parse/dispatch/respond latencies land in its
+  /// histograms, and one control_request event is emitted per request.
+  void set_host_obs(HostObs* host) noexcept { host_ = host; }
+
   [[nodiscard]] const std::filesystem::path& socket_path() const noexcept {
     return path_;
   }
@@ -77,6 +93,7 @@ class ControlServer {
   int listen_fd_ = -1;
   unsigned io_timeout_ms_ = 30'000;
   fault::DaemonFaultInjector* faults_ = nullptr;
+  HostObs* host_ = nullptr;
   std::thread acceptor_;
   std::mutex conn_mu_;  ///< guards conns_
   std::vector<std::thread> conns_;

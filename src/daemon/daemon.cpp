@@ -10,9 +10,25 @@ Daemon::Daemon(DaemonConfig config) : service_(std::move(config.service)) {
   if (sock.empty()) sock = service_.config().work_dir / "bgpcd.sock";
   control_.set_io_timeout_ms(config.control_io_timeout_ms);
   control_.set_fault_injector(service_.config().faults);
-  control_.start(sock, [this](const json::Value& req) { return handle(req); });
+  control_.set_host_obs(&service_.host());
+  control_.start(sock, [this](const json::Value& req, const ControlContext&
+                                                         ctx) {
+    return handle(req, ctx);
+  });
 
   http_.set_io_timeout_ms(config.http_io_timeout_ms);
+  http_.set_observer(
+      [this](const std::string& path, int status, double seconds) {
+        service_.host().http_request(path)->observe(seconds);
+        if (status >= 400 &&
+            service_.host().enabled(obs::EventLevel::kDebug)) {
+          service_.host().emit(obs::EventLevel::kDebug,
+                               obs::HostEvent("http_request")
+                                   .str("path", path)
+                                   .num("status", i64{status})
+                                   .num("seconds", seconds));
+        }
+      });
   http_.route("/healthz", [this](const std::string&) {
     return HttpResponse{200, "text/plain; charset=utf-8",
                         service_.health_text() + "\n"};
@@ -25,6 +41,16 @@ Daemon::Daemon(DaemonConfig config) : service_(std::move(config.service)) {
   http_.route("/sessions", [this](const std::string&) {
     return HttpResponse{200, "application/json",
                         service_.sessions_json().dump() + "\n"};
+  });
+  http_.route("/debug/events", [this](const std::string&) {
+    // The flight ring, live: one JSON event per line, oldest first —
+    // the same records a crash would leave in flight.jsonl.
+    std::string body;
+    for (const std::string& line : service_.host().recent_events()) {
+      body += line;
+      body += '\n';
+    }
+    return HttpResponse{200, "application/x-ndjson", std::move(body)};
   });
   try {
     http_.start(config.http_port, config.http_threads);
@@ -66,7 +92,7 @@ unsigned Daemon::run_until_drained() {
   return failed;
 }
 
-json::Value Daemon::handle(const json::Value& req) {
+json::Value Daemon::handle(const json::Value& req, const ControlContext& ctx) {
   const json::Value* cmd_v = req.is_object() ? req.get("cmd") : nullptr;
   if (cmd_v == nullptr) {
     service_.count_rejection("bad_request");
@@ -93,7 +119,7 @@ json::Value Daemon::handle(const json::Value& req) {
       service_.count_rejection("bad_request");
       return control_error("bad_request", e.what());
     }
-    const SubmitResult res = service_.submit(spec);
+    const SubmitResult res = service_.submit(spec, ctx.request_id);
     if (!res.ok) return control_error(res.error_code, res.detail);
     json::Value v = control_ok();
     v.set("session", json::Value(res.session));
@@ -127,7 +153,7 @@ json::Value Daemon::handle(const json::Value& req) {
       return control_error("bad_request", "kill needs a 'session' name");
     }
     std::string err;
-    if (!service_.kill(name->as_string(), &err)) {
+    if (!service_.kill(name->as_string(), &err, ctx.request_id)) {
       return control_error("not_found", err);
     }
     return control_ok();

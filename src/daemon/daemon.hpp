@@ -55,7 +55,7 @@ class Daemon {
   unsigned run_until_drained();
 
  private:
-  json::Value handle(const json::Value& req);
+  json::Value handle(const json::Value& req, const ControlContext& ctx);
 
   Service service_;
   ControlServer control_;

@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "common/strfmt.hpp"
+#include "obs/host_clock.hpp"
 
 namespace bgp::daemon {
 
@@ -127,17 +128,21 @@ void HttpServer::serve(int client_fd) {
   }
   std::string head;
   if (!read_request_head(client_fd, head)) return;
+  // Host latency from here: the request is in hand, the clock measures
+  // us (handler + serialization + send), not the client's typing speed.
+  const obs::HostTimer timer;
   // Request line: METHOD SP PATH SP VERSION.
   const std::size_t eol = head.find_first_of("\r\n");
   const std::string line = head.substr(0, eol);
   const std::size_t sp1 = line.find(' ');
   const std::size_t sp2 = line.find(' ', sp1 + 1);
   HttpResponse resp;
+  std::string path;
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
     resp = HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"};
   } else {
     const std::string method = line.substr(0, sp1);
-    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    path = line.substr(sp1 + 1, sp2 - sp1 - 1);
     if (const std::size_t q = path.find('?'); q != std::string::npos) {
       path.resize(q);
     }
@@ -162,6 +167,7 @@ void HttpServer::serve(int client_fd) {
       resp.body.size());
   out += resp.body;
   send_all(client_fd, out);
+  if (observer_) observer_(path, resp.status, timer.elapsed_seconds());
 }
 
 }  // namespace bgp::daemon

@@ -22,6 +22,12 @@ struct HttpResponse {
 /// Handler for one route; `path` is the request path without query string.
 using HttpHandler = std::function<HttpResponse(const std::string& path)>;
 
+/// Called once per served request with the routed path (empty for a
+/// malformed request line), the response status, and the host seconds
+/// from request-head received to response handed to the kernel.
+using HttpObserver =
+    std::function<void(const std::string& path, int status, double seconds)>;
+
 class HttpServer {
  public:
   HttpServer() = default;
@@ -44,6 +50,9 @@ class HttpServer {
   /// can't wedge an accept worker. 0 disables (not recommended).
   void set_io_timeout_ms(unsigned ms) noexcept { io_timeout_ms_ = ms; }
 
+  /// Install a per-request latency observer (before start()).
+  void set_observer(HttpObserver observer) { observer_ = std::move(observer); }
+
   [[nodiscard]] unsigned short port() const noexcept { return port_; }
 
  private:
@@ -51,6 +60,7 @@ class HttpServer {
   void serve(int client_fd);
 
   std::map<std::string, HttpHandler> routes_;
+  HttpObserver observer_;
   std::vector<std::thread> workers_;
   int listen_fd_ = -1;
   unsigned io_timeout_ms_ = 5'000;

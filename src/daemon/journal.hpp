@@ -32,6 +32,10 @@ namespace bgp::fault {
 class DaemonFaultInjector;
 }
 
+namespace bgp::obs {
+class Histogram;
+}
+
 namespace bgp::daemon {
 
 inline constexpr char kJournalMagic[8] = {'B', 'G', 'P', 'J', 'R', 'N', 'L',
@@ -105,7 +109,18 @@ class JournalWriter {
   JournalWriter& operator=(const JournalWriter&) = delete;
 
   /// Throws JournalWriteError if the record could not be fully persisted.
+  /// The frame is written and then fdatasync'd — "persisted" means the
+  /// kernel has accepted it for durable storage, not just buffered it.
   void append(const JournalRecord& rec);
+
+  /// Attach host-latency histograms (frame write / fdatasync phases).
+  /// Either may be null; observations are in host seconds and bill no
+  /// simulated cycles.
+  void set_host_timers(obs::Histogram* write_seconds,
+                       obs::Histogram* fsync_seconds) noexcept {
+    t_write_ = write_seconds;
+    t_fsync_ = fsync_seconds;
+  }
 
   [[nodiscard]] const JournalReplay& recovered() const noexcept {
     return recovered_;
@@ -121,6 +136,8 @@ class JournalWriter {
   int fd_ = -1;
   JournalReplay recovered_;
   u64 appended_ = 0;
+  obs::Histogram* t_write_ = nullptr;
+  obs::Histogram* t_fsync_ = nullptr;
   mutable std::mutex mu_;
 };
 

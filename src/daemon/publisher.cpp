@@ -1,5 +1,6 @@
 #include "daemon/publisher.hpp"
 
+#include "obs/host_clock.hpp"
 #include "obs/promtext.hpp"
 #include "sys/node.hpp"
 
@@ -36,6 +37,7 @@ cycles_t SnapshotPublisher::on_pulse(unsigned node, cycles_t now) {
 
 void SnapshotPublisher::publish_node_now(unsigned node, SnapState state,
                                          cycles_t now) {
+  const obs::ScopedHostTimer host_cost(config_.host_publish_seconds);
   sys::Node& n = machine_.partition().node(node);
   const auto& upc = n.upc();
   const SnapState st =

@@ -21,6 +21,7 @@
 #include "runtime/machine.hpp"
 
 namespace bgp::obs {
+class Histogram;
 class MetricsRegistry;
 }
 
@@ -41,6 +42,10 @@ struct PublisherConfig {
   /// Optional daemon fault injector (torn-publish crash simulation);
   /// forwarded to the SnapshotWriter. Not owned.
   fault::DaemonFaultInjector* faults = nullptr;
+  /// Optional host-latency histogram: the real (steady-clock) seconds one
+  /// seqlocked publication takes. Purely host-side — the simulated cost
+  /// stays per_snapshot_overhead and the timeline is unchanged. Not owned.
+  obs::Histogram* host_publish_seconds = nullptr;
 };
 
 class SnapshotPublisher {

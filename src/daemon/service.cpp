@@ -113,10 +113,25 @@ Service::Service(ServiceConfig config) : config_(std::move(config)) {
   read_only_g_ = &metrics_.gauge(
       "bgpcd_read_only", "1 while the journal is unwritable (degraded)");
 
+  // Host observability (latency histograms, events.jsonl, flight ring)
+  // comes up before the journal so recovery itself is already traced —
+  // and so a predecessor's crash ring is salvaged before anything new
+  // lands in the work directory.
+  host_obs_ =
+      std::make_unique<HostObs>(metrics_, config_.work_dir, config_.host);
+  host_obs_->emit(obs::EventLevel::kInfo,
+                  obs::HostEvent("daemon_start")
+                      .str("work_dir", config_.work_dir.string())
+                      .str("version", config_.host.version.empty()
+                                          ? "unknown"
+                                          : config_.host.version));
+
   if (config_.recover) {
     try {
       journal_ =
           std::make_unique<JournalWriter>(config_.journal_path, config_.faults);
+      journal_->set_host_timers(host_obs_->journal_write,
+                                host_obs_->journal_fsync);
     } catch (const JournalError& e) {
       // A journal we cannot open or must not touch (foreign magic): serve
       // status and let reads work, but admit nothing — the alternative is
@@ -127,6 +142,14 @@ Service::Service(ServiceConfig config) : config_(std::move(config)) {
     }
     if (journal_ != nullptr) recover_from_journal();
     write_recovery_log();
+    if (recovery_.journal_found) {
+      host_obs_->emit(obs::EventLevel::kInfo,
+                      obs::HostEvent("recovery_done")
+                          .num("records", u64{recovery_.records_replayed})
+                          .num("relisted", u64{recovery_.relisted})
+                          .num("orphans", u64{recovery_.orphans_aborted})
+                          .num("salvaged", u64{recovery_.dumps_salvaged}));
+    }
   }
 }
 
@@ -141,10 +164,16 @@ void Service::count_rejection(const std::string& code) {
 }
 
 void Service::enter_read_only(const std::string& reason) {
-  std::lock_guard<std::mutex> lk(ro_mu_);
-  if (read_only_) return;
-  read_only_ = true;
-  read_only_reason_ = reason;
+  {
+    std::lock_guard<std::mutex> lk(ro_mu_);
+    if (read_only_) return;
+    read_only_ = true;
+    read_only_reason_ = reason;
+  }
+  if (host_obs_ != nullptr) {
+    host_obs_->emit(obs::EventLevel::kError,
+                    obs::HostEvent("read_only").str("reason", reason));
+  }
 }
 
 bool Service::read_only() const {
@@ -405,13 +434,19 @@ void Service::write_recovery_log() const {
   out << text;
 }
 
-SubmitResult Service::submit(const JobSpec& spec) {
+SubmitResult Service::submit(const JobSpec& spec, const std::string& req_id) {
   SubmitResult res;
   const auto reject = [&](const char* code, std::string detail) {
     res.ok = false;
     res.error_code = code;
     res.detail = std::move(detail);
     count_rejection(code);
+    host_obs_->emit(obs::EventLevel::kWarn,
+                    obs::HostEvent("session_reject")
+                        .str("req", req_id)
+                        .str("session", spec.session)
+                        .str("code", code)
+                        .str("detail", res.detail));
     return res;
   };
 
@@ -476,6 +511,7 @@ SubmitResult Service::submit(const JobSpec& spec) {
   s->dir = config_.work_dir / name;
   s->snapshot_path = s->dir / "counters.bgpsnap";
   s->resident_bytes = want;
+  s->admit_host_ns = obs::host_now_ns();
 
   // Write-ahead: the admit record must be durable before the session
   // exists. A daemon killed immediately after this point re-lists the
@@ -483,6 +519,7 @@ SubmitResult Service::submit(const JobSpec& spec) {
   // failed append refuses the admission (retryable) and degrades.
   json::Value admit_body = json::Value::object();
   admit_body.set("spec", s->spec.to_json());
+  if (!req_id.empty()) admit_body.set("req", json::Value(req_id));
   journal_append(journal_op::kAdmit, name, std::move(admit_body));
   {
     std::lock_guard<std::mutex> ro(ro_mu_);
@@ -498,6 +535,13 @@ SubmitResult Service::submit(const JobSpec& spec) {
   ActiveSession& ref = *s;
   sessions_.push_back(std::move(s));
   admitted_->add();
+  host_obs_->emit(obs::EventLevel::kInfo,
+                  obs::HostEvent("session_admit")
+                      .str("req", req_id)
+                      .str("session", name)
+                      .str("bench", std::string(nas::name(ref.spec.bench)))
+                      .num("nodes", u64{ref.spec.nodes})
+                      .num("resident_bytes", ref.resident_bytes));
   ref.thread = std::thread([this, &ref] { run_session(ref); });
 
   res.ok = true;
@@ -509,6 +553,12 @@ SubmitResult Service::submit(const JobSpec& spec) {
 
 void Service::run_session(ActiveSession& s) {
   const JobSpec& spec = s.spec;
+  // Host queue wait: admission (in submit, under mu_) to here, where the
+  // session thread actually starts doing work.
+  const double waited = static_cast<double>(obs::host_now_ns() -
+                                            s.admit_host_ns) /
+                        obs::kNsPerSecond;
+  host_obs_->queue_wait->observe(waited);
   // Builds the terminal-transition journal body from the session's fields;
   // call with s.mu held.
   const auto finish_body = [&s]() {
@@ -521,6 +571,16 @@ void Service::run_session(ActiveSession& s) {
     body.set("sim_cycles", json::Value(s.sim_cycles));
     return body;
   };
+  // One structured line per lifecycle transition; call with s.mu held.
+  const auto emit_finish = [this, &s]() {
+    host_obs_->emit(obs::EventLevel::kInfo,
+                    obs::HostEvent("session_finish")
+                        .str("session", s.name)
+                        .str("state", std::string(to_string(s.state)))
+                        .str("detail", s.detail)
+                        .num("dump_files", u64{s.dump_files})
+                        .num("sim_cycles", s.sim_cycles));
+  };
   {
     std::lock_guard<std::mutex> lk(s.mu);
     if (s.kill_requested) {
@@ -528,11 +588,16 @@ void Service::run_session(ActiveSession& s) {
       s.detail = "killed before start";
       killed_->add();
       journal_append(journal_op::kFinish, s.name, finish_body());
+      emit_finish();
       return;
     }
     s.state = SessionState::kRunning;
   }
   journal_append(journal_op::kStart, s.name, json::Value::object());
+  host_obs_->emit(obs::EventLevel::kInfo,
+                  obs::HostEvent("session_start")
+                      .str("session", s.name)
+                      .num("queue_wait_s", waited));
   try {
     std::filesystem::create_directories(s.dir);
 
@@ -571,6 +636,7 @@ void Service::run_session(ActiveSession& s) {
       pub_cfg.period_cycles = *spec.snapshot_period_cycles;
     }
     pub_cfg.faults = config_.faults;
+    pub_cfg.host_publish_seconds = host_obs_->snapshot_publish;
     SnapshotPublisher publisher(machine, s.snapshot_path, opts.app_name,
                                 s.name, pub_cfg);
     if (session.flight_recorder() != nullptr) {
@@ -660,6 +726,7 @@ void Service::run_session(ActiveSession& s) {
       finished_->add();
     }
     journal_append(journal_op::kFinish, s.name, finish_body());
+    emit_finish();
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lk(s.mu);
     s.machine = nullptr;
@@ -667,6 +734,11 @@ void Service::run_session(ActiveSession& s) {
     s.detail = e.what();
     failed_->add();
     journal_append(journal_op::kFinish, s.name, finish_body());
+    host_obs_->emit(obs::EventLevel::kError,
+                    obs::HostEvent("session_finish")
+                        .str("session", s.name)
+                        .str("state", "failed")
+                        .str("detail", s.detail));
   }
 }
 
@@ -708,7 +780,8 @@ bool Service::status(const std::string& name, SessionStatus* out) const {
   return false;
 }
 
-bool Service::kill(const std::string& name, std::string* err) {
+bool Service::kill(const std::string& name, std::string* err,
+                   const std::string& req_id) {
   std::lock_guard<std::mutex> lk(mu_);
   for (const auto& s : sessions_) {
     if (s->name != name) continue;
@@ -722,7 +795,12 @@ bool Service::kill(const std::string& name, std::string* err) {
     }
     s->kill_requested = true;
     if (s->machine != nullptr) s->machine->request_stop();
-    journal_append(journal_op::kKill, name, json::Value::object());
+    json::Value body = json::Value::object();
+    if (!req_id.empty()) body.set("req", json::Value(req_id));
+    journal_append(journal_op::kKill, name, std::move(body));
+    host_obs_->emit(obs::EventLevel::kInfo, obs::HostEvent("session_kill")
+                                                .str("req", req_id)
+                                                .str("session", name));
     return true;
   }
   if (err != nullptr) *err = strfmt("no session named '%s'", name.c_str());
@@ -730,8 +808,12 @@ bool Service::kill(const std::string& name, std::string* err) {
 }
 
 void Service::begin_drain() {
-  std::lock_guard<std::mutex> lk(mu_);
-  draining_ = true;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (draining_) return;
+    draining_ = true;
+  }
+  host_obs_->emit(obs::EventLevel::kInfo, obs::HostEvent("drain_begin"));
 }
 
 bool Service::draining() const {
@@ -774,6 +856,7 @@ unsigned Service::live_sessions_locked() const {
 }
 
 void Service::update_metrics() {
+  host_obs_->update_uptime();
   std::lock_guard<std::mutex> lk(mu_);
   running_->set(static_cast<double>(live_sessions_locked()));
   resident_->set(static_cast<double>(resident_now_locked()));

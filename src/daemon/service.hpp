@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "daemon/hostobs.hpp"
 #include "daemon/jobspec.hpp"
 #include "daemon/journal.hpp"
 #include "daemon/publisher.hpp"
@@ -72,6 +73,10 @@ struct ServiceConfig {
   bool recover = true;
   /// Daemon-surface fault injector (journal/snapshot/socket); not owned.
   fault::DaemonFaultInjector* faults = nullptr;
+  /// Host-side observability: event log levels, build version, flight
+  /// ring geometry. Always on — host instrumentation bills no simulated
+  /// cycles, so there is nothing to turn off.
+  HostObsConfig host;
 };
 
 /// What startup recovery found and did; rendered into
@@ -107,7 +112,9 @@ class Service {
   /// Admission control + session start. Structured rejection codes:
   /// `draining`, `duplicate_session`, `over_quota_sessions`,
   /// `over_quota_ranks`, `over_quota_bytes`, `journal_unwritable`.
-  SubmitResult submit(const JobSpec& spec);
+  /// `req_id` is the control-layer correlation ID threaded into the
+  /// journal record and host events (empty for direct/API callers).
+  SubmitResult submit(const JobSpec& spec, const std::string& req_id = {});
 
   [[nodiscard]] std::vector<SessionStatus> list() const;
   [[nodiscard]] bool status(const std::string& name, SessionStatus* out) const;
@@ -115,7 +122,8 @@ class Service {
   /// Request a mid-run stop; the session checkpoints (seals traces, writes
   /// dumps atomically) and lands in kKilled. False with *err set when the
   /// session is unknown or already terminal.
-  bool kill(const std::string& name, std::string* err);
+  bool kill(const std::string& name, std::string* err,
+            const std::string& req_id = {});
 
   /// Stop admitting; running sessions keep going.
   void begin_drain();
@@ -139,6 +147,9 @@ class Service {
   /// The daemon's own metrics (admissions, rejections, session states,
   /// resident bytes) — the /metrics exposition source.
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// The host observability bundle (latency histograms, event log,
+  /// flight ring). Constructed with the service; never null.
+  [[nodiscard]] HostObs& host() noexcept { return *host_obs_; }
   /// Refresh the gauges (running sessions, resident bytes) before export.
   void update_metrics();
 
@@ -160,6 +171,9 @@ class Service {
     std::filesystem::path dir;
     std::filesystem::path snapshot_path;
     u64 resident_bytes = 0;
+    /// Host clock at admission; run_session observes the delta into the
+    /// queue-wait histogram when the session thread starts.
+    i64 admit_host_ns = 0;
     std::thread thread;  ///< not joinable for recovered sessions
 
     /// Guards everything below (state transitions, machine handle).
@@ -209,6 +223,7 @@ class Service {
   RecoveryReport recovery_;
 
   obs::MetricsRegistry metrics_;
+  std::unique_ptr<HostObs> host_obs_;
   obs::Counter* admitted_ = nullptr;
   /// One pre-registered series per structured rejection code (registering
   /// lazily would race the /metrics render).

@@ -1,0 +1,83 @@
+// Host-timeline clocks for daemon self-characterization. Everything in
+// this header measures *wall/monotonic host time* — the real nanoseconds
+// a request, journal append or scrape took — and deliberately has no
+// connection to the simulated cycle clock. Host instrumentation bills
+// zero simulated cycles, so enabling it cannot perturb the deterministic
+// timeline (tab_overhead re-asserts the 48-cycle publish row with a host
+// histogram attached).
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+
+namespace bgp::obs {
+
+/// Monotonic host clock, for latencies. Never goes backwards; not
+/// related to the epoch.
+[[nodiscard]] inline i64 host_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wall clock (CLOCK_REALTIME), for event timestamps that must be
+/// correlatable across processes and restarts.
+[[nodiscard]] inline i64 host_wall_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+inline constexpr double kNsPerSecond = 1e9;
+
+/// The shared bucket layout for every host-latency histogram family:
+/// exponential from 1 µs to ~2.6 s (factor 2), in seconds. One layout
+/// for all families keeps p50/p99 comparisons across families honest.
+[[nodiscard]] inline std::vector<double> host_latency_bounds() {
+  std::vector<double> b;
+  for (double v = 1e-6; v < 3.0; v *= 2.0) b.push_back(v);
+  return b;
+}
+
+/// Manual start/stop timer observing elapsed host seconds into a
+/// Histogram. The histogram pointer may be null (observation dropped),
+/// so call sites don't need their own guards.
+class HostTimer {
+ public:
+  HostTimer() noexcept : start_ns_(host_now_ns()) {}
+
+  /// Seconds since construction (or the last restart()).
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return static_cast<double>(host_now_ns() - start_ns_) / kNsPerSecond;
+  }
+  /// Observe the elapsed time into `h` (no-op when null) and return it.
+  double observe(Histogram* h) noexcept {
+    const double s = elapsed_seconds();
+    if (h != nullptr) h->observe(s);
+    return s;
+  }
+  /// Re-arm: subsequent elapsed_seconds() measure from now. Used to time
+  /// consecutive phases (parse -> dispatch -> respond) with one timer.
+  void restart() noexcept { start_ns_ = host_now_ns(); }
+
+ private:
+  i64 start_ns_;
+};
+
+/// RAII wrapper: observes into the histogram on scope exit.
+class ScopedHostTimer {
+ public:
+  explicit ScopedHostTimer(Histogram* h) noexcept : h_(h) {}
+  ~ScopedHostTimer() { timer_.observe(h_); }
+  ScopedHostTimer(const ScopedHostTimer&) = delete;
+  ScopedHostTimer& operator=(const ScopedHostTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  HostTimer timer_;
+};
+
+}  // namespace bgp::obs

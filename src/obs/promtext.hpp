@@ -29,4 +29,37 @@ void write_prometheus_file(const std::filesystem::path& path,
 [[nodiscard]] std::map<std::string, double> parse_prometheus(
     std::string_view text);
 
+/// One fully decoded sample line: metric name, decoded label set (escape
+/// sequences resolved — the exact inverse of the renderer), value.
+struct PromSample {
+  std::string name;
+  LabelSet labels;
+  double value = 0.0;
+};
+
+/// Decode a single (non-comment, non-empty) sample line. Throws
+/// std::runtime_error on malformed input.
+[[nodiscard]] PromSample parse_prometheus_sample(std::string_view line);
+
+/// A histogram family instance reassembled from its _bucket/_sum/_count
+/// samples. `buckets` maps the upper bound (`+Inf` as infinity) to the
+/// *cumulative* count at that bound, exactly as exposed.
+struct ParsedHistogram {
+  std::map<double, u64> buckets;
+  double sum = 0.0;
+  u64 count = 0;
+};
+
+/// Reassemble every histogram in the exposition, keyed by
+/// `name{labels-without-le}` (e.g. `bgpcd_http_request_seconds{path="/metrics"}`).
+/// Non-histogram samples are ignored.
+[[nodiscard]] std::map<std::string, ParsedHistogram>
+parse_prometheus_histograms(std::string_view text);
+
+/// Prometheus-style histogram_quantile: rank `q * count` located in the
+/// cumulative buckets, linearly interpolated inside the containing
+/// bucket. Returns NaN when the histogram is empty and the highest
+/// finite bound when the rank lands in the +Inf bucket.
+[[nodiscard]] double histogram_quantile(const ParsedHistogram& h, double q);
+
 }  // namespace bgp::obs

@@ -11,8 +11,11 @@
 // it.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -30,6 +33,7 @@
 #include "daemon/jobspec.hpp"
 #include "daemon/service.hpp"
 #include "nas/kernel.hpp"
+#include "obs/promtext.hpp"
 #include "postproc/loader.hpp"
 
 #ifndef BGPCD_BINARY
@@ -146,6 +150,42 @@ std::string slurp(const fs::path& p) {
           std::istreambuf_iterator<char>()};
 }
 
+/// The ephemeral HTTP port from a serve log's
+/// "bgpcd: http://127.0.0.1:PORT/metrics ..." line; 0 until printed.
+unsigned short parse_http_port(const fs::path& log) {
+  const std::string text = slurp(log);
+  const std::string needle = "http://127.0.0.1:";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return 0;
+  return static_cast<unsigned short>(
+      std::atoi(text.c_str() + at + needle.size()));
+}
+
+/// Minimal HTTP/1.0 GET body (empty string on any failure).
+std::string http_get_body(unsigned short port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), MSG_NOSIGNAL);
+  std::string all;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    all.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t split = all.find("\r\n\r\n");
+  return split == std::string::npos ? "" : all.substr(split + 4);
+}
+
 std::map<std::string, std::string> artifact_bytes(const fs::path& dir) {
   std::map<std::string, std::string> files;
   for (const auto& entry : fs::directory_iterator(dir)) {
@@ -243,6 +283,24 @@ TEST(DaemonChaos, SurvivesFiveSigkillsWithoutLosingOrDuplicatingASession) {
     submit_pending();
   }
 
+  // Every SIGKILL left a dirty flight ring behind; each restart salvaged
+  // it into flight.jsonl (appending — crash generations accumulate). By
+  // now the dump holds whole JSON events from at least five crashes.
+  {
+    const fs::path flight = work / "flight.jsonl";
+    ASSERT_TRUE(fs::exists(flight))
+        << "no flight-recorder salvage after SIGKILL";
+    unsigned lines = 0;
+    std::ifstream in(flight);
+    for (std::string line; std::getline(in, line); ++lines) {
+      ASSERT_FALSE(line.empty());
+      EXPECT_EQ(line.front(), '{') << line;
+      EXPECT_EQ(line.back(), '}') << line;
+      EXPECT_NE(line.find("\"event\":"), std::string::npos) << line;
+    }
+    EXPECT_GE(lines, 5u) << "fewer salvaged events than crash generations";
+  }
+
   // Final epoch: let every pending session run to completion, then stop
   // gracefully (exit 0: aborted sessions are not failures).
   for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -310,6 +368,37 @@ TEST(DaemonChaos, SurvivesFiveSigkillsWithoutLosingOrDuplicatingASession) {
   }
   // Early kills guarantee in-flight work was orphaned at least once.
   EXPECT_GT(aborted, 0u);
+
+  // Final observability scrape over real HTTP: the exposition parses,
+  // the host-latency families carry this epoch's control traffic, and
+  // the raw text is kept as a CI artifact alongside the host event log
+  // and the flight dump (saved always, not only on failure).
+  {
+    const fs::path log = work / ("serve." + std::to_string(gen) + ".log");
+    unsigned short port = 0;
+    for (int i = 0; i < 2'000 && port == 0; ++i) {
+      port = parse_http_port(log);
+      if (port == 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_NE(port, 0) << "no http port line in " << log;
+    const std::string body = http_get_body(port, "/metrics");
+    ASSERT_FALSE(body.empty());
+    const auto hists = obs::parse_prometheus_histograms(body);
+    const std::string key =
+        "bgpcd_control_request_seconds{phase=\"dispatch\"}";
+    ASSERT_TRUE(hists.count(key)) << body;
+    EXPECT_GT(hists.at(key).count, 0u);
+    if (const char* dest = std::getenv("BGPC_CHAOS_ARTIFACT_DIR");
+        dest != nullptr && *dest != '\0') {
+      std::error_code ec;
+      fs::create_directories(dest, ec);
+      std::ofstream(fs::path(dest) / "final_metrics.prom") << body;
+      for (const char* f : {"events.jsonl", "flight.jsonl"}) {
+        fs::copy_file(work / f, fs::path(dest) / f,
+                      fs::copy_options::overwrite_existing, ec);
+      }
+    }
+  }
   graceful_stop(sock, pid, 0);
 
   // Determinism across all that chaos: each finished session's artifacts

@@ -10,7 +10,12 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -191,6 +196,46 @@ TEST(DaemonIntegration, FourSessionsKillAttachScrapeDrain) {
   ASSERT_TRUE(command(sock, "kill", "attachee").get("ok")->as_bool());
   EXPECT_EQ(wait_terminal(sock, "attachee"), "killed");
 
+  // Host self-characterization: after this workload, every host-latency
+  // histogram family on /metrics has a non-zero _count and a computable
+  // p99. (The extra scrape first guarantees at least one completed
+  // /metrics request has been observed into the scrape family.)
+  std::string final_metrics;
+  {
+    (void)http_get(port, "/metrics");
+    const std::string body = http_get(port, "/metrics");
+    final_metrics = body;
+    const auto hists = obs::parse_prometheus_histograms(body);
+    const char* keys[] = {
+        "bgpcd_control_request_seconds{phase=\"parse\"}",
+        "bgpcd_control_request_seconds{phase=\"dispatch\"}",
+        "bgpcd_control_request_seconds{phase=\"respond\"}",
+        "bgpcd_journal_append_seconds{phase=\"write\"}",
+        "bgpcd_journal_append_seconds{phase=\"fsync\"}",
+        "bgpcd_snapshot_publish_seconds",
+        "bgpcd_session_queue_wait_seconds",
+        "bgpcd_http_request_seconds{path=\"/metrics\"}",
+    };
+    for (const char* key : keys) {
+      ASSERT_TRUE(hists.count(key)) << key << " missing from:\n" << body;
+      EXPECT_GT(hists.at(key).count, 0u) << key;
+      EXPECT_FALSE(std::isnan(obs::histogram_quantile(hists.at(key), 0.99)))
+          << key;
+    }
+    const auto samples = obs::parse_prometheus(body);
+    EXPECT_GE(samples.at("bgpcd_uptime_seconds"), 0.0);
+    bool build_info = false;
+    for (const auto& [key, value] : samples) {
+      if (key.rfind("bgpcd_build_info{", 0) == 0) {
+        build_info = true;
+        EXPECT_EQ(value, 1.0);
+        EXPECT_NE(key.find("version="), std::string::npos);
+        EXPECT_NE(key.find("compiler="), std::string::npos);
+      }
+    }
+    EXPECT_TRUE(build_info) << body;
+  }
+
   // Drain: admissions close immediately, the surfaces stay up until
   // run_until_drained() finishes the shutdown.
   ASSERT_TRUE(command(sock, "drain").get("ok")->as_bool());
@@ -224,6 +269,92 @@ TEST(DaemonIntegration, FourSessionsKillAttachScrapeDrain) {
     EXPECT_TRUE(view.unreadable.empty());
     EXPECT_TRUE(view.final_only) << name;
   }
+
+  // CI artifact export: the post-workload /metrics scrape and the complete
+  // host event log, uploaded from the daemon lane.
+  if (const char* dest = std::getenv("BGPC_DAEMON_ARTIFACT_DIR")) {
+    fs::create_directories(dest);
+    std::ofstream(fs::path(dest) / "final_metrics.prom") << final_metrics;
+    if (fs::exists(dir / "events.jsonl")) {
+      fs::copy_file(dir / "events.jsonl", fs::path(dest) / "events.jsonl",
+                    fs::copy_options::overwrite_existing);
+    }
+  }
+}
+
+TEST(DaemonIntegration, HostEventsCarryCorrelationIdsEndToEnd) {
+  const fs::path dir = test_dir();
+  DaemonConfig cfg;
+  cfg.service.work_dir = dir;
+  Daemon d(cfg);
+  const fs::path sock = d.socket_path();
+  const unsigned short port = d.http_port();
+
+  const json::Value resp =
+      submit(sock, R"({"session":"traced","bench":"EP","class":"S","nodes":2})");
+  ASSERT_TRUE(resp.get("ok")->as_bool()) << resp.dump();
+  EXPECT_EQ(wait_terminal(sock, "traced"), "finished");
+
+  // /debug/events serves the live flight ring as NDJSON: every line is a
+  // well-formed event with the fixed schema prefix, and the session
+  // lifecycle (admit -> start -> finish) is all there.
+  std::string head;
+  const std::string ndjson = http_get(port, "/debug/events", &head);
+  EXPECT_NE(head.find("application/x-ndjson"), std::string::npos) << head;
+  std::string admit_req;
+  std::map<std::string, int> seen;
+  std::istringstream in(ndjson);
+  for (std::string line; std::getline(in, line);) {
+    ASSERT_FALSE(line.empty());
+    const json::Value ev = json::Value::parse(line);  // throws if torn
+    ASSERT_NE(ev.get("ts_ns"), nullptr) << line;
+    ASSERT_NE(ev.get("level"), nullptr) << line;
+    ASSERT_NE(ev.get("event"), nullptr) << line;
+    const std::string& name = ev.get("event")->as_string();
+    ++seen[name];
+    if (name == "session_admit") {
+      ASSERT_NE(ev.get("req"), nullptr) << line;
+      admit_req = ev.get("req")->as_string();
+      EXPECT_EQ(ev.get("session")->as_string(), "traced");
+    }
+  }
+  EXPECT_GE(seen["daemon_start"], 1);
+  EXPECT_GE(seen["session_admit"], 1);
+  EXPECT_GE(seen["session_start"], 1);
+  EXPECT_GE(seen["session_finish"], 1);
+
+  // The correlation ID minted by the control server ("rNNNNNN") threads
+  // through: the admit event, the control_request event for the submit,
+  // and the journal's admit record all carry the same id — one grep
+  // reconstructs the request's whole path through the daemon.
+  ASSERT_FALSE(admit_req.empty());
+  EXPECT_EQ(admit_req[0], 'r');
+  std::map<std::string, int> req_events;
+  {
+    std::ifstream events(dir / "events.jsonl");
+    ASSERT_TRUE(events.is_open());
+    for (std::string line; std::getline(events, line);) {
+      const json::Value ev = json::Value::parse(line);
+      const json::Value* req = ev.get("req");
+      if (req != nullptr && req->as_string() == admit_req) {
+        ++req_events[ev.get("event")->as_string()];
+      }
+    }
+  }
+  EXPECT_GE(req_events["session_admit"], 1);
+  EXPECT_GE(req_events["control_request"], 1);
+  {
+    std::ifstream journal(dir / "bgpcd.journal", std::ios::binary);
+    ASSERT_TRUE(journal.is_open());
+    std::stringstream buf;
+    buf << journal.rdbuf();
+    EXPECT_NE(buf.str().find("\"req\":\"" + admit_req + "\""),
+              std::string::npos)
+        << "journal admit record lost the correlation id";
+  }
+
+  d.begin_drain();
+  EXPECT_EQ(d.run_until_drained(), 0u);
 }
 
 TEST(DaemonIntegration, ControlProtocolErrorsAreStructured) {

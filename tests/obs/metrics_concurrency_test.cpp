@@ -41,6 +41,14 @@ TEST(MetricsConcurrency, RenderStaysParseableAndMonotoneUnderChurn) {
             {{"writer", std::to_string(t)},
              {"shard", std::to_string(i % 16)}});
         labeled.add();
+        // Histogram families churn too: fresh labeled series registered
+        // mid-render, observations racing the cumulative bucket walk.
+        Histogram& hl = reg.histogram(
+            "churn_hist_seconds", "per-writer histogram",
+            {0.001, 0.01, 0.1, 1.0},
+            {{"writer", std::to_string(t)},
+             {"shard", std::to_string(i % 8)}});
+        hl.observe(double(i % 100) / 50.0);
       }
     });
   }
@@ -51,6 +59,18 @@ TEST(MetricsConcurrency, RenderStaysParseableAndMonotoneUnderChurn) {
     const std::string text = render_prometheus(reg);
     std::map<std::string, double> now;
     ASSERT_NO_THROW(now = parse_prometheus(text)) << text;
+    // Every histogram in every scrape is internally consistent: buckets
+    // cumulative-monotone in bound order, +Inf bucket == _count.
+    for (const auto& [key, h] : parse_prometheus_histograms(text)) {
+      u64 prev_cum = 0;
+      for (const auto& [bound, cum] : h.buckets) {
+        ASSERT_GE(cum, prev_cum)
+            << key << " bucket le=" << bound << " went backwards in-scrape";
+        prev_cum = cum;
+      }
+      ASSERT_EQ(prev_cum, h.count)
+          << key << " +Inf bucket disagrees with _count";
+    }
     // Counters never go backwards between scrapes; series never vanish.
     for (const auto& [key, value] : prev) {
       if (key.find("_total") == std::string::npos &&

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -127,6 +130,99 @@ TEST(Promtext, ParserRejectsMalformedSamples) {
   // Blank lines and comments are fine.
   const auto parsed = obs::parse_prometheus("\n# a comment\nbgpc_x 4\n");
   EXPECT_EQ(parsed.at("bgpc_x"), 4.0);
+}
+
+TEST(Promtext, SampleDecoderInvertsTheRendererExactly) {
+  // Label values with every escapable character must survive the
+  // render -> parse_prometheus_sample round trip byte-for-byte.
+  MetricsRegistry reg;
+  const LabelSet labels = {{"path", "a\"b\\c\nd"}, {"phase", "parse"}};
+  reg.counter("bgpc_rt_total", "round trip", labels).add(3);
+  const std::string text = obs::render_prometheus(reg);
+
+  std::string sample_line;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line[0] != '#') sample_line = line;
+  }
+  ASSERT_FALSE(sample_line.empty());
+  const obs::PromSample s = obs::parse_prometheus_sample(sample_line);
+  EXPECT_EQ(s.name, "bgpc_rt_total");
+  EXPECT_EQ(s.labels, labels);
+  EXPECT_EQ(s.value, 3.0);
+
+  EXPECT_THROW((void)obs::parse_prometheus_sample("name{unclosed=\"v\" 1"),
+               std::runtime_error);
+  EXPECT_THROW((void)obs::parse_prometheus_sample("justaname"),
+               std::runtime_error);
+  // +Inf bucket bounds decode to infinity.
+  const obs::PromSample inf =
+      obs::parse_prometheus_sample("h_bucket{le=\"+Inf\"} 9");
+  ASSERT_EQ(inf.labels.size(), 1u);
+  EXPECT_TRUE(std::isinf(obs::parse_prometheus_sample(
+                             "h 1e999")  // overflowing value -> inf
+                             .value));
+  EXPECT_EQ(inf.labels[0].second, "+Inf");
+}
+
+TEST(Promtext, HistogramExpositionIsCumulativeAndMonotone) {
+  MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram(
+      "bgpc_hist_seconds", "hist", {0.001, 0.01, 0.1, 1.0},
+      {{"phase", "dispatch"}});
+  h.observe(0.0005);
+  h.observe(0.005);
+  h.observe(0.005);
+  h.observe(0.5);
+  h.observe(50.0);  // +Inf bucket
+
+  const std::string text = obs::render_prometheus(reg);
+  const auto hists = obs::parse_prometheus_histograms(text);
+  const std::string key =
+      "bgpc_hist_seconds{phase=\"dispatch\"}";
+  ASSERT_TRUE(hists.count(key)) << text;
+  const obs::ParsedHistogram& p = hists.at(key);
+
+  // Buckets are cumulative and monotone non-decreasing in bound order,
+  // and the +Inf bucket equals _count.
+  ASSERT_EQ(p.buckets.size(), 5u);
+  u64 prev = 0;
+  for (const auto& [bound, cum] : p.buckets) {
+    EXPECT_GE(cum, prev) << "bucket le=" << bound << " went backwards";
+    prev = cum;
+  }
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(p.buckets.at(0.001), 1u);
+  EXPECT_EQ(p.buckets.at(0.01), 3u);
+  EXPECT_EQ(p.buckets.at(0.1), 3u);
+  EXPECT_EQ(p.buckets.at(1.0), 4u);
+  EXPECT_EQ(p.buckets.at(inf), 5u);
+  EXPECT_EQ(p.count, 5u);
+  EXPECT_DOUBLE_EQ(p.sum, 0.0005 + 0.005 + 0.005 + 0.5 + 50.0);
+}
+
+TEST(Promtext, HistogramQuantileInterpolatesLinearly) {
+  obs::ParsedHistogram h;
+  const double inf = std::numeric_limits<double>::infinity();
+  // 10 observations uniform in (0, 1]: bucket bounds 0.5 and 1.0 get 5
+  // each; quantiles interpolate inside the containing bucket.
+  h.buckets[0.5] = 5;
+  h.buckets[1.0] = 10;
+  h.buckets[inf] = 10;
+  h.count = 10;
+  h.sum = 5.0;
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(h, 1.0), 1.0);
+  // q clamps; rank in the +Inf bucket returns the highest finite bound.
+  obs::ParsedHistogram tail;
+  tail.buckets[0.5] = 0;
+  tail.buckets[inf] = 4;
+  tail.count = 4;
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(tail, 0.99), 0.5);
+  // Empty histogram: NaN.
+  obs::ParsedHistogram empty;
+  EXPECT_TRUE(std::isnan(obs::histogram_quantile(empty, 0.5)));
 }
 
 }  // namespace

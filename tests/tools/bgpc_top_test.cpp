@@ -1,0 +1,105 @@
+// bgpc_top against a live daemon: run one session to completion in an
+// in-process Daemon, then execute the real bgpc_top binary with --once
+// and assert the rendered frame carries the header, the host-latency
+// table with non-zero counts, and the session row. This is the "does the
+// dashboard actually render from a running daemon" end-to-end check.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "daemon/daemon.hpp"
+
+#ifndef BGPC_TOP_BINARY
+#error "bgpc_top_test needs -DBGPC_TOP_BINARY=\"<path to bgpc_top>\""
+#endif
+
+namespace fs = std::filesystem;
+
+namespace bgp::daemon {
+namespace {
+
+std::string run_top(const std::string& args, int* exit_code) {
+  const std::string cmd = std::string(BGPC_TOP_BINARY) + " " + args + " 2>&1";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, n);
+  const int status = ::pclose(pipe);
+  *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return out;
+}
+
+TEST(BgpcTop, RendersOneLiveFrameAgainstARunningDaemon) {
+  const fs::path dir =
+      fs::temp_directory_path() / "bgpc_top_render";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  DaemonConfig cfg;
+  cfg.service.work_dir = dir;
+  Daemon d(cfg);
+
+  // One quick verifiable session so every table has content.
+  json::Value req = json::Value::object();
+  req.set("cmd", json::Value("submit"));
+  req.set("job", json::Value::parse(
+                     R"({"session":"top1","bench":"EP","class":"S","nodes":2})"));
+  const json::Value resp = control_request(d.socket_path(), req);
+  ASSERT_TRUE(resp.get("ok")->as_bool()) << resp.dump();
+  json::Value status_req = json::Value::object();
+  status_req.set("cmd", json::Value("status"));
+  status_req.set("session", json::Value("top1"));
+  for (int i = 0;; ++i) {
+    ASSERT_LT(i, 60'000) << "session never finished";
+    const json::Value st = control_request(d.socket_path(), status_req);
+    const std::string state =
+        st.get("session")->get("state")->as_string();
+    if (state == "finished") break;
+    ASSERT_TRUE(state == "queued" || state == "running") << state;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // Prime the scrape histogram so the dashboard's own poll sees it.
+  int code = -1;
+  (void)run_top("--port=" + std::to_string(d.http_port()) + " --once",
+                &code);
+  ASSERT_EQ(code, 0);
+
+  const std::string frame = run_top(
+      "--port=" + std::to_string(d.http_port()) + " --once", &code);
+  EXPECT_EQ(code, 0) << frame;
+  // Header: daemon identity and health.
+  EXPECT_NE(frame.find("bgpcd"), std::string::npos) << frame;
+  EXPECT_NE(frame.find("— ok —"), std::string::npos) << frame;
+  // Host-latency table with real rows.
+  EXPECT_NE(frame.find("host latency"), std::string::npos) << frame;
+  EXPECT_NE(frame.find("p99"), std::string::npos) << frame;
+  EXPECT_NE(frame.find("control_request{dispatch}"), std::string::npos)
+      << frame;
+  EXPECT_NE(frame.find("journal_append{fsync}"), std::string::npos) << frame;
+  EXPECT_NE(frame.find("snapshot_publish"), std::string::npos) << frame;
+  EXPECT_NE(frame.find("session_queue_wait"), std::string::npos) << frame;
+  EXPECT_NE(frame.find("http_request{/metrics}"), std::string::npos) << frame;
+  // The finished session's row.
+  EXPECT_NE(frame.find("top1"), std::string::npos) << frame;
+  EXPECT_NE(frame.find("finished"), std::string::npos) << frame;
+
+  // Unreachable daemon: a banner and exit 1, not a crash.
+  const std::string dead = run_top("--port=1 --once", &code);
+  EXPECT_EQ(code, 1);
+  EXPECT_NE(dead.find("unreachable"), std::string::npos) << dead;
+
+  d.begin_drain();
+  EXPECT_EQ(d.run_until_drained(), 0u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bgp::daemon

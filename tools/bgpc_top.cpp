@@ -1,0 +1,295 @@
+// bgpc_top — live terminal dashboard for a running bgpcd. Polls the
+// daemon's HTTP observability surface (/metrics, /sessions, /healthz)
+// and renders, once per interval:
+//
+//   - daemon health, uptime, and build version,
+//   - every host-latency histogram family as count / req-per-sec /
+//     p50 / p99 (quantiles via Prometheus-style linear interpolation
+//     over the cumulative buckets),
+//   - the live session table (state, simulated cycles, modeled bytes).
+//
+// Rates come from _count deltas between frames, so the first frame shows
+// totals only. `--once` prints a single plain frame (what the ctest
+// render check uses); `--raw` keeps the per-frame output but skips the
+// ANSI clear for piping into a file.
+//
+//   bgpc_top --port=PORT [--host=H] [--interval=DUR] [--frames=N]
+//            [--once] [--raw]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli.hpp"
+#include "daemon/json.hpp"
+#include "obs/promtext.hpp"
+
+using namespace bgp;
+namespace json = bgp::daemon::json;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_interrupt(int) { g_stop = 1; }
+
+/// Minimal HTTP/1.0 GET; nullopt when the daemon is unreachable or the
+/// response is malformed (the dashboard shows a retry banner instead of
+/// dying — daemons restart, dashboards should survive that).
+std::optional<std::string> http_get(const std::string& host,
+                                    unsigned short port,
+                                    const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  timeval tv{};
+  tv.tv_sec = 5;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(req.size())) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string all;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    all.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t split = all.find("\r\n\r\n");
+  if (split == std::string::npos) return std::nullopt;
+  return all.substr(split + 4);
+}
+
+/// Human latency: seconds -> "840ns" / "12.4us" / "3.1ms" / "1.25s".
+std::string fmt_latency(double seconds) {
+  if (!(seconds == seconds)) return "-";  // NaN: empty histogram
+  if (seconds < 1e-6) return strfmt("%.0fns", seconds * 1e9);
+  if (seconds < 1e-3) return strfmt("%.1fus", seconds * 1e6);
+  if (seconds < 1.0) return strfmt("%.2fms", seconds * 1e3);
+  return strfmt("%.2fs", seconds);
+}
+
+std::string fmt_bytes(double b) {
+  const double gib = 1024.0 * static_cast<double>(MiB);
+  if (b >= gib) return strfmt("%.1fGiB", b / gib);
+  if (b >= static_cast<double>(MiB)) {
+    return strfmt("%.1fMiB", b / static_cast<double>(MiB));
+  }
+  if (b >= 1024.0) return strfmt("%.1fKiB", b / 1024.0);
+  return strfmt("%.0fB", b);
+}
+
+/// Strip the shared prefix/suffix from a histogram key for the table:
+/// `bgpcd_control_request_seconds{phase="parse"}` -> `control_request{parse}`.
+std::string short_key(const std::string& key) {
+  std::string s = key;
+  if (s.rfind("bgpcd_", 0) == 0) s.erase(0, 6);
+  const std::size_t sec = s.find("_seconds");
+  if (sec != std::string::npos) s.erase(sec, 8);
+  // Collapse `{label="value"}` to `{value}` — the label name is obvious
+  // from the family and the column stays narrow.
+  const std::size_t brace = s.find('{');
+  if (brace != std::string::npos) {
+    const std::size_t eq = s.find('=', brace);
+    const std::size_t close = s.rfind('}');
+    if (eq != std::string::npos && close != std::string::npos) {
+      std::string v = s.substr(eq + 1, close - eq - 1);
+      std::erase(v, '"');
+      s = s.substr(0, brace) + "{" + v + "}";
+    }
+  }
+  return s;
+}
+
+struct TopArgs {
+  std::string host = "127.0.0.1";
+  unsigned port = 0;
+  u64 interval_ns = u64{1'000'000'000};
+  unsigned frames = 0;  ///< 0 = until interrupted
+  bool once = false;
+  bool raw = false;
+};
+
+/// One full poll + render. `prev_counts`/`prev_time` carry rate state
+/// between frames. Returns false when the daemon was unreachable.
+bool render_frame(const TopArgs& a,
+                  std::map<std::string, u64>& prev_counts,
+                  std::chrono::steady_clock::time_point& prev_time,
+                  unsigned frame) {
+  const auto port = static_cast<unsigned short>(a.port);
+  const auto metrics = http_get(a.host, port, "/metrics");
+  const auto sessions = http_get(a.host, port, "/sessions");
+  const auto health = http_get(a.host, port, "/healthz");
+  const auto now = std::chrono::steady_clock::now();
+  const double dt =
+      std::chrono::duration<double>(now - prev_time).count();
+
+  if (!a.raw && !a.once) std::printf("\x1b[H\x1b[2J");
+  if (!metrics) {
+    std::printf("bgpc_top: %s:%u unreachable (frame %u)\n", a.host.c_str(),
+                a.port, frame);
+    return false;
+  }
+
+  // Header: health, version, uptime, event counts.
+  std::string version = "unknown";
+  double uptime = 0.0;
+  double events_total = 0.0;
+  std::map<std::string, double> gauges;
+  for (std::size_t pos = 0; pos < metrics->size();) {
+    std::size_t eol = metrics->find('\n', pos);
+    if (eol == std::string::npos) eol = metrics->size();
+    const std::string_view line(metrics->data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    try {
+      const obs::PromSample s = obs::parse_prometheus_sample(line);
+      if (s.name == "bgpcd_build_info") {
+        for (const auto& [k, v] : s.labels) {
+          if (k == "version") version = v;
+        }
+      } else if (s.name == "bgpcd_uptime_seconds") {
+        uptime = s.value;
+      } else if (s.name == "bgpcd_host_events_total") {
+        events_total += s.value;
+      } else if (s.labels.empty()) {
+        gauges[s.name] = s.value;
+      }
+    } catch (const std::exception&) {
+      // A malformed line is the daemon's bug, not ours: skip it.
+    }
+  }
+  std::string health_line = health ? *health : "unreachable";
+  while (!health_line.empty() &&
+         (health_line.back() == '\n' || health_line.back() == '\r')) {
+    health_line.pop_back();
+  }
+  std::printf("bgpcd %s on %s:%u — %s — up %.0fs — %.0f host events\n",
+              version.c_str(), a.host.c_str(), a.port, health_line.c_str(),
+              uptime, events_total);
+
+  // Host-latency histogram table, one row per family instance.
+  const auto hists = obs::parse_prometheus_histograms(*metrics);
+  std::printf("\n%-32s %10s %9s %9s %9s\n", "host latency", "count", "req/s",
+              "p50", "p99");
+  for (const auto& [key, h] : hists) {
+    double rate = 0.0;
+    if (const auto it = prev_counts.find(key);
+        it != prev_counts.end() && dt > 0 && h.count >= it->second) {
+      rate = static_cast<double>(h.count - it->second) / dt;
+    }
+    prev_counts[key] = h.count;
+    std::printf("%-32s %10llu %9.1f %9s %9s\n", short_key(key).c_str(),
+                static_cast<unsigned long long>(h.count), rate,
+                fmt_latency(obs::histogram_quantile(h, 0.50)).c_str(),
+                fmt_latency(obs::histogram_quantile(h, 0.99)).c_str());
+  }
+  prev_time = now;
+
+  // Session table.
+  std::printf("\n%-24s %-10s %14s %10s  %s\n", "session", "state",
+              "sim cycles", "resident", "detail");
+  unsigned shown = 0;
+  if (sessions) {
+    try {
+      const json::Value arr = json::Value::parse(*sessions);
+      for (const json::Value& s : arr.items()) {
+        const json::Value* name = s.get("session");
+        const json::Value* state = s.get("state");
+        if (name == nullptr || state == nullptr) continue;
+        const json::Value* cyc = s.get("sim_cycles");
+        const json::Value* res = s.get("resident_bytes");
+        const json::Value* det = s.get("detail");
+        std::string detail = det != nullptr ? det->as_string() : "";
+        if (detail.size() > 40) detail = detail.substr(0, 37) + "...";
+        std::printf("%-24s %-10s %14.0f %10s  %s\n",
+                    name->as_string().c_str(), state->as_string().c_str(),
+                    cyc != nullptr ? cyc->as_number() : 0.0,
+                    fmt_bytes(res != nullptr ? res->as_number() : 0.0).c_str(),
+                    detail.c_str());
+        ++shown;
+      }
+    } catch (const std::exception& e) {
+      std::printf("(sessions unavailable: %s)\n", e.what());
+    }
+  }
+  if (shown == 0) std::printf("(no sessions)\n");
+
+  // A few load-bearing service gauges, when present.
+  const auto g = [&gauges](const char* k) {
+    const auto it = gauges.find(k);
+    return it != gauges.end() ? it->second : 0.0;
+  };
+  std::printf("\nrunning %.0f  draining %.0f  read-only %.0f  resident %s\n",
+              g("bgpcd_sessions_running"), g("bgpcd_draining"),
+              g("bgpcd_read_only"),
+              fmt_bytes(g("bgpcd_resident_bytes")).c_str());
+  std::fflush(stdout);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TopArgs a;
+  cli::FlagSet fs("bgpc_top");
+  fs.string_value("host", "ADDR", "daemon address (default 127.0.0.1)",
+                  &a.host);
+  fs.positive_value("port", "PORT", "daemon HTTP port (required)", &a.port);
+  fs.duration_ns_value("interval", "DUR",
+                       "refresh period, e.g. 500ms or 2s (default 1s)",
+                       &a.interval_ns);
+  fs.unsigned_value("frames", "N",
+                    "stop after N refreshes (default 0 = until ^C)",
+                    &a.frames);
+  fs.toggle("once", "render one plain frame and exit", &a.once);
+  fs.toggle("raw", "no ANSI clear between frames (for piping)", &a.raw);
+  if (const auto rc = fs.parse(argc, argv, 1)) return *rc;
+  if (a.port == 0 || a.port > 65535) {
+    std::fprintf(stderr, "bgpc_top: --port=PORT (1..65535) is required\n");
+    fs.print_usage(stderr);
+    return 2;
+  }
+  if (a.once) a.frames = 1;
+
+  std::signal(SIGINT, on_interrupt);
+  std::signal(SIGTERM, on_interrupt);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::map<std::string, u64> prev_counts;
+  auto prev_time = std::chrono::steady_clock::now();
+  bool ever_ok = false;
+  for (unsigned frame = 0; g_stop == 0; ++frame) {
+    ever_ok |= render_frame(a, prev_counts, prev_time, frame);
+    if (a.frames != 0 && frame + 1 >= a.frames) break;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(a.interval_ns));
+  }
+  return ever_ok ? 0 : 1;
+}

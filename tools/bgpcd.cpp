@@ -13,9 +13,11 @@
 //
 // SIGTERM/SIGINT drain gracefully: admissions stop, running sessions finish
 // (or checkpoint when killed), the exit code is 0 when no session failed.
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -38,12 +40,51 @@ void on_drain_signal(int) {
   [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
+// --- fatal-signal flight dump ---------------------------------------------
+// On SIGSEGV/SIGABRT the mmap'd flight ring already survives (the kernel
+// owns the pages), but a dump written *now* saves the next operator a
+// restart: append every CRC-valid ring record to flight.jsonl using only
+// async-signal-safe calls, then re-raise with the default disposition so
+// the crash still produces a core/exit status.
+std::atomic<obs::FlightRing*> g_flight_ring{nullptr};
+char g_flight_dump_path[4096] = {0};
+
+void on_fatal_signal(int sig) {
+  const obs::FlightRing* ring =
+      g_flight_ring.load(std::memory_order_acquire);
+  if (ring != nullptr && g_flight_dump_path[0] != '\0') {
+    const int fd = ::open(g_flight_dump_path,
+                          O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+      ring->dump_signal_safe(fd);
+      ::close(fd);
+    }
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void install_flight_dump(daemon::HostObs& host) {
+  obs::FlightRing* ring = host.ring();
+  if (ring == nullptr) return;
+  const std::string dump = host.flight_dump_path().string();
+  if (dump.size() + 1 > sizeof(g_flight_dump_path)) return;
+  std::memcpy(g_flight_dump_path, dump.c_str(), dump.size() + 1);
+  g_flight_ring.store(ring, std::memory_order_release);
+  struct sigaction sa{};
+  sa.sa_handler = on_fatal_signal;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+  ::sigaction(SIGBUS, &sa, nullptr);
+}
+
 int serve(int argc, char** argv) {
   daemon::DaemonConfig cfg;
   cfg.service.work_dir = "bgpcd_work";
   unsigned http_port = 0;
   std::vector<std::string> preload;
   u64 max_bytes = 0;
+  std::string log_level = "info";
 
   cli::FlagSet fs("bgpcd serve");
   fs.path_value("socket", "PATH",
@@ -72,9 +113,26 @@ int serve(int argc, char** argv) {
                &max_bytes);
   fs.repeated_value("preload", "JSON",
                     "submit this job spec at startup (repeatable)", &preload);
+  fs.string_value("log-level", "LEVEL",
+                  "stderr threshold for structured host events: debug, "
+                  "info, warn, error, or off (default info; events.jsonl "
+                  "always gets everything)",
+                  &log_level);
   if (const auto rc = fs.parse(argc, argv, 2)) return *rc;
   cfg.http_port = static_cast<unsigned short>(http_port);
   if (max_bytes != 0) cfg.service.quotas.max_resident_bytes = max_bytes;
+  cfg.service.host.version = cli::version();
+  if (log_level == "off" || log_level == "none") {
+    cfg.service.host.stderr_level.reset();
+  } else if (const auto lv = obs::parse_event_level(log_level)) {
+    cfg.service.host.stderr_level = *lv;
+  } else {
+    std::fprintf(stderr,
+                 "bgpcd serve: --log-level must be debug, info, warn, "
+                 "error, or off; got '%s'\n",
+                 log_level.c_str());
+    return 2;
+  }
 
   if (::pipe(g_signal_pipe) != 0) {
     std::perror("bgpcd: pipe");
@@ -87,6 +145,12 @@ int serve(int argc, char** argv) {
   ::signal(SIGPIPE, SIG_IGN);
 
   daemon::Daemon d(cfg);
+  install_flight_dump(d.service().host());
+  if (d.service().host().salvaged_events() != 0) {
+    std::printf("bgpcd: salvaged %zu flight-recorder event(s) into %s\n",
+                d.service().host().salvaged_events(),
+                d.service().host().flight_dump_path().string().c_str());
+  }
   const daemon::RecoveryReport& rec = d.service().recovery();
   if (rec.journal_found) {
     std::printf(
@@ -107,8 +171,9 @@ int serve(int argc, char** argv) {
   }
   std::printf("bgpcd: control socket %s\n",
               d.socket_path().string().c_str());
-  std::printf("bgpcd: http://127.0.0.1:%u/metrics /sessions /healthz\n",
-              d.http_port());
+  std::printf(
+      "bgpcd: http://127.0.0.1:%u/metrics /sessions /healthz /debug/events\n",
+      d.http_port());
   std::fflush(stdout);
 
   for (const std::string& text : preload) {
@@ -132,6 +197,8 @@ int serve(int argc, char** argv) {
   drain_waiter.join();
   ::close(g_signal_pipe[0]);
   std::printf("bgpcd: drained, %u session(s) failed\n", failed);
+  // The ring dies with the Daemon below; disarm the crash dumper first.
+  g_flight_ring.store(nullptr, std::memory_order_release);
   return failed == 0 ? 0 : 1;
 }
 
