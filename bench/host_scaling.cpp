@@ -92,6 +92,7 @@ int main(int argc, char** argv) {
   nas::Benchmark bench = nas::Benchmark::kCG;
   nas::ProblemClass cls = nas::ProblemClass::kA;
   unsigned nodes = 64;
+  bool allow_oversub = false;
   std::vector<unsigned> jobs_list = {1, 2, 4, 8};
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
@@ -102,24 +103,52 @@ int main(int argc, char** argv) {
       bench = nas::parse_benchmark(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       jobs_list = parse_jobs_list(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--allow-oversubscribed") == 0) {
+      allow_oversub = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--bench=B] [--nodes=N] [--class=S|W|A] "
-                   "[--jobs=1,2,4,8]\n",
+                   "[--jobs=1,2,4,8] [--allow-oversubscribed]\n",
                    argv[0]);
       return 2;
     }
   }
 
   const unsigned host_cores = std::thread::hardware_concurrency();
+
+  // Datapoints with more workers than host cores measure scheduler noise,
+  // not scaling: skip them by default (they stay in the JSON as skipped),
+  // or run-but-flag them under --allow-oversubscribed. host_cores == 0
+  // means the host could not report a count — run everything, flag nothing.
+  std::vector<unsigned> skipped_jobs;
+  if (host_cores != 0 && !allow_oversub) {
+    std::vector<unsigned> kept;
+    for (const unsigned j : jobs_list) {
+      (j > host_cores ? skipped_jobs : kept).push_back(j);
+    }
+    jobs_list = std::move(kept);
+  }
+  const auto oversubscribed = [&](unsigned j) {
+    return host_cores != 0 && j > host_cores;
+  };
   const unsigned ranks = nodes * sys::processes_per_node(sys::OpMode::kVnm);
   bench::banner("Host scaling (parallel epoch scheduler)",
                 "wall-clock vs worker count at fixed simulated behaviour",
                 "simulated cycles identical on every row; wall-clock falls "
                 "with --jobs up to min(host cores, nodes)");
-  std::printf("%s class %s | %u VNM nodes (%u ranks) | host cores %u\n\n",
+  std::printf("%s class %s | %u VNM nodes (%u ranks) | host cores %u\n",
               std::string(nas::name(bench)).c_str(),
               std::string(nas::name(cls)).c_str(), nodes, ranks, host_cores);
+  for (const unsigned j : skipped_jobs) {
+    std::printf("skipping jobs=%u: oversubscribed (host has %u cores; "
+                "--allow-oversubscribed to run anyway)\n",
+                j, host_cores);
+  }
+  std::printf("\n");
+  if (jobs_list.empty()) {
+    std::fprintf(stderr, "no runnable --jobs datapoints\n");
+    return 2;
+  }
 
   const RunResult serial =
       one_run(bench, cls, nodes, rt::SchedMode::kSerial, 0);
@@ -139,8 +168,8 @@ int main(int argc, char** argv) {
          cyc(serial.sim_cycles)});
   bool cycles_ok = serial.verified;
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    t.row({"parallel", strfmt("%u", jobs_list[i]),
-           strfmt("%.1f", rows[i].wall_ms),
+    t.row({oversubscribed(jobs_list[i]) ? "parallel (oversub)" : "parallel",
+           strfmt("%u", jobs_list[i]), strfmt("%.1f", rows[i].wall_ms),
            strfmt("%.2fx", base_ms / rows[i].wall_ms),
            cyc(rows[i].sim_cycles)});
     cycles_ok = cycles_ok && rows[i].verified &&
@@ -165,12 +194,19 @@ int main(int argc, char** argv) {
   json += "  \"parallel\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     json += strfmt("    {\"jobs\": %u, \"wall_ms\": %.3f, "
-                   "\"speedup_vs_jobs1\": %.3f, \"sim_cycles\": %llu}%s\n",
+                   "\"speedup_vs_jobs1\": %.3f, \"sim_cycles\": %llu, "
+                   "\"oversubscribed\": %s}%s\n",
                    jobs_list[i], rows[i].wall_ms, base_ms / rows[i].wall_ms,
                    static_cast<unsigned long long>(rows[i].sim_cycles),
+                   oversubscribed(jobs_list[i]) ? "true" : "false",
                    i + 1 < rows.size() ? "," : "");
   }
   json += "  ],\n";
+  json += "  \"skipped_oversubscribed\": [";
+  for (std::size_t i = 0; i < skipped_jobs.size(); ++i) {
+    json += strfmt("%s%u", i == 0 ? "" : ", ", skipped_jobs[i]);
+  }
+  json += "],\n";
   json += strfmt("  \"sim_cycles_identical\": %s\n}\n",
                  cycles_ok ? "true" : "false");
 

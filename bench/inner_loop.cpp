@@ -1,0 +1,244 @@
+// Before/after harness for the simulation inner-loop fast paths
+// (docs/perf.md): the devirtualized cache walk and the block-batched
+// counter-event delivery, each hand-timed against the legacy path it
+// replaced (which stays selectable via HierarchyParams::legacy_walk and
+// MachineConfig::legacy_block_events, so both are measured live in one
+// binary on the same host). Rows report ns per walk / ns per delivered
+// counter event and the fast-over-legacy speedup.
+//
+// With BGPC_BENCH_ARTIFACT_DIR set the rows are written to
+// $BGPC_BENCH_ARTIFACT_DIR/BENCH_inner_loop.json (the CI artifact);
+// otherwise BENCH_inner_loop.json lands in the working directory.
+#include <benchmark/benchmark.h>  // DoNotOptimize only; timing is by hand
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/util.hpp"
+#include "cpu/core.hpp"
+#include "mem/hierarchy.hpp"
+#include "upc/upc_unit.hpp"
+
+using namespace bgp;
+
+namespace {
+
+/// Best-of-`kRepeats` ns/iteration of `fn(i)` (one warmup pass first).
+template <class F>
+double time_ns(std::size_t iters, F&& fn) {
+  constexpr int kRepeats = 3;
+  double best = 1e30;
+  for (int rep = -1; rep < kRepeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn(i);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(iters);
+    if (rep >= 0 && ns < best) best = ns;
+  }
+  return best;
+}
+
+mem::HierarchyParams walk_params(bool legacy) {
+  mem::HierarchyParams p;
+  p.legacy_walk = legacy;
+  return p;
+}
+
+/// Forwards sink events into one UPC unit, exactly like sys::Node's
+/// UpcSink, so event-delivery costs include the real counter bump.
+struct UpcForwardSink final : mem::EventSink {
+  upc::UpcUnit* unit;
+  explicit UpcForwardSink(upc::UpcUnit* u) : unit(u) {}
+  void event(isa::EventId id, u64 count) override { unit->signal(id, count); }
+  void events(const isa::EventCount* batch, std::size_t n) override {
+    unit->signal_batch(batch, n);
+  }
+};
+
+struct Row {
+  const char* name;
+  const char* unit;
+  double legacy_ns = 0;
+  double fast_ns = 0;
+  [[nodiscard]] double speedup() const { return legacy_ns / fast_ns; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  const std::size_t scale = quick ? 10 : 1;
+
+  bench::banner("Inner-loop fast paths (before/after)",
+                "devirtualized cache walk and block-batched event delivery "
+                "vs the legacy paths they replaced",
+                "L1-hit walk >= 2x faster; per-event delivery cost >= 3x "
+                "lower");
+
+  std::vector<Row> rows;
+
+  // --- cache walk: L1 hit (same shape as micro_cache BM_L1Hit) ----------
+  {
+    Row r{"l1_hit_walk", "ns_per_walk"};
+    for (const bool legacy : {true, false}) {
+      mem::MemoryHierarchy h{walk_params(legacy)};
+      h.read(0, 0x1000, 32, 0);
+      cycles_t acc = 0;
+      const double ns = time_ns(2'000'000 / scale, [&](std::size_t) {
+        acc += h.read(0, 0x1000, 32, 0).latency;
+      });
+      benchmark::DoNotOptimize(acc);
+      (legacy ? r.legacy_ns : r.fast_ns) = ns;
+    }
+    rows.push_back(r);
+  }
+
+  // --- cache walk: write-through store (micro_cache BM_StoreWriteThrough)
+  {
+    Row r{"store_walk", "ns_per_walk"};
+    for (const bool legacy : {true, false}) {
+      mem::MemoryHierarchy h{walk_params(legacy)};
+      addr_t a = 0;
+      cycles_t acc = 0;
+      const double ns = time_ns(1'000'000 / scale, [&](std::size_t) {
+        acc += h.write(0, a, 32, 0).latency;
+        a = (a + 32) % (64 * KiB);
+      });
+      benchmark::DoNotOptimize(acc);
+      (legacy ? r.legacy_ns : r.fast_ns) = ns;
+    }
+    rows.push_back(r);
+  }
+
+  // --- block event delivery: Core::execute into a live UPC unit ---------
+  {
+    // A representative compiled loop: FMA-heavy with loads/stores and a
+    // little integer work — 6 nonzero op classes.
+    isa::OpMix mix;
+    mix.fp_at(isa::FpOp::kFma) = 40;
+    mix.fp_at(isa::FpOp::kAddSub) = 10;
+    mix.ls_at(isa::LsOp::kLoadDouble) = 30;
+    mix.ls_at(isa::LsOp::kStoreDouble) = 15;
+    mix.int_at(isa::IntOp::kAlu) = 20;
+    mix.int_at(isa::IntOp::kBranch) = 5;
+
+    // The block event vector exactly as the compile cache stores it
+    // (core-0 ids, zero counts elided, INSTR_COMPLETED last).
+    std::vector<isa::EventCount> events;
+    for (std::size_t i = 0; i < isa::kNumFpOps; ++i) {
+      if (mix.fp[i] != 0) {
+        events.push_back(
+            {isa::ev::fpu_op(0, static_cast<isa::FpOp>(i)), mix.fp[i]});
+      }
+    }
+    for (std::size_t i = 0; i < isa::kNumLsOps; ++i) {
+      if (mix.ls[i] != 0) {
+        events.push_back(
+            {isa::ev::ls_op(0, static_cast<isa::LsOp>(i)), mix.ls[i]});
+      }
+    }
+    for (std::size_t i = 0; i < isa::kNumIntOps; ++i) {
+      if (mix.in[i] != 0) {
+        events.push_back(
+            {isa::ev::int_op(0, static_cast<isa::IntOp>(i)), mix.in[i]});
+      }
+    }
+    events.push_back({isa::ev::instr_completed(0), mix.total_instructions()});
+
+    // The delivery-ready batch exactly as Machine::compile_cached derives
+    // it for core 0: the block events (already core-0 ids) with the
+    // bundle's CYCLE_COUNT appended last.
+    std::vector<isa::EventCount> prebased = events;
+    prebased.push_back(
+        {isa::ev::cycle_count(0),
+         cpu::Core::bundle_cycles(mix, cpu::CoreParams{})});
+
+    // Every execute() delivers the block's event entries plus the tick's
+    // CYCLE_COUNT — the same entries on both paths. Delivery cost is
+    // isolated by subtracting the same path's run with no sink attached
+    // (compute and stats bookkeeping happen either way; only the counter
+    // delivery disappears), then normalized per delivered event.
+    const double per_call = static_cast<double>(prebased.size());
+
+    Row r{"block_event_delivery", "ns_per_event"};
+    for (const bool legacy : {true, false}) {
+      upc::UpcUnit unit;
+      unit.start();
+      UpcForwardSink sink(&unit);
+      double with_sink = 0;
+      double without_sink = 0;
+      for (const bool counted : {true, false}) {
+        cpu::Core core(0, cpu::CoreParams{}, counted ? &sink : nullptr);
+        const double ns = time_ns(1'000'000 / scale, [&](std::size_t) {
+          if (legacy) {
+            core.execute(mix);
+          } else {
+            core.execute_block(mix, prebased);
+          }
+        });
+        (counted ? with_sink : without_sink) = ns;
+      }
+      benchmark::DoNotOptimize(unit.read(
+          isa::event_counter(isa::ev::instr_completed(0))));
+      (legacy ? r.legacy_ns : r.fast_ns) =
+          std::max(with_sink - without_sink, 0.01) / per_call;
+    }
+    rows.push_back(r);
+  }
+
+  bench::Table t({"path", "unit", "legacy", "fast", "speedup"});
+  for (const Row& r : rows) {
+    t.row({r.name, r.unit, strfmt("%.2f", r.legacy_ns),
+           strfmt("%.2f", r.fast_ns), strfmt("%.2fx", r.speedup())});
+  }
+  t.print();
+
+  const bool meets = rows[0].speedup() >= 2.0 && rows[2].speedup() >= 3.0;
+  std::printf("targets (l1_hit_walk >= 2x, block_event_delivery >= 3x): %s\n",
+              meets ? "MET" : "NOT MET");
+
+  std::string json = "{\n";
+  json += strfmt("  \"quick\": %s,\n", quick ? "true" : "false");
+  json += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    json += strfmt("    {\"name\": \"%s\", \"unit\": \"%s\", "
+                   "\"legacy\": %.3f, \"fast\": %.3f, \"speedup\": %.3f}%s\n",
+                   rows[i].name, rows[i].unit, rows[i].legacy_ns,
+                   rows[i].fast_ns, rows[i].speedup(),
+                   i + 1 < rows.size() ? "," : "");
+  }
+  json += "  ],\n";
+  json += "  \"targets\": {\"l1_hit_walk_speedup_min\": 2.0, "
+          "\"block_event_delivery_speedup_min\": 3.0},\n";
+  json += strfmt("  \"meets_targets\": %s\n}\n", meets ? "true" : "false");
+
+  std::filesystem::path out = "BENCH_inner_loop.json";
+  if (const char* dir = std::getenv("BGPC_BENCH_ARTIFACT_DIR")) {
+    std::filesystem::create_directories(dir);
+    out = std::filesystem::path(dir) / "BENCH_inner_loop.json";
+  }
+  std::FILE* f = std::fopen(out.string().c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.string().c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out.string().c_str());
+  return 0;
+}

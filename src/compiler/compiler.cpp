@@ -128,6 +128,32 @@ CompiledLoop Compiler::compile(const isa::LoopDesc& loop) const {
   out.name = loop.name;
   out.ops = total;
   out.mem_overlap = overlap;
+
+  // Precompute the block event vector: exactly the events (and order) the
+  // per-class execute path would signal, zero counts skipped, with core-0
+  // ids for rebasing at apply time.
+  out.events.reserve(isa::kNumFpOps + isa::kNumLsOps + isa::kNumIntOps + 1);
+  for (std::size_t i = 0; i < isa::kNumFpOps; ++i) {
+    if (total.fp[i] != 0) {
+      out.events.push_back({isa::ev::fpu_op(0, static_cast<FpOp>(i)),
+                            total.fp[i]});
+    }
+  }
+  for (std::size_t i = 0; i < isa::kNumLsOps; ++i) {
+    if (total.ls[i] != 0) {
+      out.events.push_back({isa::ev::ls_op(0, static_cast<LsOp>(i)),
+                            total.ls[i]});
+    }
+  }
+  for (std::size_t i = 0; i < isa::kNumIntOps; ++i) {
+    if (total.in[i] != 0) {
+      out.events.push_back({isa::ev::int_op(0, static_cast<IntOp>(i)),
+                            total.in[i]});
+    }
+  }
+  if (const u64 instr = total.total_instructions(); instr != 0) {
+    out.events.push_back({isa::ev::instr_completed(0), instr});
+  }
   return out;
 }
 

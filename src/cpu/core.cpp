@@ -74,6 +74,23 @@ cycles_t Core::execute(const isa::OpMix& mix) {
   return cycles;
 }
 
+cycles_t Core::execute_block(const isa::OpMix& mix,
+                             std::span<const isa::EventCount> prebased) {
+  const cycles_t cycles = bundle_cycles(mix, params_);
+  stats_.instructions += mix.total_instructions();
+  stats_.flops += mix.total_flops();
+  stats_.compute_cycles += cycles;
+
+  // The batch already carries this core's ids and the tick's CYCLE_COUNT
+  // (the compile cache rebased and appended them once), so delivery is a
+  // single virtual call over a stable vector — no copying here.
+  if (sink_ != nullptr && !prebased.empty()) {
+    sink_->events(prebased.data(), prebased.size());
+  }
+  now_ += cycles;
+  return cycles;
+}
+
 void Core::stall(cycles_t cycles) {
   stats_.memory_stall_cycles += cycles;
   tick(cycles);

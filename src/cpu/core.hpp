@@ -11,6 +11,8 @@
 // address streams.
 #pragma once
 
+#include <span>
+
 #include "isa/events.hpp"
 #include "isa/ops.hpp"
 #include "mem/sink.hpp"
@@ -61,6 +63,16 @@ class Core {
   /// Execute a machine op bundle: charge compute cycles and signal the
   /// per-op UPC events. Returns the cycles charged.
   cycles_t execute(const isa::OpMix& mix);
+
+  /// Batched form of execute(): `prebased` is the bundle's delivery-ready
+  /// event batch for THIS core — the compile cache's precomputed vector of
+  /// this core's mode-0 ids with the bundle's CYCLE_COUNT (equal to
+  /// bundle_cycles(mix, params)) appended last; see opt::CompiledLoop::
+  /// core_events. The batch is handed to the sink in one call with zero
+  /// per-call copying or rebasing; counter totals and CoreStats are
+  /// identical to execute(mix).
+  cycles_t execute_block(const isa::OpMix& mix,
+                         std::span<const isa::EventCount> prebased);
 
   /// Charge exposed memory-stall cycles (from the hierarchy walk, already
   /// divided by the loop's overlap factor).

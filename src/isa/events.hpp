@@ -233,6 +233,20 @@ inline constexpr u16 kPerCoreSlice = 64;
 
 }  // namespace ev
 
+/// One (event, count) pair in a batched event report. Lives in the ISA
+/// layer (not mem/) so the compiler's precomputed block event vectors and
+/// the memory system's walk accumulators share one type without a
+/// dependency cycle. Deliberately trivially default-constructible: the hot
+/// paths carve per-walk/per-block batches out of uninitialized stack
+/// arrays, and member initializers would zero-fill hundreds of bytes per
+/// simulated access.
+struct EventCount {
+  EventId id;
+  u64 count;
+
+  bool operator==(const EventCount&) const = default;
+};
+
 /// Descriptive metadata for one event id.
 struct EventInfo {
   EventId id = 0;

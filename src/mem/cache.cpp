@@ -18,6 +18,12 @@ Cache::Cache(std::string name, const CacheParams& params, MemLevel* next,
       sets_ == 0) {
     throw std::invalid_argument("cache size must be sets*assoc*line");
   }
+  const auto is_pow2 = [](u64 v) { return v != 0 && (v & (v - 1)) == 0; };
+  if (is_pow2(params_.line_bytes) && is_pow2(sets_)) {
+    pow2_geometry_ = true;
+    for (u32 v = params_.line_bytes; v > 1; v >>= 1) ++line_shift_;
+    set_mask_ = sets_ - 1;
+  }
 }
 
 int Cache::find(u32 set, addr_t line) const noexcept {

@@ -98,6 +98,56 @@ class Cache final : public MemLevel {
   /// True if the line holding `addr` is currently resident (no LRU update).
   [[nodiscard]] bool probe(addr_t addr) const noexcept;
 
+  // -- devirtualized walk fast paths (mem/hierarchy.cpp) -------------------
+  // These fold probe + access into one tag search and accumulate counter
+  // increments into an EventBatch instead of per-event virtual calls. They
+  // perform exactly the bookkeeping access() would (stats, LRU clock,
+  // event totals), so either path leaves the cache in the same state.
+
+  /// Read fast path: on hit, touch LRU, count the access, and return true;
+  /// on miss return false having changed *nothing* — the caller falls back
+  /// to the virtual access(), which re-counts from the top exactly like
+  /// the legacy probe-then-access pair did.
+  [[nodiscard]] bool read_hit_fast(addr_t addr, EventBatch& batch) noexcept {
+    const addr_t line = fast_line_of(addr);
+    const std::size_t base = std::size_t{fast_set_of(line)} * params_.assoc;
+    for (u32 w = 0; w < params_.assoc; ++w) {
+      Line& l = lines_[base + w];
+      if (l.valid && l.tag == line) {
+        l.lru = ++tick_;
+        ++stats_.read_access;
+        batch.add(events_.read_access, 1);
+        batch.add(events_.read_hit, 1);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Write fast path for write-through / no-allocate caches: does the full
+  /// L1-side bookkeeping for a store (access + hit LRU touch or miss
+  /// count; neither case allocates) and reports whether it hit. The caller
+  /// forwards the write below either way — exactly what access() does for
+  /// this policy. Only call on caches with write_through or
+  /// !write_allocate.
+  [[nodiscard]] bool write_note_fast(addr_t addr, EventBatch& batch) noexcept {
+    const addr_t line = fast_line_of(addr);
+    const std::size_t base = std::size_t{fast_set_of(line)} * params_.assoc;
+    ++stats_.write_access;
+    batch.add(events_.write_access, 1);
+    for (u32 w = 0; w < params_.assoc; ++w) {
+      Line& l = lines_[base + w];
+      if (l.valid && l.tag == line) {
+        l.lru = ++tick_;
+        batch.add(events_.write_hit, 1);
+        return true;
+      }
+    }
+    ++stats_.write_miss;
+    batch.add(events_.write_miss, 1);
+    return false;
+  }
+
   /// Insert a line without charging latency (prefetch fill path). Returns
   /// false if the line was already resident.
   bool install(addr_t addr, unsigned core, cycles_t now);
@@ -124,6 +174,16 @@ class Cache final : public MemLevel {
   [[nodiscard]] u32 set_of(addr_t line) const noexcept {
     return static_cast<u32>(line % sets_);
   }
+  // Shift/mask forms of line_of/set_of for the fast paths: the divisors
+  // are runtime values the compiler cannot strength-reduce, so power-of-
+  // two geometries (every real BG/P cache) precompute shifts in the
+  // constructor. Non-pow2 test geometries fall back to the division.
+  [[nodiscard]] addr_t fast_line_of(addr_t addr) const noexcept {
+    return pow2_geometry_ ? addr >> line_shift_ : line_of(addr);
+  }
+  [[nodiscard]] u32 fast_set_of(addr_t line) const noexcept {
+    return pow2_geometry_ ? static_cast<u32>(line) & set_mask_ : set_of(line);
+  }
 
   /// Find the way holding `line` in `set`, or -1.
   [[nodiscard]] int find(u32 set, addr_t line) const noexcept;
@@ -140,6 +200,9 @@ class Cache final : public MemLevel {
   EventSink* sink_;
   CacheEventIds events_;
   u32 sets_;
+  bool pow2_geometry_ = false;
+  u32 line_shift_ = 0;
+  u32 set_mask_ = 0;
   std::vector<Line> lines_;  // sets_ * assoc, row-major by set
   u64 tick_ = 0;             // LRU clock
   CacheStats stats_;

@@ -95,8 +95,86 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyParams& params,
   }
 }
 
+// ---- devirtualized fast walk -----------------------------------------------
+// The hot loop of the whole simulator: every simulated load/store lands
+// here. The fast path folds the old probe-then-virtual-access pair into a
+// single inlined tag search per line (Cache::read_hit_fast /
+// write_note_fast) and accumulates counter increments into a per-walk
+// EventBatch flushed once at the end, so an all-hits walk costs zero
+// virtual calls on the cache side and at most one on the sink side.
+// Misses flush the batch (preserving walk-order delivery) and fall back to
+// the unmodified virtual access() chain — miss-path state evolution and
+// event streams are bit-for-bit the legacy ones. Counter *totals* are
+// identical either way; only intra-walk delivery timing changes, which a
+// threshold interrupt could observe mid-walk (none of the shipped
+// samplers arm thresholds on mid-walk events).
+
 AccessResult MemoryHierarchy::read(unsigned core, addr_t addr, u64 bytes,
                                    cycles_t now) {
+  if (params_.legacy_walk) return read_legacy(core, addr, bytes, now);
+  auto& pc = cores_.at(core);
+  Cache* const l1 = pc.l1d.get();
+  const u32 line = params_.l1d.line_bytes;
+  const cycles_t l1_lat = params_.l1d.hit_latency;
+  AccessResult total{0, 1};
+  addr_t a = addr & ~addr_t{line - 1};
+  const addr_t end = addr + (bytes == 0 ? 1 : bytes);
+  EventBatch batch(sink_);
+  for (; a < end; a += line) {
+    if (l1->read_hit_fast(a, batch)) {
+      total.latency += l1_lat;
+      now += l1_lat;
+      continue;
+    }
+    batch.flush();
+    const AccessResult r = l1->access(a, AccessType::kRead, core, now);
+    snoop_->record_fill(core, a / line);
+    total.latency += r.latency;
+    total.serviced_by = std::max(total.serviced_by, r.serviced_by);
+    now += r.latency;
+  }
+  batch.flush();
+  return total;
+}
+
+AccessResult MemoryHierarchy::write(unsigned core, addr_t addr, u64 bytes,
+                                    cycles_t now) {
+  // The store fast path bakes in the PPC450 L1 policy (write-through,
+  // no-allocate). An exotic configuration with an allocating L1 takes the
+  // generic path.
+  if (params_.legacy_walk ||
+      (!params_.l1d.write_through && params_.l1d.write_allocate)) {
+    return write_legacy(core, addr, bytes, now);
+  }
+  auto& pc = cores_.at(core);
+  Cache* const l1 = pc.l1d.get();
+  L2Unit* const l2 = pc.l2.get();
+  const u32 line = params_.l1d.line_bytes;
+  const cycles_t l1_lat = params_.l1d.hit_latency;
+  AccessResult total{0, 1};
+  addr_t a = addr & ~addr_t{line - 1};
+  const addr_t end = addr + (bytes == 0 ? 1 : bytes);
+  EventBatch batch(sink_);
+  for (; a < end; a += line) {
+    snoop_->on_write(core, a / line);
+    // The L1 is write-through / no-allocate: the store retires at L1 speed
+    // whether it hit or not, and the write always goes below. Do the L1
+    // bookkeeping inline and forward straight into the concrete L2 (final,
+    // so the call devirtualizes) — identical state and totals to routing
+    // through the virtual L1 access().
+    const bool hit = l1->write_note_fast(a, batch);
+    batch.flush();
+    const AccessResult below = l2->access(a, AccessType::kWrite, core, now);
+    total.latency += l1_lat;
+    if (!hit) total.serviced_by = std::max(total.serviced_by, below.serviced_by);
+    now += l1_lat;
+  }
+  batch.flush();
+  return total;
+}
+
+AccessResult MemoryHierarchy::read_legacy(unsigned core, addr_t addr,
+                                          u64 bytes, cycles_t now) {
   auto& pc = cores_.at(core);
   const u32 line = params_.l1d.line_bytes;
   AccessResult total{0, 1};
@@ -115,8 +193,8 @@ AccessResult MemoryHierarchy::read(unsigned core, addr_t addr, u64 bytes,
   return total;
 }
 
-AccessResult MemoryHierarchy::write(unsigned core, addr_t addr, u64 bytes,
-                                    cycles_t now) {
+AccessResult MemoryHierarchy::write_legacy(unsigned core, addr_t addr,
+                                           u64 bytes, cycles_t now) {
   auto& pc = cores_.at(core);
   const u32 line = params_.l1d.line_bytes;
   AccessResult total{0, 1};

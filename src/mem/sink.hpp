@@ -1,7 +1,17 @@
 // Event delivery interface between the hardware models and the UPC unit.
 // Every cache / DDR / network model reports through an EventSink so the
 // models stay testable in isolation (tests plug in a recording sink).
+//
+// Two delivery shapes:
+//  * event(id, count)       — one edge-event report (the original path).
+//  * events(vec, n)         — a batch of reports delivered in one virtual
+//    call. Batching is sum-preserving for edge-configured counters (the
+//    UPC adds the counts either way), so a batch of per-block events is
+//    indistinguishable from the per-instruction stream it replaces except
+//    for costing one virtual dispatch instead of n.
 #pragma once
+
+#include <cstddef>
 
 #include "isa/events.hpp"
 
@@ -16,12 +26,24 @@ class EventSink {
   virtual ~EventSink() = default;
   /// Report `count` occurrences of edge event `id`.
   virtual void event(isa::EventId id, u64 count) = 0;
+  /// Report a batch of edge events in one call. The default forwards each
+  /// entry through event() so recording sinks in tests observe the same
+  /// stream either way; the UPC sink overrides it to hoist the run/mode
+  /// checks out of the loop.
+  virtual void events(const isa::EventCount* batch, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (batch[i].id != kNoEvent && batch[i].count != 0) {
+        event(batch[i].id, batch[i].count);
+      }
+    }
+  }
 };
 
 /// Sink that drops everything (for unwired unit tests).
 class NullSink final : public EventSink {
  public:
   void event(isa::EventId, u64) override {}
+  void events(const isa::EventCount*, std::size_t) override {}
 };
 
 /// Helper: emit only when the hook is wired.
@@ -30,5 +52,48 @@ inline void emit(EventSink* sink, isa::EventId id, u64 count) {
     sink->event(id, count);
   }
 }
+
+/// Fixed-capacity accumulator for the devirtualized cache walk: levels add
+/// their counter increments here during a walk and the whole batch is
+/// flushed through one events() call at the end. Capacity covers a full
+/// miss chain's distinct ids (L1 + L2 + L3 + both DDR controllers + snoop
+/// is under 48); a fuller batch self-flushes, so counts are never dropped.
+class EventBatch {
+ public:
+  static constexpr std::size_t kCapacity = 48;
+
+  explicit EventBatch(EventSink* sink) noexcept : sink_(sink) {}
+
+  /// Add `count` to `id`'s pending total. Duplicate ids coalesce via a
+  /// tail-first linear scan (a walk re-reports the same few ids per line,
+  /// so the match is almost always near the end) — allocation-free.
+  void add(isa::EventId id, u64 count) {
+    if (id == kNoEvent || count == 0 || sink_ == nullptr) return;
+    for (std::size_t i = n_; i-- > 0;) {
+      if (ev_[i].id == id) {
+        ev_[i].count += count;
+        return;
+      }
+    }
+    if (n_ == kCapacity) flush();
+    ev_[n_] = {id, count};
+    ++n_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] const isa::EventCount* data() const noexcept { return ev_; }
+
+  /// Deliver everything accumulated so far and reset.
+  void flush() {
+    if (n_ == 0) return;
+    sink_->events(ev_, n_);
+    n_ = 0;
+  }
+
+ private:
+  EventSink* sink_;
+  isa::EventCount ev_[kCapacity];
+  std::size_t n_ = 0;
+};
 
 }  // namespace bgp::mem

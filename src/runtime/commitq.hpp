@@ -1,0 +1,82 @@
+// Lock-free MPSC transition queue for the parallel epoch scheduler.
+//
+// Rank fibers used to block on the scheduler mutex at *every* segment
+// boundary (yield/park/block), even when the scheduler was busy — a lock
+// round-trip per cross-rank commit. With the queue, a fiber that fails a
+// try_lock publishes its phase transition here (one CAS) and parks; the
+// current lock holder pumps the queue under the mutex and applies the
+// transitions before making any scheduling decision. All scheduler state
+// is still mutated only under the mutex, so the commit-order theorem (and
+// TSan-cleanliness) is untouched — the queue only removes the blocking
+// handoff.
+//
+// Shape: a Treiber push / exchange-take-all MPSC stack of intrusive,
+// per-rank nodes.
+//  * Each rank owns exactly one node and parks immediately after pushing
+//    it, so a node is never re-pushed before the consumer detached it —
+//    reuse is safe and no ABA hazard exists (nodes are only taken
+//    wholesale, never popped individually).
+//  * take_all() detaches the entire list with one exchange; entries are
+//    for distinct ranks, so application order within a batch is
+//    irrelevant (commit *execution* order is decided separately, by the
+//    (cycle, rank) scan under the mutex).
+//  * Progress: a push is always followed by that fiber's park, which
+//    returns control to its node executor, which locks the mutex and
+//    pumps — so no transition can be stranded even if another holder's
+//    pump raced ahead of the push.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace bgp::rt {
+
+/// What a queued fiber wants done to its scheduling state. Blocking
+/// (kBlocked) is deliberately *not* queueable: a wake (`on_ready`) for a
+/// rank whose block transition was still unpumped would see it kRunning
+/// and be dropped, stranding the fiber — so block_fiber keeps the plain
+/// mutex (blocks are rare; yields and slot parks are the hot paths).
+enum class CommitOp : u8 {
+  kParkSlot,      ///< enter kParkedSlot with `fn` as the pending commit
+  kYieldSegment,  ///< re-key at `key`, enter kStartable
+};
+
+/// One rank's (single, reusable) queue entry.
+struct CommitNode {
+  std::atomic<CommitNode*> next{nullptr};
+  unsigned rank = 0;
+  CommitOp op = CommitOp::kYieldSegment;
+  cycles_t key = 0;
+  const std::function<void()>* fn = nullptr;
+};
+
+class CommitQueue {
+ public:
+  /// Publish `n` (payload fields already written by the owning fiber).
+  /// Lock-free; safe from any thread.
+  void push(CommitNode* n) noexcept {
+    CommitNode* old = head_.load(std::memory_order_relaxed);
+    do {
+      n->next.store(old, std::memory_order_relaxed);
+    } while (!head_.compare_exchange_weak(old, n, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  /// Detach every queued node (LIFO order; entries are per-rank
+  /// independent so order does not matter). Consumer must hold the
+  /// scheduler mutex; payload reads are ordered by the acquire exchange.
+  [[nodiscard]] CommitNode* take_all() noexcept {
+    return head_.exchange(nullptr, std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_relaxed) == nullptr;
+  }
+
+ private:
+  std::atomic<CommitNode*> head_{nullptr};
+};
+
+}  // namespace bgp::rt

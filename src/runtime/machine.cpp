@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "cpu/core.hpp"
 #include "common/strfmt.hpp"
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
@@ -388,6 +389,25 @@ const opt::CompiledLoop& Machine::compile_cached(const isa::LoopDesc& desc) {
     entry->name.assign(desc.name);
     entry->cl = compiler_.compile(desc);
     entry->cl.name = entry->name;  // re-point the view at owned storage
+    // Derive the delivery-ready per-core batches the compiler cannot build
+    // (the cycle entry needs the CPU timing model): core-0 ids rebased onto
+    // each core's slice, CYCLE_COUNT last. All cores run identical default
+    // parameters (sys::Node constructs them that way), so one
+    // bundle_cycles() covers every core and Core::execute_block can charge
+    // the same value it finds precomputed in its batch.
+    const cycles_t block_cycles =
+        cpu::Core::bundle_cycles(entry->cl.ops, cpu::CoreParams{});
+    for (unsigned c = 0; c < isa::kCoresPerNode; ++c) {
+      std::vector<isa::EventCount>& v = entry->cl.core_events[c];
+      v.reserve(entry->cl.events.size() + 1);
+      const u16 base = static_cast<u16>(c * isa::ev::kPerCoreSlice);
+      for (const isa::EventCount& e : entry->cl.events) {
+        v.push_back({static_cast<isa::EventId>(e.id + base), e.count});
+      }
+      if (block_cycles > 0) {
+        v.push_back({isa::ev::cycle_count(c), block_cycles});
+      }
+    }
     it = loop_cache_.emplace(std::move(key), std::move(entry)).first;
   }
   return it->second->cl;

@@ -48,6 +48,17 @@ void UpcUnit::reset_counters() noexcept { counters_.fill(0); }
 
 void UpcUnit::reset_config() noexcept {
   configs_.fill(CounterConfig{});
+  refresh_derived();
+}
+
+void UpcUnit::refresh_derived() noexcept {
+  armed_thresholds_ = 0;
+  for (unsigned c = 0; c < kNumCounters; ++c) {
+    const CounterConfig& cfg = configs_[c];
+    edge_countable_[c] = cfg.enabled && (cfg.signal == SignalMode::kEdgeRise ||
+                                         cfg.signal == SignalMode::kEdgeFall);
+    if (cfg.interrupt_enable && cfg.threshold != 0) ++armed_thresholds_;
+  }
 }
 
 u8 UpcUnit::check_counter(unsigned counter) {
@@ -61,6 +72,7 @@ void UpcUnit::configure(u8 counter, const CounterConfig& cfg) {
   const u8 c = check_counter(counter);
   const CounterConfig old = configs_[c];
   configs_[c] = cfg;
+  refresh_derived();
   maybe_fire_on_arm(c, old);
 }
 
@@ -124,6 +136,45 @@ void UpcUnit::signal(isa::EventId id, u64 count) {
   bump(counter, count);
 }
 
+void UpcUnit::signal_batch(const isa::EventCount* batch, std::size_t n) {
+  if (!running_) return;
+  const u16 lo = static_cast<u16>(mode_) * isa::kCountersPerUnit;
+  if (armed_thresholds_ == 0) {
+    // No configured counter can fire a threshold interrupt, so a countable
+    // entry reduces to one masked add (counters are kept masked by every
+    // writer, so re-masking an unchanged value is a no-op). This is the
+    // steady-state loop: shipped samplers arm thresholds rarely or never.
+    // restrict-qualified pointers tell the compiler the counter stores
+    // cannot alias the batch, so it need not reload batch[i] after every
+    // store — without them the loop serializes on the aliasing check.
+    const isa::EventCount* __restrict__ b = batch;
+    u64* __restrict__ ctr = counters_.data();
+    const u64* __restrict__ msk = masks_.data();
+    const u8* __restrict__ countable = edge_countable_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const u16 rel = static_cast<u16>(b[i].id - lo);
+      if (rel >= isa::kCountersPerUnit) continue;  // other mode's event
+      const u8 counter = static_cast<u8>(rel);
+      if (!countable[counter]) continue;
+      ctr[counter] = (ctr[counter] + b[i].count) & msk[counter];
+    }
+    return;
+  }
+  const u16 hi = static_cast<u16>(lo + isa::kCountersPerUnit);
+  for (std::size_t i = 0; i < n; ++i) {
+    const isa::EventId id = batch[i].id;
+    if (id < lo || id >= hi) continue;
+    const u8 counter = static_cast<u8>(id - lo);
+    const CounterConfig& cfg = configs_[counter];
+    if (!cfg.enabled) continue;
+    if (cfg.signal != SignalMode::kEdgeRise &&
+        cfg.signal != SignalMode::kEdgeFall) {
+      continue;
+    }
+    bump(counter, batch[i].count);
+  }
+}
+
 void UpcUnit::signal_level(isa::EventId id, u64 cycles_high, u64 window) {
   if (!running_ || isa::event_mode(id) != mode_) return;
   if (cycles_high > window) cycles_high = window;
@@ -182,6 +233,7 @@ void UpcUnit::mmio_write64(addr_t addr, u64 value) {
     const u8 counter = check_counter(static_cast<unsigned>(toff / 8));
     const CounterConfig old = configs_[counter];
     configs_[counter].threshold = value;
+    refresh_derived();
     maybe_fire_on_arm(counter, old);
     return;
   }
@@ -211,6 +263,7 @@ void UpcUnit::mmio_write32(addr_t addr, u32 value) {
   const CounterConfig old = configs_[counter];
   configs_[counter] = CounterConfig::decode(value);
   configs_[counter].threshold = old.threshold;  // set via threshold registers
+  refresh_derived();
   maybe_fire_on_arm(counter, old);
 }
 

@@ -106,6 +106,12 @@ class UpcUnit {
   /// edge signal mode.
   void signal(isa::EventId id, u64 count = 1);
 
+  /// Report a batch of edge events in one call; equivalent to signal()ing
+  /// each entry in order (edge counting is sum-preserving), but the
+  /// running check is hoisted out of the loop. The hot path of the block-
+  /// batched event delivery.
+  void signal_batch(const isa::EventCount* batch, std::size_t n);
+
   /// Report a level signal observation: the signal was high for
   /// `cycles_high` of a `window`-cycle observation window. LEVEL_HIGH
   /// configs accumulate cycles_high, LEVEL_LOW accumulate window−cycles_high,
@@ -144,6 +150,9 @@ class UpcUnit {
   /// the interrupt immediately unless the old configuration had already
   /// observed that crossing.
   void maybe_fire_on_arm(u8 counter, const CounterConfig& old_cfg);
+  /// Recompute the per-counter fast-path flags below after any config or
+  /// threshold write (cold; the writes all happen at set-up time).
+  void refresh_derived() noexcept;
   [[nodiscard]] static u8 check_counter(unsigned counter);
 
   addr_t mmio_base_;
@@ -152,6 +161,15 @@ class UpcUnit {
   std::array<u64, kNumCounters> counters_{};
   std::array<u64, kNumCounters> masks_;  ///< per-counter width mask
   std::array<CounterConfig, kNumCounters> configs_{};
+  /// Derived from configs_: counter is enabled with an edge signal mode,
+  /// i.e. a signal()/signal_batch() report lands in it. Lets the batch
+  /// fast path reduce a countable entry to one masked add.
+  std::array<u8, kNumCounters> edge_countable_{};
+  /// Counters whose config could fire a threshold interrupt
+  /// (interrupt_enable with a nonzero threshold). Zero on every shipped
+  /// configuration that does not arm thresholds, which unlocks the
+  /// interrupt-free batch loop.
+  unsigned armed_thresholds_ = 0;
   ThresholdHandler threshold_handler_;
   std::vector<ThresholdHandler> threshold_listeners_;
   u64 threshold_interrupts_ = 0;

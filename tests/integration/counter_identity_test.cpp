@@ -1,0 +1,153 @@
+// Counter-identity checks for the batched fast paths (block event vectors
+// and the devirtualized cache walk). Two families:
+//
+//  1. Structural identities the hardware counters must satisfy regardless
+//     of delivery path: hits + misses == accesses at every level that
+//     counts all three (L2/L3 reads, L3 writes), misses <= accesses where
+//     there is no hit counter (L1D, L2 writes).
+//
+//  2. Path equivalence: a run with the legacy per-instruction event
+//     emission and the legacy virtual cache walk must produce exactly the
+//     same 256 counter deltas per set as the batched/devirtualized fast
+//     paths — per node, per set, in all four counter modes, under both
+//     schedulers. The fast paths are a delivery optimization, never a
+//     semantic change.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/session.hpp"
+#include "nas/kernel.hpp"
+#include "runtime/machine.hpp"
+#include "runtime/rankctx.hpp"
+
+namespace bgp {
+namespace {
+
+struct PathConfig {
+  u8 mode = 0;  ///< counter mode programmed on every node card
+  rt::SchedMode sched = rt::SchedMode::kSerial;
+  bool legacy = false;  ///< per-instruction events + virtual walk
+};
+
+std::vector<pc::NodeDump> run_cg(const PathConfig& cfg) {
+  rt::MachineConfig mc;
+  mc.num_nodes = 4;
+  mc.mode = sys::OpMode::kVnm;
+  mc.sched = cfg.sched;
+  mc.jobs = cfg.sched == rt::SchedMode::kParallel ? 2 : 0;
+  mc.legacy_block_events = cfg.legacy;
+  mc.boot.legacy_mem_walk = cfg.legacy;
+  rt::Machine machine(mc);
+
+  pc::Options opts;
+  opts.app_name = "identity";
+  opts.write_dumps = false;
+  // Same mode on even and odd cards so every node counts the mode under
+  // test (the split-mode scheme is covered by the characterization tests).
+  opts.mode_even_cards = cfg.mode;
+  opts.mode_odd_cards = cfg.mode;
+  pc::Session session(machine, opts);
+  session.link_with_mpi();
+
+  auto kernel = nas::make_kernel(nas::Benchmark::kCG, nas::ProblemClass::kS);
+  machine.run([&](rt::RankCtx& ctx) {
+    ctx.mpi_init();
+    kernel->run(ctx);
+    ctx.mpi_finalize();
+  });
+  EXPECT_TRUE(kernel->result().verified) << kernel->result().detail;
+  return session.dumps();
+}
+
+/// Counter delta of `id` in set 0, or 0 when the dump's mode does not
+/// cover the event.
+u64 delta(const pc::NodeDump& d, isa::EventId id) {
+  if (isa::event_mode(id) != d.counter_mode) return 0;
+  return d.sets.at(0).deltas.at(isa::event_counter(id));
+}
+
+const char* sched_name(rt::SchedMode s) {
+  return s == rt::SchedMode::kSerial ? "serial" : "parallel";
+}
+
+constexpr rt::SchedMode kScheds[] = {rt::SchedMode::kSerial,
+                                     rt::SchedMode::kParallel};
+
+TEST(CounterIdentity, Mode0PerCoreCacheIdentities) {
+  for (const rt::SchedMode sched : kScheds) {
+    const auto dumps = run_cg({0, sched, false});
+    ASSERT_FALSE(dumps.empty());
+    bool any_l1 = false;
+    for (const auto& d : dumps) {
+      for (unsigned c = 0; c < isa::kCoresPerNode; ++c) {
+        const u64 l1_ra = delta(d, isa::ev::l1d(c, isa::L1dEvent::kReadAccess));
+        const u64 l1_rm = delta(d, isa::ev::l1d(c, isa::L1dEvent::kReadMiss));
+        const u64 l1_wa =
+            delta(d, isa::ev::l1d(c, isa::L1dEvent::kWriteAccess));
+        const u64 l1_wm = delta(d, isa::ev::l1d(c, isa::L1dEvent::kWriteMiss));
+        EXPECT_LE(l1_rm, l1_ra) << sched_name(sched);
+        EXPECT_LE(l1_wm, l1_wa) << sched_name(sched);
+        any_l1 = any_l1 || l1_ra > 0;
+
+        const u64 l2_ra = delta(d, isa::ev::l2(c, isa::L2Event::kReadAccess));
+        const u64 l2_rh = delta(d, isa::ev::l2(c, isa::L2Event::kReadHit));
+        const u64 l2_rm = delta(d, isa::ev::l2(c, isa::L2Event::kReadMiss));
+        const u64 l2_wa = delta(d, isa::ev::l2(c, isa::L2Event::kWriteAccess));
+        const u64 l2_wm = delta(d, isa::ev::l2(c, isa::L2Event::kWriteMiss));
+        EXPECT_EQ(l2_ra, l2_rh + l2_rm)
+            << sched_name(sched) << " node " << d.node_id << " core " << c;
+        EXPECT_LE(l2_wm, l2_wa) << sched_name(sched);
+      }
+    }
+    EXPECT_TRUE(any_l1) << "CG never touched the L1D?";
+  }
+}
+
+TEST(CounterIdentity, Mode1SharedLevelIdentities) {
+  for (const rt::SchedMode sched : kScheds) {
+    const auto dumps = run_cg({1, sched, false});
+    ASSERT_FALSE(dumps.empty());
+    for (const auto& d : dumps) {
+      const u64 ra = delta(d, isa::ev::l3(isa::L3Event::kReadAccess));
+      const u64 rh = delta(d, isa::ev::l3(isa::L3Event::kReadHit));
+      const u64 rm = delta(d, isa::ev::l3(isa::L3Event::kReadMiss));
+      const u64 wa = delta(d, isa::ev::l3(isa::L3Event::kWriteAccess));
+      const u64 wh = delta(d, isa::ev::l3(isa::L3Event::kWriteHit));
+      const u64 wm = delta(d, isa::ev::l3(isa::L3Event::kWriteMiss));
+      EXPECT_EQ(ra, rh + rm) << sched_name(sched) << " node " << d.node_id;
+      EXPECT_EQ(wa, wh + wm) << sched_name(sched) << " node " << d.node_id;
+    }
+  }
+}
+
+TEST(CounterIdentity, BatchedMatchesLegacyAllModesBothSchedulers) {
+  for (u8 mode = 0; mode < isa::kNumCounterModes; ++mode) {
+    for (const rt::SchedMode sched : kScheds) {
+      const auto legacy = run_cg({mode, sched, true});
+      const auto fast = run_cg({mode, sched, false});
+      ASSERT_EQ(legacy.size(), fast.size());
+      for (std::size_t n = 0; n < legacy.size(); ++n) {
+        const pc::NodeDump& a = legacy[n];
+        const pc::NodeDump& b = fast[n];
+        ASSERT_EQ(a.node_id, b.node_id);
+        ASSERT_EQ(a.sets.size(), b.sets.size());
+        for (std::size_t s = 0; s < a.sets.size(); ++s) {
+          EXPECT_EQ(a.sets[s].first_start_cycle, b.sets[s].first_start_cycle)
+              << "mode " << unsigned(mode) << " " << sched_name(sched);
+          EXPECT_EQ(a.sets[s].last_stop_cycle, b.sets[s].last_stop_cycle)
+              << "mode " << unsigned(mode) << " " << sched_name(sched);
+          for (unsigned c = 0; c < isa::kCountersPerUnit; ++c) {
+            ASSERT_EQ(a.sets[s].deltas[c], b.sets[s].deltas[c])
+                << "mode " << unsigned(mode) << " " << sched_name(sched)
+                << " node " << a.node_id << " counter " << c << " ("
+                << isa::event_info(a.event_of(c)).name << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bgp

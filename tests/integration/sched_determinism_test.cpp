@@ -33,6 +33,9 @@ struct MatrixCell {
   unsigned deaths = 0;
   bool ft = false;
   unsigned jobs = 4;
+  /// Run with the legacy per-instruction event emission and the legacy
+  /// virtual cache walk instead of the batched/devirtualized fast paths.
+  bool legacy = false;
 };
 
 /// Everything observable a run leaves behind, in comparable form.
@@ -74,7 +77,8 @@ RunArtifacts run_cell(const MatrixCell& cell, rt::SchedMode sched) {
   const fs::path dir =
       fs::temp_directory_path() /
       (std::string("bgpc_sched_") + ti->name() +
-       (sched == rt::SchedMode::kParallel ? "_par" : "_ser"));
+       (sched == rt::SchedMode::kParallel ? "_par" : "_ser") +
+       (cell.legacy ? "_legacy" : ""));
   fs::remove_all(dir);
   fs::create_directories(dir);
 
@@ -83,6 +87,8 @@ RunArtifacts run_cell(const MatrixCell& cell, rt::SchedMode sched) {
   mc.mode = cell.mode;
   mc.sched = sched;
   mc.jobs = sched == rt::SchedMode::kParallel ? cell.jobs : 0;
+  mc.legacy_block_events = cell.legacy;
+  mc.boot.legacy_mem_walk = cell.legacy;
   rt::Machine machine(mc);
 
   fault::FaultInjector injector{[&] {
@@ -186,6 +192,45 @@ TEST(SchedDeterminism, VnmFtKill3) {
 /// commit-order races would actually show up.
 TEST(SchedDeterminism, Stress256Ranks) {
   expect_identical({.mode = sys::OpMode::kVnm, .nodes = 64, .jobs = 8});
+}
+
+/// The batched/devirtualized fast paths against the legacy walk and
+/// per-instruction event delivery: same pinned seed, every artifact
+/// byte-identical. Runs under the named scheduler for both variants.
+void expect_fast_matches_legacy(MatrixCell cell, rt::SchedMode sched) {
+  cell.legacy = true;
+  const RunArtifacts legacy = run_cell(cell, sched);
+  cell.legacy = false;
+  const RunArtifacts fast = run_cell(cell, sched);
+
+  EXPECT_EQ(legacy.elapsed, fast.elapsed);
+  EXPECT_EQ(legacy.dead_nodes, fast.dead_nodes);
+  EXPECT_EQ(legacy.recovery_events, fast.recovery_events);
+  ASSERT_FALSE(legacy.files.empty());
+  ASSERT_EQ(legacy.files.size(), fast.files.size());
+  for (const auto& [name, bytes] : legacy.files) {
+    const auto it = fast.files.find(name);
+    ASSERT_NE(it, fast.files.end()) << name << " missing from fast-path run";
+    EXPECT_EQ(bytes, it->second) << name << " differs legacy vs fast path";
+  }
+}
+
+TEST(SchedDeterminism, FastPathVnmPlainSerial) {
+  expect_fast_matches_legacy({.mode = sys::OpMode::kVnm},
+                             rt::SchedMode::kSerial);
+}
+TEST(SchedDeterminism, FastPathVnmPlainParallel) {
+  expect_fast_matches_legacy({.mode = sys::OpMode::kVnm},
+                             rt::SchedMode::kParallel);
+}
+TEST(SchedDeterminism, FastPathVnmKill2Serial) {
+  expect_fast_matches_legacy({.mode = sys::OpMode::kVnm, .deaths = 2},
+                             rt::SchedMode::kSerial);
+}
+TEST(SchedDeterminism, FastPathDualFtKill3Parallel) {
+  expect_fast_matches_legacy(
+      {.mode = sys::OpMode::kDual, .nodes = 8, .deaths = 3, .ft = true},
+      rt::SchedMode::kParallel);
 }
 
 }  // namespace
